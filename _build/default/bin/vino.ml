@@ -1,0 +1,498 @@
+(* vino — command-line frontend for the simulated VINO kernel.
+
+   vino inspect GRAFT   show a builtin graft before/after MiSFIT rewriting,
+                        its signature, and a cycle estimate
+   vino tables [TABLE]  regenerate the paper's tables (3..7, abortmodel,
+                        lockfactor)
+   vino rules           Table 1 with the enforcing mechanism for each rule
+   vino points          list the graft points a demo kernel publishes *)
+
+open Cmdliner
+
+let builtin_grafts : (string * string * (unit -> Vino_vm.Asm.item list)) list
+    =
+  [
+    ( "readahead",
+      "application-directed compute-ra (Table 3)",
+      fun () ->
+        Vino_fs.Readahead.app_directed_source ~lock_kcall:"ra.lock:FILE" );
+    ( "evict",
+      "protect-hot-pages page eviction (Table 4)",
+      fun () ->
+        Vino_vmem.Grafts.protect_hot_pages_source ~lock_kcall:"evict.lock:VAS"
+          () );
+    ( "sched",
+      "scan-process-list schedule delegate (Table 5)",
+      fun () ->
+        Vino_sched.Grafts.scan_and_return_self_source
+          ~lock_kcall:"sched.proclist-lock:1" () );
+    ( "crypt",
+      "xor stream encryption (Table 6)",
+      fun () -> Vino_stream.Grafts.xor_encrypt_source ~key:0x5EC2E7 );
+    ( "copy",
+      "trivial stream copy (worst-case SFI store ratio)",
+      fun () -> Vino_stream.Grafts.copy_source );
+    ("httpd", "the Figure 2 HTTP server", fun () -> Vino_net.Httpd.server_source);
+  ]
+
+let graft_names = List.map (fun (n, _, _) -> n) builtin_grafts
+
+(* ------------------------------- inspect ------------------------------ *)
+
+let class_counts code =
+  let alu = ref 0
+  and memory = ref 0
+  and control = ref 0
+  and kcall = ref 0
+  and sfi = ref 0 in
+  Array.iter
+    (fun (i : Vino_vm.Insn.t) ->
+      match i with
+      | Li _ | Mov _ | Alu _ | Alui _ -> incr alu
+      | Ld _ | St _ | Push _ | Pop _ -> incr memory
+      | Br _ | Jmp _ | Call _ | Callr _ | Ret | Halt -> incr control
+      | Kcall _ | Kcallr _ -> incr kcall
+      | Sandbox _ | Checkcall _ -> incr sfi)
+    code;
+  (!alu, !memory, !control, !kcall, !sfi)
+
+let static_cycles code =
+  Array.fold_left
+    (fun acc i -> acc + Vino_vm.Costs.insn Vino_vm.Costs.default i)
+    0 code
+
+let print_program title code =
+  Printf.printf "%s (%d instructions, %d static cycles):\n" title
+    (Array.length code) (static_cycles code);
+  Format.printf "%a@." Vino_vm.Insn.pp_program code
+
+let source_of name =
+  match List.find_opt (fun (n, _, _) -> n = name) builtin_grafts with
+  | Some (_, description, source) -> (description, source ())
+  | None ->
+      if Sys.file_exists name then
+        match Vino_vm.Parse.parse_file name with
+        | Ok items -> ("from " ^ name, items)
+        | Error e ->
+            Printf.eprintf "%s: %s\n" name e;
+            exit 1
+      else begin
+        Printf.eprintf
+          "unknown graft %S; try a .gasm file or one of: %s\n" name
+          (String.concat ", " graft_names);
+        exit 1
+      end
+
+let inspect name show_code =
+  match source_of name with
+  | description, source -> (
+      Printf.printf "graft %s — %s\n\n" name description;
+      let obj = Vino_vm.Asm.assemble_exn source in
+      if show_code then print_program "source" obj.Vino_vm.Asm.code;
+      match Vino_misfit.Image.seal ~key:"vino-misfit-toolchain" obj with
+      | Error e ->
+          Printf.eprintf "MiSFIT rejected the graft: %s\n" e;
+          exit 1
+      | Ok image ->
+          if show_code then
+            print_program "after MiSFIT" image.Vino_misfit.Image.code;
+          let a0, m0, c0, k0, s0 = class_counts obj.Vino_vm.Asm.code in
+          let a1, m1, c1, k1, s1 = class_counts image.Vino_misfit.Image.code in
+          Printf.printf
+            "instruction classes      source    rewritten\n\
+            \  alu/move               %6d    %9d\n\
+            \  memory access          %6d    %9d\n\
+            \  control flow           %6d    %9d\n\
+            \  kernel calls           %6d    %9d\n\
+            \  SFI (sandbox/check)    %6d    %9d\n"
+            a0 a1 m0 m1 c0 c1 k0 k1 s0 s1;
+          Printf.printf "code growth: %d -> %d instructions (%.0f%%)\n"
+            (Array.length obj.Vino_vm.Asm.code)
+            (Array.length image.Vino_misfit.Image.code)
+            (100.
+            *. (float_of_int (Array.length image.Vino_misfit.Image.code)
+                /. float_of_int (Array.length obj.Vino_vm.Asm.code)
+               -. 1.));
+          Printf.printf "optimisable sandboxes: %d (same-address reuse)\n"
+            (Vino_misfit.Rewrite.eliminated_sandboxes obj.Vino_vm.Asm.code);
+          Printf.printf "imports: %s\n"
+            (match image.Vino_misfit.Image.relocs with
+            | [] -> "(none)"
+            | rs ->
+                String.concat ", "
+                  (List.map (fun r -> r.Vino_vm.Asm.name) rs));
+          Format.printf "signature: %a@." Vino_misfit.Sign.pp
+            image.Vino_misfit.Image.signature)
+
+(* --------------------------- image files ------------------------------ *)
+
+let write_image path image = Vino_misfit.Image.save image ~path
+
+let read_image path =
+  match Vino_misfit.Image.load ~path with
+  | Ok image -> image
+  | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      exit 1
+
+let default_key = "vino-misfit-toolchain"
+
+let seal name output key unsafe =
+  let _, source = source_of name in
+  let obj = Vino_vm.Asm.assemble_exn source in
+  let image =
+    if unsafe then Vino_misfit.Image.seal_unsafe ~key obj
+    else
+      match Vino_misfit.Image.seal ~key obj with
+      | Ok image -> image
+      | Error e ->
+          Printf.eprintf "MiSFIT rejected the graft: %s\n" e;
+          exit 1
+  in
+  write_image output image;
+  Printf.printf "sealed %s -> %s (%d instructions%s)\n" name output
+    (Array.length image.Vino_misfit.Image.code)
+    (if unsafe then ", NO SFI" else "")
+
+let verify path key =
+  let image = read_image path in
+  if Vino_misfit.Image.verify ~key image then begin
+    Printf.printf "%s: signature OK (%d instructions, imports: %s)\n" path
+      (Array.length image.Vino_misfit.Image.code)
+      (match image.Vino_misfit.Image.relocs with
+      | [] -> "none"
+      | rs -> String.concat ", " (List.map (fun r -> r.Vino_vm.Asm.name) rs));
+    exit 0
+  end
+  else begin
+    Printf.printf "%s: SIGNATURE INVALID — the kernel would refuse it\n" path;
+    exit 1
+  end
+
+(* ------------------------------- run ----------------------------------- *)
+
+let run_graft name args stub_imports =
+  let kernel = Vino_core.Kernel.create ~mem_words:(1 lsl 16) () in
+  let image =
+    if Filename.check_suffix name ".gimg" then read_image name
+    else
+      let _, source = source_of name in
+      match Vino_core.Kernel.seal kernel (Vino_vm.Asm.assemble_exn source) with
+      | Ok image -> image
+      | Error e ->
+          Printf.eprintf "seal failed: %s\n" e;
+          exit 1
+  in
+  if stub_imports then
+    List.iter
+      (fun r ->
+        let fn_name = r.Vino_vm.Asm.name in
+        if
+          Vino_core.Kcall.find_by_name kernel.Vino_core.Kernel.registry
+            fn_name
+          = None
+        then
+          ignore
+            (Vino_core.Kernel.register_kcall kernel ~name:fn_name (fun ctx ->
+                 Printf.printf "  [stub kcall %s(%d, %d)]\n" fn_name
+                   (Vino_core.Kcall.arg ctx.Vino_core.Kcall.cpu 0)
+                   (Vino_core.Kcall.arg ctx.Vino_core.Kcall.cpu 1);
+                 Vino_core.Kcall.return ctx.Vino_core.Kcall.cpu 0;
+                 Vino_core.Kcall.ok)))
+      image.Vino_misfit.Image.relocs;
+  match Vino_core.Linker.load kernel ~words:4096 image with
+  | Error e ->
+      Printf.eprintf "linker: %s\n" e;
+      exit 1
+  | Ok loaded ->
+      let engine = kernel.Vino_core.Kernel.engine in
+      ignore
+        (Vino_sim.Engine.spawn engine ~name:"playground" (fun () ->
+             let txn =
+               Vino_txn.Txn.begin_ kernel.Vino_core.Kernel.txn_mgr
+                 ~name:"playground" ()
+             in
+             let cpu, outcome =
+               Vino_core.Wrapper.exec kernel ~txn ~cred:Vino_core.Cred.root
+                 ~limits:(Vino_txn.Rlimit.unlimited ())
+                 ~seg:loaded.Vino_core.Linker.seg
+                 ~code:loaded.Vino_core.Linker.code
+                 ~budget:50_000_000
+                 ~setup:(fun cpu ->
+                   List.iteri
+                     (fun k v ->
+                       if k < 4 then Vino_vm.Cpu.set_reg cpu (1 + k) v)
+                     args)
+                 ()
+             in
+             (match outcome with
+             | Vino_vm.Cpu.Halted -> ignore (Vino_txn.Txn.commit txn)
+             | _ -> Vino_txn.Txn.abort txn ~reason:"playground");
+             Format.printf "outcome:   %a@." Vino_vm.Cpu.pp_outcome outcome;
+             Printf.printf "r0:        %d\n" (Vino_vm.Cpu.reg cpu 0);
+             Printf.printf "cycles:    %d graft (%.1f us at 120 MHz)\n"
+               (Vino_vm.Cpu.cycles cpu)
+               (Vino_vm.Costs.us_of_cycles (Vino_vm.Cpu.cycles cpu));
+             Printf.printf "insns:     %d executed, %d memory accesses\n"
+               (Vino_vm.Cpu.insns_executed cpu)
+               (Vino_vm.Cpu.mem_accesses cpu)));
+      Vino_core.Kernel.run kernel;
+      Printf.printf "simulated time including kernel services: %.1f us\n"
+        (Vino_core.Kernel.now_us kernel)
+
+(* ------------------------------- tables ------------------------------- *)
+
+let run_table iterations = function
+  | "table3" ->
+      Vino_measure.Table.print ~title:"Table 3: read-ahead"
+        (Vino_measure.Sc_readahead.table ~iterations ())
+  | "table4" ->
+      Vino_measure.Table.print ~title:"Table 4: page eviction"
+        (Vino_measure.Sc_evict.table ~iterations ())
+  | "table5" ->
+      Vino_measure.Table.print ~title:"Table 5: scheduling"
+        (Vino_measure.Sc_sched.table ~iterations ())
+  | "table6" ->
+      Vino_measure.Table.print ~title:"Table 6: encryption"
+        (Vino_measure.Sc_crypt.table ~iterations ())
+  | "table7" ->
+      Vino_measure.Table.print ~title:"Table 7: abort costs"
+        (Vino_measure.Abort_model.table7 ~iterations ())
+  | "abortmodel" ->
+      Vino_measure.Table.print ~title:"Abort model (35 + 10L)"
+        (Vino_measure.Abort_model.model_table ~iterations ())
+  | "lockfactor" ->
+      Vino_measure.Table.print ~title:"Figures 4/5"
+        (Vino_measure.Lock_factor.table ~iterations ())
+  | other ->
+      Printf.eprintf "unknown table %S\n" other;
+      exit 1
+
+let all_tables =
+  [ "table3"; "table4"; "table5"; "table6"; "table7"; "abortmodel";
+    "lockfactor" ]
+
+(* -------------------------------- rules ------------------------------- *)
+
+let rules () =
+  let entries =
+    [
+      ( 1,
+        "Grafts must be preemptible",
+        "sliced execution in Vino_core.Wrapper; Cpu poll points" );
+      ( 2,
+        "No holding locks / limited resources for excessive periods",
+        "Vino_txn.Lock time-outs abort the holder; Rlimit quantity limits" );
+      ( 3,
+        "No access to memory without permission",
+        "MiSFIT Sandbox instructions confine every load/store to the segment"
+      );
+      ( 4,
+        "No calling functions that alter/return protected data",
+        "Kcall.register ~callable:false; linker rejects imports" );
+      ( 5,
+        "No replacing restricted kernel functions",
+        "Graft_point ~restricted:true requires privileged credentials" );
+      ( 6,
+        "Never execute grafts not known to be safe",
+        "Image signatures verified by the dynamic linker" );
+      ( 7,
+        "No calling functions without access",
+        "static: linker relocation check; dynamic: Checkcall hash probe" );
+      ( 8,
+        "Malicious grafts affect only consenting applications",
+        "scheduler delegate groups; per-VAS eviction grafts; Cao's principle"
+      );
+      ( 9,
+        "The kernel makes progress despite faulty grafts",
+        "transaction abort + undo + forcible graft removal + default fallback"
+      );
+    ]
+  in
+  print_endline "Table 1 — rules for grafting, and what enforces them here:";
+  List.iter
+    (fun (n, rule, how) -> Printf.printf "%d. %-55s %s\n" n rule how)
+    entries
+
+(* ------------------------------- points ------------------------------- *)
+
+let points () =
+  (* build a demo kernel with one of everything and list its namespace *)
+  let kernel = Vino_core.Kernel.create () in
+  let disk = Vino_fs.Disk.create kernel.Vino_core.Kernel.engine () in
+  let cache = Vino_fs.Cache.create ~capacity:256 () in
+  let file =
+    Vino_fs.File.openf ~kernel ~cache ~disk ~name:"demo" ~first_block:0
+      ~blocks:64 ()
+  in
+  let vas = Vino_vmem.Vas.create kernel ~name:"demo-vas" in
+  let runq = Vino_sched.Runq.create kernel () in
+  let task = Vino_sched.Runq.spawn_task runq ~name:"demo-task" in
+  let channel = Vino_stream.Channel.create kernel ~name:"demo-chan" () in
+  let httpd = Vino_net.Httpd.create kernel () in
+  let ns = Vino_core.Namespace.create () in
+  Vino_core.Namespace.register ns
+    (Vino_core.Namespace.of_function_point (Vino_fs.File.ra_point file) kernel
+       ~shared_words:16 ());
+  Vino_core.Namespace.register ns
+    (Vino_core.Namespace.of_function_point (Vino_vmem.Vas.evict_point vas)
+       kernel ~shared_words:64 ());
+  Vino_core.Namespace.register ns
+    (Vino_core.Namespace.of_function_point
+       (Vino_sched.Runq.delegate_point task)
+       kernel ~shared_words:4 ());
+  Vino_core.Namespace.register ns
+    (Vino_core.Namespace.of_function_point
+       (Vino_stream.Channel.point channel)
+       kernel ());
+  Vino_core.Namespace.register ns
+    (Vino_core.Namespace.of_event_point
+       (Vino_net.Port.event_point (Vino_net.Httpd.port httpd))
+       kernel);
+  print_endline "graft points on a demo kernel:";
+  List.iter
+    (fun name ->
+      match Vino_core.Namespace.lookup ns name with
+      | Some h ->
+          Printf.printf "  %-28s %s%s\n" name
+            (match h.Vino_core.Namespace.kind with
+            | Vino_core.Namespace.Function_point -> "function"
+            | Vino_core.Namespace.Event_point -> "event   ")
+            (if h.Vino_core.Namespace.hrestricted then "  [restricted]"
+             else "")
+      | None -> ())
+    (Vino_core.Namespace.names ns)
+
+(* --------------------------------- CLI -------------------------------- *)
+
+let dump name =
+  let _, source = source_of name in
+  print_string (Vino_vm.Parse.to_string source)
+
+let inspect_cmd =
+  let graft =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"GRAFT"
+          ~doc:"Builtin graft name or path to a .gasm file.")
+  in
+  let code =
+    Arg.(value & flag & info [ "code" ] ~doc:"Print full disassembly.")
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Show a builtin graft before and after MiSFIT rewriting")
+    Term.(const inspect $ graft $ code)
+
+let graft_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"GRAFT" ~doc:"Builtin graft name or path to a file.")
+
+let key_arg =
+  Arg.(
+    value & opt string default_key
+    & info [ "key" ] ~doc:"Toolchain signing key.")
+
+let seal_cmd =
+  let output =
+    Arg.(
+      value & opt string "graft.gimg"
+      & info [ "o"; "output" ] ~doc:"Output image path.")
+  in
+  let unsafe =
+    Arg.(
+      value & flag
+      & info [ "unsafe" ] ~doc:"Skip SFI rewriting (measurement only).")
+  in
+  Cmd.v
+    (Cmd.info "seal" ~doc:"Run a graft through MiSFIT and write a .gimg image")
+    Term.(const seal $ graft_pos $ output $ key_arg $ unsafe)
+
+let verify_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"IMAGE" ~doc:"Image file to verify.")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Check a .gimg image's signature like the linker")
+    Term.(const verify $ path $ key_arg)
+
+let run_cmd =
+  let args =
+    Arg.(
+      value & opt_all int []
+      & info [ "a"; "arg" ] ~doc:"Argument registers r1..r4, in order.")
+  in
+  let no_stubs =
+    Arg.(
+      value & flag
+      & info [ "no-stub-imports" ]
+          ~doc:"Fail on unresolved imports instead of stubbing them.")
+  in
+  let run name args no_stubs = run_graft name args (not no_stubs) in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run a graft in a sandbox kernel (transaction, SFI, budget) and \
+          report the outcome")
+    Term.(const run $ graft_pos $ args $ no_stubs)
+
+let dump_cmd =
+  let graft =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"GRAFT"
+          ~doc:"Builtin graft name or path to a .gasm file.")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Emit a graft's source in the .gasm text format")
+    Term.(const dump $ graft)
+
+let tables_cmd =
+  let which =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TABLE"
+          ~doc:"table3..table7, abortmodel or lockfactor; all when omitted.")
+  in
+  let iterations =
+    Arg.(
+      value & opt int 120
+      & info [ "iterations"; "n" ] ~doc:"Samples per measurement.")
+  in
+  let run iterations which =
+    match which with
+    | Some t -> run_table iterations t
+    | None -> List.iter (run_table iterations) all_tables
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the paper's evaluation tables")
+    Term.(const run $ iterations $ which)
+
+let rules_cmd =
+  Cmd.v
+    (Cmd.info "rules" ~doc:"Print Table 1 and what enforces each rule")
+    Term.(const rules $ const ())
+
+let points_cmd =
+  Cmd.v
+    (Cmd.info "points" ~doc:"List the graft points of a demo kernel")
+    Term.(const points $ const ())
+
+let main_cmd =
+  let doc = "the simulated VINO extensible kernel" in
+  let info = Cmd.info "vino" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      inspect_cmd; dump_cmd; seal_cmd; verify_cmd; run_cmd; tables_cmd;
+      rules_cmd; points_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/http_server.ml: List Printf Vino_core Vino_net Vino_txn Vino_vm

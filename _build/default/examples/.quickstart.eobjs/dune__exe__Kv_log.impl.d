@@ -1,0 +1,1 @@
+examples/kv_log.ml: Printf Vino_core Vino_fs Vino_sim Vino_txn Vino_vm

@@ -1,0 +1,1 @@
+examples/misbehave.ml: Format Printf Vino_core Vino_misfit Vino_sim Vino_txn Vino_vm

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf String Vino_core Vino_fs Vino_sim Vino_txn Vino_vm

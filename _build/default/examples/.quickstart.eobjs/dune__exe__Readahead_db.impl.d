@@ -1,0 +1,1 @@
+examples/readahead_db.ml: List Printf Vino_core Vino_fs Vino_sim Vino_txn Vino_vm

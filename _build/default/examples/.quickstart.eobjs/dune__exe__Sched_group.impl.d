@@ -1,0 +1,1 @@
+examples/sched_group.ml: Printf Vino_core Vino_sched Vino_sim Vino_txn Vino_vm

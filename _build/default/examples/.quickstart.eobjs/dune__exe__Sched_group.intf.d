@@ -1,0 +1,1 @@
+examples/sched_group.mli:

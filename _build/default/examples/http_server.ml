@@ -1,0 +1,76 @@
+(* Figure 2 — dropping an HTTP server into the kernel as an event graft.
+
+   A handler graft is added to TCP port 80's event point. Each connection
+   spawns a worker thread running the handler inside a transaction; the
+   handler looks documents up and responds through graft-callable kernel
+   functions. A second, buggy handler (divides by zero on its first event)
+   is aborted, rolled back, and removed — the server keeps serving.
+
+   Run with: dune exec examples/http_server.exe *)
+
+module Kernel = Vino_core.Kernel
+module Event_point = Vino_core.Event_point
+module Cred = Vino_core.Cred
+module Rlimit = Vino_txn.Rlimit
+module Httpd = Vino_net.Httpd
+module Port = Vino_net.Port
+module Asm = Vino_vm.Asm
+
+let () =
+  let kernel = Kernel.create () in
+  let httpd = Httpd.create kernel () in
+  let admin = Cred.user "webmaster" ~limits:(Rlimit.unlimited ()) in
+
+  (* publish some documents (paths are hashes in this model) *)
+  Httpd.add_document httpd ~path:1001 ~size:4096;
+  Httpd.add_document httpd ~path:1002 ~size:12_288;
+
+  (* install the HTTP server graft *)
+  (match Httpd.install httpd ~cred:admin with
+  | Ok hid -> Printf.printf "HTTP server graft installed (handler %d)\n" hid
+  | Error e -> failwith e);
+
+  (* also add a buggy logging handler that crashes on its first event *)
+  let buggy : Asm.item list =
+    [
+      Li (Asm.r5, 0);
+      Li (Asm.r6, 1);
+      Alu (Vino_vm.Insn.Div, Asm.r0, Asm.r6, Asm.r5);
+      Ret;
+    ]
+  in
+  (match Kernel.seal kernel (Asm.assemble_exn buggy) with
+  | Ok image -> (
+      match
+        Event_point.add_handler
+          (Port.event_point (Httpd.port httpd))
+          kernel ~cred:admin image
+      with
+      | Ok hid -> Printf.printf "buggy logger installed (handler %d)\n" hid
+      | Error e -> failwith e)
+  | Error e -> failwith e);
+
+  let ep = Port.event_point (Httpd.port httpd) in
+  Printf.printf "handlers on port 80: %d\n\n" (Event_point.handler_count ep);
+
+  (* clients connect *)
+  Httpd.get httpd ~path:1001;
+  Kernel.run kernel;
+  Httpd.get httpd ~path:1002;
+  Kernel.run kernel;
+  Httpd.get httpd ~path:9999;
+  Kernel.run kernel;
+
+  List.iter
+    (fun (status, size) -> Printf.printf "  -> HTTP %d (%d bytes)\n" status size)
+    (Httpd.responses httpd);
+
+  Printf.printf
+    "\nafter three requests: %d handler(s) left (buggy one aborted and \
+     removed), %d handler failure(s) logged\n"
+    (Event_point.handler_count ep)
+    (Event_point.handler_failures ep);
+  Printf.printf "kernel transactions: %d begun, %d committed, %d aborted\n"
+    (Vino_txn.Txn.begins kernel.Kernel.txn_mgr)
+    (Vino_txn.Txn.commits kernel.Kernel.txn_mgr)
+    (Vino_txn.Txn.aborts kernel.Kernel.txn_mgr)

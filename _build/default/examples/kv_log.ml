@@ -1,0 +1,94 @@
+(* A small persistent log store on the full storage stack: volume
+   (bitmap + directory), open files, the dirty-block cache, and the
+   write-back daemon with its graftable flush policy — the paper's
+   taxonomy's third Prioritization example, "a buffer to flush".
+
+   The store appends records scattered across its log file (think hash
+   buckets), then syncs. With the default ascending flush order the disk
+   seeks back and forth; with the nearest-first flush graft installed the
+   write-back sweeps — same blocks, fewer milliseconds.
+
+   Run with: dune exec examples/kv_log.exe *)
+
+module Kernel = Vino_core.Kernel
+module Graft_point = Vino_core.Graft_point
+module Cred = Vino_core.Cred
+module Rlimit = Vino_txn.Rlimit
+module Engine = Vino_sim.Engine
+module Volume = Vino_fs.Volume
+module File = Vino_fs.File
+module Syncer = Vino_fs.Syncer
+module Disk = Vino_fs.Disk
+
+let app = Cred.user "kv-store" ~limits:(Rlimit.unlimited ())
+
+(* bucket placement: spread keys across the file like a static hash table *)
+let bucket_of_key key ~buckets = key * 2654435761 land 0x7FFFFFFF mod buckets
+
+let run ~grafted =
+  let kernel = Kernel.create () in
+  let disk = Disk.create kernel.Kernel.engine () in
+  let volume =
+    (* flush only on explicit sync, so the two runs are comparable *)
+    Volume.create kernel ~disk ~blocks:40_000 ~syncer_threshold:10_000 ()
+  in
+  let elapsed = ref 0 in
+  let flush_count = ref 0 in
+  ignore
+    (Engine.spawn kernel.Kernel.engine ~name:"kv" (fun () ->
+         let log =
+           match Volume.create_file volume ~name:"kv.log" ~blocks:32_768 with
+           | Ok f -> f
+           | Error e -> failwith e
+         in
+         if grafted then begin
+           let image =
+             match
+               Kernel.seal kernel
+                 (Vino_vm.Asm.assemble_exn Syncer.nearest_first_source)
+             with
+             | Ok i -> i
+             | Error e -> failwith e
+           in
+           match
+             Graft_point.replace
+               (Syncer.flush_point (Volume.syncer volume))
+               kernel ~cred:app ~heap_words:1024 image
+           with
+           | Ok () -> ()
+           | Error e -> failwith e
+         end;
+         (* insert 48 records into scattered buckets *)
+         for key = 1 to 48 do
+           let block = bucket_of_key key ~buckets:32_768 in
+           File.write log ~cred:app ~block
+         done;
+         let t0 = Engine.now kernel.Kernel.engine in
+         Syncer.sync (Volume.syncer volume);
+         elapsed := Engine.now kernel.Kernel.engine - t0;
+         flush_count := Syncer.flushed (Volume.syncer volume);
+         (* reads after sync hit the cache *)
+         (match File.read log ~cred:app ~block:(bucket_of_key 1 ~buckets:32_768) with
+         | `Hit -> ()
+         | `Miss -> failwith "written record not cached");
+         Syncer.stop (Volume.syncer volume)));
+  Kernel.run kernel;
+  (!elapsed, !flush_count)
+
+let () =
+  print_endline "kv-log: 48 scattered records, then sync\n";
+  let t_plain, n_plain = run ~grafted:false in
+  let t_graft, n_graft = run ~grafted:true in
+  let ms c = Vino_vm.Costs.us_of_cycles c /. 1000. in
+  Printf.printf "%-36s %10s %8s\n" "" "sync (ms)" "flushes";
+  Printf.printf "%-36s %10.1f %8d\n" "default flush order (ascending)"
+    (ms t_plain) n_plain;
+  Printf.printf "%-36s %10.1f %8d\n" "nearest-first flush graft"
+    (ms t_graft) n_graft;
+  Printf.printf
+    "\nsame %d write-backs, %.0f%% less sync time — rotation dominates \
+     short seeks,\nso a flush-order graft can only win back the seek \
+     component. Policy\nchoice, measured, not guessed: exactly what graft \
+     points are for.\n"
+    n_plain
+    (100. *. (1. -. (float_of_int t_graft /. float_of_int t_plain)))

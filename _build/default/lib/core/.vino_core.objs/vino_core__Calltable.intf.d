@@ -1,0 +1,1 @@
+lib/core/calltable.mli:

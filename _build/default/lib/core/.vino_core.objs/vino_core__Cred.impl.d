@@ -1,0 +1,1 @@
+lib/core/cred.ml: Format Vino_txn

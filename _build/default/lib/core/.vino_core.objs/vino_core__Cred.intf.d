@@ -1,0 +1,1 @@
+lib/core/cred.mli: Format Vino_txn

@@ -1,0 +1,1 @@
+lib/core/event_point.ml: Array Audit Cred Format Kernel Linker List Printf Vino_sim Vino_txn Vino_vm Wrapper

@@ -1,0 +1,1 @@
+lib/core/event_point.mli: Cred Kernel Vino_misfit Vino_txn

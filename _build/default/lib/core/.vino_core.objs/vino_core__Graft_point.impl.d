@@ -1,0 +1,1 @@
+lib/core/graft_point.ml: Audit Cred Format Kernel Linker Printf Vino_misfit Vino_sim Vino_txn Vino_vm Wrapper

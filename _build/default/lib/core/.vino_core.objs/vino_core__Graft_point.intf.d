@@ -1,0 +1,1 @@
+lib/core/graft_point.mli: Cred Kernel Vino_misfit Vino_txn Vino_vm

@@ -1,0 +1,1 @@
+lib/core/kcall.ml: Cred Hashtbl List Printf Vino_txn Vino_vm

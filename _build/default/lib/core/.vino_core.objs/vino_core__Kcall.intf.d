@@ -1,0 +1,1 @@
+lib/core/kcall.mli: Cred Vino_txn Vino_vm

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Audit Calltable Kcall Segalloc Vino_misfit Vino_sim Vino_txn Vino_vm

@@ -1,0 +1,1 @@
+lib/core/linker.ml: Array Kcall Kernel Printf Result Segalloc Vino_misfit Vino_vm

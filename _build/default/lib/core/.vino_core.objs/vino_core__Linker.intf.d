@@ -1,0 +1,1 @@
+lib/core/linker.mli: Kernel Vino_misfit Vino_vm

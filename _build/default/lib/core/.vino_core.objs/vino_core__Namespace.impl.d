@@ -1,0 +1,1 @@
+lib/core/namespace.ml: Cred Event_point Graft_point Hashtbl List Printf Result Vino_misfit Vino_txn

@@ -1,0 +1,1 @@
+lib/core/namespace.mli: Cred Event_point Graft_point Kernel Vino_misfit Vino_txn

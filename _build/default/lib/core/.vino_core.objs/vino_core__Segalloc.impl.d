@@ -1,0 +1,1 @@
+lib/core/segalloc.ml: Array Hashtbl Vino_vm

@@ -1,0 +1,1 @@
+lib/core/segalloc.mli: Vino_vm

@@ -1,0 +1,1 @@
+lib/core/wrapper.ml: Calltable Kcall Kernel Vino_sim Vino_txn Vino_vm

@@ -1,0 +1,1 @@
+lib/core/wrapper.mli: Cred Kernel Vino_txn Vino_vm

@@ -1,0 +1,40 @@
+type event =
+  | Load_rejected of { point : string; reason : string }
+  | Graft_installed of { point : string; user : string }
+  | Graft_removed of { point : string }
+  | Graft_failed of { point : string; reason : string }
+  | Handler_added of { point : string; handler : int; user : string }
+  | Handler_failed of { point : string; handler : int; reason : string }
+
+type entry = { at_us : float; event : event }
+type t = { mutable log : entry list (* newest first *) }
+
+let create () = { log = [] }
+let record t ~now_us event = t.log <- { at_us = now_us; event } :: t.log
+let entries t = List.rev t.log
+let count t = List.length t.log
+let clear t = t.log <- []
+
+let is_failure = function
+  | Load_rejected _ | Graft_failed _ | Handler_failed _ -> true
+  | Graft_installed _ | Graft_removed _ | Handler_added _ -> false
+
+let failures t = List.filter (fun e -> is_failure e.event) (entries t)
+
+let pp_event ppf = function
+  | Load_rejected { point; reason } ->
+      Format.fprintf ppf "load rejected at %s: %s" point reason
+  | Graft_installed { point; user } ->
+      Format.fprintf ppf "graft installed at %s by %s" point user
+  | Graft_removed { point } -> Format.fprintf ppf "graft removed from %s" point
+  | Graft_failed { point; reason } ->
+      Format.fprintf ppf "graft at %s failed: %s" point reason
+  | Handler_added { point; handler; user } ->
+      Format.fprintf ppf "handler %d added to %s by %s" handler point user
+  | Handler_failed { point; handler; reason } ->
+      Format.fprintf ppf "handler %d on %s failed: %s" handler point reason
+
+let pp ppf t =
+  List.iter
+    (fun e -> Format.fprintf ppf "[%10.1f us] %a@." e.at_us pp_event e.event)
+    (entries t)

@@ -1,0 +1,32 @@
+(** Kernel audit trail for graft security events.
+
+    Every decision the protection machinery takes — image rejected,
+    graft installed, transaction aborted, graft forcibly removed — is
+    recorded with its virtual timestamp, so an operator (or a test) can
+    reconstruct exactly how a disaster was survived. *)
+
+type event =
+  | Load_rejected of { point : string; reason : string }
+  | Graft_installed of { point : string; user : string }
+  | Graft_removed of { point : string }
+  | Graft_failed of { point : string; reason : string }
+  | Handler_added of { point : string; handler : int; user : string }
+  | Handler_failed of { point : string; handler : int; reason : string }
+
+type entry = { at_us : float; event : event }
+type t
+
+val create : unit -> t
+val record : t -> now_us:float -> event -> unit
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val count : t -> int
+val clear : t -> unit
+
+val failures : t -> entry list
+(** Only rejections/failures. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+type t = { uid : int; user : string; limits : Vino_txn.Rlimit.t }
+
+let root = { uid = 0; user = "root"; limits = Vino_txn.Rlimit.unlimited () }
+
+let next_uid = ref 1000
+
+let user ?uid name ~limits =
+  let uid =
+    match uid with
+    | Some u -> u
+    | None ->
+        let u = !next_uid in
+        incr next_uid;
+        u
+  in
+  { uid; user = name; limits }
+
+let is_privileged t = t.uid = 0
+let pp ppf t = Format.fprintf ppf "%s(%d)" t.user t.uid

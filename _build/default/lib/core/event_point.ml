@@ -1,0 +1,142 @@
+module Cpu = Vino_vm.Cpu
+module Mem = Vino_vm.Mem
+module Engine = Vino_sim.Engine
+module Txn = Vino_txn.Txn
+module Rlimit = Vino_txn.Rlimit
+
+type handler = {
+  hid : int;
+  order : int;
+  loaded : Linker.loaded;
+  cred : Cred.t;
+  limits : Rlimit.t;
+  payload_words : int;
+  mutable dead : bool;
+}
+
+type t = {
+  ename : string;
+  erestricted : bool;
+  budget : int;
+  mutable handlers : handler list; (* sorted by (order, hid) *)
+  mutable next_hid : int;
+  mutable n_events : int;
+  mutable n_failures : int;
+  mutable last_results : (int * int) list;
+}
+
+let create ~name ?(restricted = false) ?(budget = Wrapper.default_budget) () =
+  {
+    ename = name;
+    erestricted = restricted;
+    budget;
+    handlers = [];
+    next_hid = 0;
+    n_events = 0;
+    n_failures = 0;
+    last_results = [];
+  }
+
+let name t = t.ename
+let handler_count t = List.length t.handlers
+let events_delivered t = t.n_events
+let handler_failures t = t.n_failures
+let results t = List.rev t.last_results
+
+let sort_handlers hs =
+  List.sort
+    (fun a b ->
+      match compare a.order b.order with 0 -> compare a.hid b.hid | c -> c)
+    hs
+
+let add_handler t kernel ~cred ?order ?(payload_words = 2048)
+    ?(heap_words = 1024) ?limits image =
+  if t.erestricted && not (Cred.is_privileged cred) then
+    Error
+      (Printf.sprintf "event point %S is restricted to privileged users"
+         t.ename)
+  else
+    let words = payload_words + heap_words + 256 in
+    match Linker.load kernel ~words image with
+    | Error reason as e ->
+        Kernel.audit_event kernel
+          (Audit.Load_rejected { point = t.ename; reason });
+        e
+    | Ok loaded ->
+        let order =
+          match order with
+          | Some o -> o
+          | None ->
+              1 + List.fold_left (fun acc h -> max acc h.order) (-1) t.handlers
+        in
+        let hid = t.next_hid in
+        t.next_hid <- hid + 1;
+        let limits = match limits with Some l -> l | None -> Rlimit.zero () in
+        let h =
+          { hid; order; loaded; cred; limits; payload_words; dead = false }
+        in
+        t.handlers <- sort_handlers (h :: t.handlers);
+        Kernel.audit_event kernel
+          (Audit.Handler_added
+             { point = t.ename; handler = hid; user = cred.Cred.user });
+        Ok hid
+
+let remove_handler t kernel hid =
+  t.handlers <-
+    List.filter
+      (fun h ->
+        if h.hid = hid then begin
+          Linker.unload kernel h.loaded;
+          false
+        end
+        else true)
+      t.handlers
+
+let run_handler t kernel h payload =
+  (* workers are fresh processes, so there is normally no enclosing
+     transaction; pick one up if an in-kernel caller dispatched inline *)
+  let parent = Txn.current kernel.Kernel.txn_mgr in
+  let txn =
+    Txn.begin_ kernel.Kernel.txn_mgr ?parent
+      ~name:(Printf.sprintf "%s#%d" t.ename h.hid)
+      ()
+  in
+  let len = min (Array.length payload) h.payload_words in
+  let seg = h.loaded.Linker.seg in
+  let setup cpu =
+    Mem.blit_in kernel.Kernel.mem seg.Mem.base (Array.sub payload 0 len);
+    Cpu.set_reg cpu 1 seg.Mem.base;
+    Cpu.set_reg cpu 2 len
+  in
+  let cpu, outcome =
+    Wrapper.exec kernel ~txn ~cred:h.cred ~limits:h.limits ~seg
+      ~code:h.loaded.Linker.code ~budget:t.budget ~setup ()
+  in
+  let fail reason =
+    if Txn.is_active txn then Txn.abort txn ~reason;
+    t.n_failures <- t.n_failures + 1;
+    h.dead <- true;
+    Kernel.audit_event kernel
+      (Audit.Handler_failed { point = t.ename; handler = h.hid; reason });
+    remove_handler t kernel h.hid
+  in
+  match outcome with
+  | Cpu.Halted -> (
+      match Txn.commit txn with
+      | Ok () -> t.last_results <- (h.hid, Cpu.reg cpu 0) :: t.last_results
+      | Error reason -> fail reason)
+  | Cpu.Faulted f -> fail (Format.asprintf "%a" Cpu.pp_fault f)
+  | Cpu.Aborted reason -> fail reason
+  | Cpu.Out_of_fuel -> fail "CPU budget exhausted"
+
+let dispatch t kernel ~payload =
+  t.n_events <- t.n_events + 1;
+  t.last_results <- [];
+  List.iter
+    (fun h ->
+      if not h.dead then
+        ignore
+          (Engine.spawn kernel.Kernel.engine
+             ~name:(Printf.sprintf "%s-worker-%d" t.ename h.hid)
+             (fun () -> run_handler t kernel h payload)))
+    t.handlers

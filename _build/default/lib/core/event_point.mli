@@ -1,0 +1,45 @@
+(** Event graft points (§3.5): dropping whole services into the kernel.
+
+    Servers (HTTP, NFS, ...) are modelled as handlers for streams of
+    external events. An event graft point corresponds to one such external
+    event (a TCP connection established on a port, a UDP packet arriving).
+    Unlike function graft points, grafted handlers are *added*, in an
+    application-specified order, rather than replacing anything. When the
+    event occurs, VINO spawns a worker thread per handler, begins a
+    transaction, copies the event payload into the handler's segment and
+    invokes it; when the handler returns the worker commits and exits. A
+    handler whose transaction aborts is removed. *)
+
+type t
+
+val create : name:string -> ?restricted:bool -> ?budget:int -> unit -> t
+
+val name : t -> string
+val handler_count : t -> int
+
+val add_handler :
+  t ->
+  Kernel.t ->
+  cred:Cred.t ->
+  ?order:int ->
+  ?payload_words:int ->
+  ?heap_words:int ->
+  ?limits:Vino_txn.Rlimit.t ->
+  Vino_misfit.Image.t ->
+  (int, string) result
+(** Returns a handler id. [order] positions the handler among those already
+    added (lower runs first; default: after all). [payload_words] sizes the
+    window events are copied into (default 2048). *)
+
+val remove_handler : t -> Kernel.t -> int -> unit
+
+val dispatch : t -> Kernel.t -> payload:int array -> unit
+(** Deliver one event: spawn one worker process per live handler (in
+    order), each running its handler inside a fresh transaction. Handler
+    entry convention: r1 = payload address, r2 = payload length. *)
+
+val events_delivered : t -> int
+val handler_failures : t -> int
+val results : t -> (int * int) list
+(** [(handler_id, r0)] pairs from the most recent dispatch, completion
+    order. *)

@@ -1,0 +1,44 @@
+module Cpu = Vino_vm.Cpu
+
+type ctx = {
+  cpu : Cpu.t;
+  txn : Vino_txn.Txn.t option;
+  cred : Cred.t;
+  limits : Vino_txn.Rlimit.t;
+}
+
+type impl = ctx -> Cpu.kstatus
+type fn = { id : int; name : string; callable : bool; impl : impl }
+
+type registry = {
+  mutable fns : fn list; (* newest first; ids are dense from 0 *)
+  by_name : (string, fn) Hashtbl.t;
+  by_id : (int, fn) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create () =
+  { fns = []; by_name = Hashtbl.create 32; by_id = Hashtbl.create 32;
+    next_id = 0 }
+
+let register r ~name ?(callable = true) impl =
+  if Hashtbl.mem r.by_name name then
+    invalid_arg (Printf.sprintf "Kcall.register: duplicate function %S" name);
+  let fn = { id = r.next_id; name; callable; impl } in
+  r.next_id <- r.next_id + 1;
+  r.fns <- fn :: r.fns;
+  Hashtbl.replace r.by_name name fn;
+  Hashtbl.replace r.by_id fn.id fn;
+  fn
+
+let find r id = Hashtbl.find_opt r.by_id id
+let find_by_name r name = Hashtbl.find_opt r.by_name name
+
+let callable_ids r =
+  r.fns |> List.filter (fun f -> f.callable) |> List.rev_map (fun f -> f.id)
+
+let names r = List.rev_map (fun f -> f.name) r.fns
+let arg cpu k = Cpu.reg cpu (1 + k)
+let return cpu v = Cpu.set_reg cpu 0 v
+let ok = Cpu.K_ok
+let abort reason = Cpu.K_abort reason

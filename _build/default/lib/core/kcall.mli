@@ -1,0 +1,50 @@
+(** Registry of kernel functions reachable from grafts.
+
+    VINO kernel developers maintain a list of graft-callable functions
+    (§3.3). Every registered function has an id (what [Kcall]/[Kcallr]
+    instructions name) and a [callable] flag: functions that return private
+    data, change state unrecoverably (e.g. [shutdown]) or are otherwise off
+    the list are registered with [callable = false] so the linker, the
+    run-time call table and the dispatcher all reject them (Rules 4, 6, 7).
+
+    Implementations receive a {!ctx}: the graft's CPU state (to read
+    argument registers and write results), the invocation's transaction (so
+    accessor functions can push undo records) and the credentials the graft
+    runs with (so they can perform the same permission checks system calls
+    do). Kernel-side work should be charged to the engine clock with
+    {!Vino_sim.Engine.delay}. *)
+
+type ctx = {
+  cpu : Vino_vm.Cpu.t;
+  txn : Vino_txn.Txn.t option;
+  cred : Cred.t;
+  limits : Vino_txn.Rlimit.t;  (** effective limits (the graft's, §3.2) *)
+}
+
+type impl = ctx -> Vino_vm.Cpu.kstatus
+
+type fn = private { id : int; name : string; callable : bool; impl : impl }
+
+type registry
+
+val create : unit -> registry
+
+val register : registry -> name:string -> ?callable:bool -> impl -> fn
+(** [callable] defaults to [true].
+    @raise Invalid_argument on duplicate names. *)
+
+val find : registry -> int -> fn option
+val find_by_name : registry -> string -> fn option
+val callable_ids : registry -> int list
+val names : registry -> string list
+
+(* Argument/result register conventions. *)
+
+val arg : Vino_vm.Cpu.t -> int -> int
+(** [arg cpu k] reads argument [k] (0-based, registers r1..r4). *)
+
+val return : Vino_vm.Cpu.t -> int -> unit
+(** Write the function result into r0. *)
+
+val ok : Vino_vm.Cpu.kstatus
+val abort : string -> Vino_vm.Cpu.kstatus

@@ -1,0 +1,55 @@
+module Engine = Vino_sim.Engine
+module Tick = Vino_sim.Tick
+
+type t = {
+  engine : Engine.t;
+  wheel : Tick.t;
+  mem : Vino_vm.Mem.t;
+  txn_mgr : Vino_txn.Txn.mgr;
+  registry : Kcall.registry;
+  calltable : Calltable.t;
+  segalloc : Segalloc.t;
+  key : string;
+  vm_costs : Vino_vm.Costs.t;
+  costs : Vino_txn.Tcosts.t;
+  audit : Audit.t;
+}
+
+let default_key = "vino-misfit-toolchain"
+
+let create ?(mem_words = 1 lsl 20) ?tick ?(key = default_key)
+    ?(vm_costs = Vino_vm.Costs.default) ?(costs = Vino_txn.Tcosts.default) () =
+  let engine = Engine.create () in
+  let wheel = Tick.create engine ?tick () in
+  {
+    engine;
+    wheel;
+    mem = Vino_vm.Mem.create mem_words;
+    txn_mgr = Vino_txn.Txn.create_mgr engine ~wheel ~costs ();
+    registry = Kcall.create ();
+    calltable = Calltable.create ();
+    (* the lower half of memory is kernel-reserved; graft segments are
+       carved from the upper half, so no graft segment can cover kernel
+       data *)
+    segalloc = Segalloc.create ~base:(mem_words / 2) ~size:(mem_words / 2);
+    key;
+    vm_costs;
+    costs;
+    audit = Audit.create ();
+  }
+
+let register_kcall t ~name ?callable impl =
+  let fn = Kcall.register t.registry ~name ?callable impl in
+  if fn.Kcall.callable then Calltable.add t.calltable fn.Kcall.id;
+  fn
+
+let seal ?optimize t obj = Vino_misfit.Image.seal ?optimize ~key:t.key obj
+let seal_unsafe t obj = Vino_misfit.Image.seal_unsafe ~key:t.key obj
+let run ?until t = Engine.run ?until t.engine
+let now_us t = Engine.now_us t.engine
+
+let audit_event t event = Audit.record t.audit ~now_us:(now_us t) event
+
+let make_lock t ?policy ?timeout ~name () =
+  Vino_txn.Lock.create t.engine ~wheel:t.wheel ~costs:t.costs ?policy ?timeout
+    ~name ()

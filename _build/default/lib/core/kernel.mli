@@ -1,0 +1,60 @@
+(** The VINO kernel object: engine, memory, transaction manager, the
+    graft-callable function registry and call table, and the signing key the
+    dynamic linker verifies images against.
+
+    Subsystems (file system, virtual memory, scheduler, network) are built
+    on top of this record: they register their graft-callable accessor
+    functions here and create graft points in the {!Namespace}. *)
+
+type t = {
+  engine : Vino_sim.Engine.t;
+  wheel : Vino_sim.Tick.t;
+  mem : Vino_vm.Mem.t;  (** physical memory backing graft segments *)
+  txn_mgr : Vino_txn.Txn.mgr;
+  registry : Kcall.registry;
+  calltable : Calltable.t;  (** runtime hash of callable ids (§3.3) *)
+  segalloc : Segalloc.t;
+  key : string;  (** trusted toolchain signing key *)
+  vm_costs : Vino_vm.Costs.t;
+  costs : Vino_txn.Tcosts.t;
+  audit : Audit.t;  (** trail of graft security events *)
+}
+
+val create :
+  ?mem_words:int ->
+  ?tick:int ->
+  ?key:string ->
+  ?vm_costs:Vino_vm.Costs.t ->
+  ?costs:Vino_txn.Tcosts.t ->
+  unit ->
+  t
+(** A fresh kernel with [mem_words] (default 2^20) of graft memory and the
+    standard 10 ms timeout tick. *)
+
+val register_kcall :
+  t -> name:string -> ?callable:bool -> Kcall.impl -> Kcall.fn
+(** Register a kernel function and, when callable, enter it in the runtime
+    call table. *)
+
+val seal :
+  ?optimize:bool -> t -> Vino_vm.Asm.obj -> (Vino_misfit.Image.t, string) result
+(** Run the toolchain (MiSFIT + signing) with this kernel's key. *)
+
+val seal_unsafe : t -> Vino_vm.Asm.obj -> Vino_misfit.Image.t
+(** Sign without SFI — measurement configurations only. *)
+
+val run : ?until:int -> t -> unit
+(** Drive the simulation. *)
+
+val now_us : t -> float
+
+val audit_event : t -> Audit.event -> unit
+(** Record a security event at the current virtual time. *)
+
+val make_lock :
+  t ->
+  ?policy:Vino_txn.Lock_policy.t ->
+  ?timeout:int ->
+  name:string ->
+  unit ->
+  Vino_txn.Lock.t

@@ -1,0 +1,51 @@
+module Insn = Vino_vm.Insn
+module Image = Vino_misfit.Image
+
+type loaded = { code : Insn.t array; seg : Vino_vm.Mem.segment }
+
+let resolve_reloc kernel (r : Vino_vm.Asm.reloc) =
+  match Kcall.find_by_name kernel.Kernel.registry r.name with
+  | None -> Error (Printf.sprintf "unresolved kernel function %S" r.name)
+  | Some fn when not fn.Kcall.callable ->
+      Error (Printf.sprintf "function %S is not graft-callable" r.name)
+  | Some fn -> Ok fn.Kcall.id
+
+let check_direct_ids kernel code =
+  let bad = ref None in
+  Array.iter
+    (fun i ->
+      match i with
+      | Insn.Kcall id when id >= 0 && !bad = None -> (
+          match Kcall.find kernel.Kernel.registry id with
+          | Some fn when fn.Kcall.callable -> ()
+          | Some fn ->
+              bad :=
+                Some
+                  (Printf.sprintf "function %S (id %d) is not graft-callable"
+                     fn.Kcall.name id)
+          | None -> bad := Some (Printf.sprintf "unknown function id %d" id))
+      | _ -> ())
+    code;
+  match !bad with None -> Ok () | Some e -> Error e
+
+let load kernel ~words (image : Image.t) =
+  if not (Image.verify ~key:kernel.Kernel.key image) then
+    Error "signature verification failed: code was not processed by MiSFIT"
+  else
+    let code = Array.copy image.code in
+    let rec patch = function
+      | [] -> Ok ()
+      | r :: rest -> (
+          match resolve_reloc kernel r with
+          | Error _ as e -> e
+          | Ok id ->
+              code.(r.Vino_vm.Asm.index) <- Insn.Kcall id;
+              patch rest)
+    in
+    Result.bind (patch image.relocs) @@ fun () ->
+    Result.bind (check_direct_ids kernel code) @@ fun () ->
+    match Segalloc.alloc kernel.Kernel.segalloc words with
+    | Error `No_memory -> Error "out of graft memory"
+    | Ok seg -> Ok { code; seg }
+
+let unload kernel loaded = Segalloc.free kernel.Kernel.segalloc loaded.seg

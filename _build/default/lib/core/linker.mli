@@ -1,0 +1,25 @@
+(** The dynamic linker (§3.3, §3.4).
+
+    Loading a graft image performs the static half of VINO's protection:
+
+    - recompute the image checksum and compare it with the saved signature —
+      code not processed by the trusted toolchain never enters the kernel
+      (Rule 6);
+    - resolve every named kernel-call relocation against the registry and
+      reject any target that is missing or not on the graft-callable list
+      (Rules 4 and 7) — direct calls are checked here, once, at link time;
+    - check any raw function ids embedded in the code the same way;
+    - allocate the graft's segment (heap + stack + shared window) from
+      kernel memory.
+
+    Indirect calls cannot be checked statically; MiSFIT's [Checkcall]
+    instructions handle those at run time against {!Calltable}. *)
+
+type loaded = { code : Vino_vm.Insn.t array; seg : Vino_vm.Mem.segment }
+
+val load :
+  Kernel.t -> words:int -> Vino_misfit.Image.t -> (loaded, string) result
+(** [words] is the requested segment size (rounded up to a power of two). *)
+
+val unload : Kernel.t -> loaded -> unit
+(** Return the graft's segment to the allocator. *)

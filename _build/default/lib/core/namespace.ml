@@ -1,0 +1,55 @@
+type kind = Function_point | Event_point
+
+type handle = {
+  hname : string;
+  kind : kind;
+  hrestricted : bool;
+  grafted : unit -> bool;
+  install :
+    Cred.t ->
+    ?limits:Vino_txn.Rlimit.t ->
+    Vino_misfit.Image.t ->
+    (unit, string) result;
+  uninstall : unit -> unit;
+}
+
+type t = { table : (string, handle) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+let register t h =
+  if Hashtbl.mem t.table h.hname then
+    invalid_arg
+      (Printf.sprintf "Namespace.register: duplicate graft point %S" h.hname);
+  Hashtbl.replace t.table h.hname h
+
+let unregister t name = Hashtbl.remove t.table name
+let lookup t name = Hashtbl.find_opt t.table name
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.table []
+  |> List.sort compare
+
+let of_function_point point kernel ?(shared_words = 0) () =
+  {
+    hname = Graft_point.name point;
+    kind = Function_point;
+    hrestricted = Graft_point.restricted point;
+    grafted = (fun () -> Graft_point.grafted point);
+    install =
+      (fun cred ?limits image ->
+        Graft_point.replace point kernel ~cred ~shared_words ?limits image);
+    uninstall = (fun () -> Graft_point.remove point kernel);
+  }
+
+let of_event_point point kernel =
+  {
+    hname = Event_point.name point;
+    kind = Event_point;
+    hrestricted = false;
+    grafted = (fun () -> Event_point.handler_count point > 0);
+    install =
+      (fun cred ?limits image ->
+        Result.map ignore (Event_point.add_handler point kernel ~cred ?limits image));
+    uninstall = (fun () -> ());
+  }

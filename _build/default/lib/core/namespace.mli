@@ -1,0 +1,41 @@
+(** The kernel-maintained graft namespace (§3.4).
+
+    Applications obtain a handle for a graft point by looking up its name —
+    composed of the object being grafted and the function being replaced
+    (e.g. ["openfile42.compute-ra"]) — and install through the handle, as in
+    Figure 1. Handles are uniform over function and event graft points. *)
+
+type kind = Function_point | Event_point
+
+type handle = {
+  hname : string;
+  kind : kind;
+  hrestricted : bool;
+  grafted : unit -> bool;
+  install :
+    Cred.t ->
+    ?limits:Vino_txn.Rlimit.t ->
+    Vino_misfit.Image.t ->
+    (unit, string) result;
+  uninstall : unit -> unit;
+}
+
+type t
+
+val create : unit -> t
+
+val register : t -> handle -> unit
+(** @raise Invalid_argument on duplicate names. *)
+
+val unregister : t -> string -> unit
+val lookup : t -> string -> handle option
+val names : t -> string list
+
+val of_function_point :
+  ('a, 'b) Graft_point.t ->
+  Kernel.t ->
+  ?shared_words:int ->
+  unit ->
+  handle
+
+val of_event_point : Event_point.t -> Kernel.t -> handle

@@ -1,0 +1,24 @@
+(** Buddy allocator for graft segments.
+
+    Each graft receives its own heap and stack (§2) inside one power-of-two
+    sized, size-aligned segment of kernel memory, which is exactly the
+    invariant {!Vino_vm.Mem.segment} requires for mask+or sandboxing. A
+    buddy allocator hands out such segments and coalesces them on free. *)
+
+type t
+
+val create : base:int -> size:int -> t
+(** Manage [size] words starting at [base]; both must make [base..base+size]
+    splittable into aligned power-of-two blocks ([size] a power of two,
+    [base] a multiple of [size]). *)
+
+val alloc : t -> int -> (Vino_vm.Mem.segment, [ `No_memory ]) result
+(** [alloc t words] returns a segment of at least [words] words (rounded up
+    to a power of two, minimum 8). *)
+
+val free : t -> Vino_vm.Mem.segment -> unit
+(** Return a segment; buddies coalesce. @raise Invalid_argument if the
+    segment was not allocated from this allocator. *)
+
+val free_words : t -> int
+val used_words : t -> int

@@ -1,0 +1,53 @@
+module Cpu = Vino_vm.Cpu
+module Engine = Vino_sim.Engine
+module Txn = Vino_txn.Txn
+
+let env kernel ~txn ~cred ~limits =
+  let kcall id cpu =
+    match Kcall.find kernel.Kernel.registry id with
+    | None -> Cpu.K_fault (Cpu.Bad_kcall id)
+    | Some fn when not fn.Kcall.callable -> Cpu.K_fault (Cpu.Bad_kcall id)
+    | Some fn -> fn.Kcall.impl { Kcall.cpu; txn; cred; limits }
+  in
+  let call_ok id = Calltable.mem kernel.Kernel.calltable id in
+  let poll =
+    match txn with Some t -> Txn.poll t | None -> fun () -> None
+  in
+  { Cpu.kcall; call_ok; poll }
+
+let default_slice = 10_000
+let default_budget = 1_000_000_000
+
+let exec kernel ~txn ~cred ~limits ~seg ~code ?(slice = default_slice)
+    ?(budget = default_budget) ~setup () =
+  let cpu =
+    Cpu.make ~mem:kernel.Kernel.mem ~seg ~costs:kernel.Kernel.vm_costs ()
+  in
+  setup cpu;
+  let e = env kernel ~txn:(Some txn) ~cred ~limits in
+  let synced = ref 0 in
+  let sync () =
+    let consumed = Cpu.cycles cpu in
+    if consumed > !synced then begin
+      Engine.delay (consumed - !synced);
+      synced := consumed
+    end
+  in
+  let rec go () =
+    Cpu.refuel cpu slice;
+    let outcome = Cpu.run e cpu code in
+    sync ();
+    match outcome with
+    | Cpu.Out_of_fuel ->
+        if Cpu.cycles cpu >= budget then (cpu, Cpu.Out_of_fuel)
+        else begin
+          (* end of a preemption slice: honour any pending abort *)
+          match Txn.poll txn () with
+          | Some reason -> (cpu, Cpu.Aborted reason)
+          | None -> go ()
+        end
+    | (Cpu.Halted | Cpu.Faulted _ | Cpu.Aborted _) as final -> (cpu, final)
+  in
+  (* expose this invocation's transaction so graft points reached
+     indirectly (through kernel calls) nest under it (§3.1) *)
+  Txn.with_current kernel.Kernel.txn_mgr txn go

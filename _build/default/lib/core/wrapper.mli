@@ -1,0 +1,37 @@
+(** Sliced, transactional execution of graft code.
+
+    The wrapper runs a graft invocation on the graft VM in preemptible
+    slices: after each slice the consumed cycles are charged to the virtual
+    clock (so lock time-outs, watchdogs and other kernel activity interleave
+    with graft execution exactly as a preemptible kernel interleaves with a
+    running thread), and the transaction's abort flag is polled. An
+    invocation also carries a total CPU budget, beyond which it is cut off
+    like any runaway thread (Rule 1/2). *)
+
+val env :
+  Kernel.t ->
+  txn:Vino_txn.Txn.t option ->
+  cred:Cred.t ->
+  limits:Vino_txn.Rlimit.t ->
+  Vino_vm.Cpu.env
+(** The kernel-call/checkcall/poll environment a graft executes under. The
+    dispatcher refuses ids that are absent or not graft-callable; [call_ok]
+    probes the runtime call table. *)
+
+val default_slice : int
+val default_budget : int
+
+val exec :
+  Kernel.t ->
+  txn:Vino_txn.Txn.t ->
+  cred:Cred.t ->
+  limits:Vino_txn.Rlimit.t ->
+  seg:Vino_vm.Mem.segment ->
+  code:Vino_vm.Insn.t array ->
+  ?slice:int ->
+  ?budget:int ->
+  setup:(Vino_vm.Cpu.t -> unit) ->
+  unit ->
+  Vino_vm.Cpu.t * Vino_vm.Cpu.outcome
+(** Must run inside an engine process. Advances the virtual clock by every
+    cycle the graft consumes. *)

@@ -1,0 +1,1 @@
+lib/fs/cache.ml: Hashtbl List

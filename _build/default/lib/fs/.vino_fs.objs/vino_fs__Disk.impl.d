@@ -1,0 +1,1 @@
+lib/fs/disk.ml: List Vino_sim Vino_vm

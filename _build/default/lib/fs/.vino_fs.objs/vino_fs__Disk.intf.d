@@ -1,0 +1,1 @@
+lib/fs/disk.mli: Vino_sim

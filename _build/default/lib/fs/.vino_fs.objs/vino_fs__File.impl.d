@@ -1,0 +1,1 @@
+lib/fs/file.ml: Cache Disk List Prefetch Printf Syncer Vino_core Vino_sim Vino_txn Vino_vm

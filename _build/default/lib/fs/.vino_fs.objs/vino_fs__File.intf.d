@@ -1,0 +1,1 @@
+lib/fs/file.mli: Cache Disk Prefetch Syncer Vino_core

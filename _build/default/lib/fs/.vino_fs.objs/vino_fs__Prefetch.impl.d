@@ -1,0 +1,1 @@
+lib/fs/prefetch.ml: Cache Disk List Vino_sim

@@ -1,0 +1,1 @@
+lib/fs/prefetch.mli: Cache Disk Vino_sim

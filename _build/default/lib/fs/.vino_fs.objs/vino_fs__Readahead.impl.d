@@ -1,0 +1,1 @@
+lib/fs/readahead.ml: Vino_core Vino_vm

@@ -1,0 +1,1 @@
+lib/fs/readahead.mli: File Vino_core Vino_vm

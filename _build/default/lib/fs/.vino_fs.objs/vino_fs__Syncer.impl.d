@@ -1,0 +1,1 @@
+lib/fs/syncer.ml: Cache Disk List Vino_core Vino_sim Vino_vm

@@ -1,0 +1,1 @@
+lib/fs/syncer.mli: Cache Disk Vino_core Vino_vm

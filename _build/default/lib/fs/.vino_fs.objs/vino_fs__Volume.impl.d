@@ -1,0 +1,1 @@
+lib/fs/volume.ml: Bytes Cache Disk File Hashtbl List Printf Syncer Vino_core Vino_sim Vino_txn

@@ -1,0 +1,1 @@
+lib/fs/volume.mli: Cache Disk File Syncer Vino_core

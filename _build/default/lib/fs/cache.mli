@@ -1,0 +1,42 @@
+(** LRU block cache (the file buffer cache).
+
+    Tracks which disk blocks are resident, in strict LRU order. Read-ahead
+    fills it asynchronously; the hit/miss counters drive the read-ahead
+    cost/benefit experiments. *)
+
+type t
+
+val create : capacity:int -> unit -> t
+val capacity : t -> int
+val length : t -> int
+
+val lookup : t -> int -> bool
+(** Membership test that refreshes recency and counts a hit or miss. *)
+
+val mem : t -> int -> bool
+(** Membership without side effects. *)
+
+type evicted = { block : int; dirty : bool }
+
+val insert : t -> ?dirty:bool -> int -> evicted option
+(** Make a block resident; returns the evicted LRU block when full (the
+    caller must write it back if dirty). Inserting a resident block
+    refreshes it (and marks it dirty if [dirty]). *)
+
+val mark_dirty : t -> int -> unit
+(** No-op if the block is not resident. *)
+
+val is_dirty : t -> int -> bool
+
+(** Dirty blocks in dirtied (FIFO/aging) order, oldest first: *)
+val dirty_blocks : t -> int list
+val clean : t -> int -> unit
+(** Mark a block written back. *)
+
+val remove : t -> int -> unit
+
+val lru_order : t -> int list
+(** Least-recently-used first (for tests). *)
+
+val hits : t -> int
+val misses : t -> int

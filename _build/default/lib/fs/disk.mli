@@ -1,0 +1,49 @@
+(** Simulated disk, modelled on the paper's test platform drive (a 5400 RPM
+    Fujitsu M2694ESA with ~9.5 ms average seek, 1080 MB formatted capacity
+    and a 64 KB buffer).
+
+    Requests are served by a disk process in FIFO order (an elevator
+    variant is available as an ablation). Service time is seek + rotation +
+    transfer for a random access, transfer-only for a sequential one (track
+    buffer). The default random service time is ~16 ms, matching the
+    paper's "benefit of avoiding a page fault is approximately 18 ms". *)
+
+type geometry = {
+  min_seek_us : float;  (** track-to-track *)
+  avg_seek_us : float;  (** at half-stroke; the profile grows as sqrt *)
+  avg_rotation_us : float;  (** half a revolution at 5400 RPM: ~5.6 ms *)
+  transfer_us_per_block : float;  (** one 4 KB block *)
+  blocks : int;
+}
+
+val default_geometry : geometry
+
+type scheduling = Fifo | Elevator
+
+type t
+
+val create :
+  Vino_sim.Engine.t -> ?geometry:geometry -> ?scheduling:scheduling -> unit -> t
+
+type kind = Read | Write
+
+val submit : t -> kind -> block:int -> on_complete:(unit -> unit) -> unit
+(** Enqueue a request; the callback runs (in the disk process) when it
+    completes. *)
+
+val read : t -> block:int -> unit
+(** Blocking read: submit and wait. Must run inside an engine process. *)
+
+val write : t -> block:int -> unit
+
+val service_time : t -> block:int -> int
+(** Cycles the next request for [block] would take, given the current head
+    position (exposed for tests). *)
+
+(* Statistics. *)
+
+val requests_served : t -> int
+val writes_served : t -> int
+val sequential_hits : t -> int
+val busy_cycles : t -> int
+val queue_depth : t -> int

@@ -1,0 +1,65 @@
+(** Open-file objects and the read-ahead graft point (§4.1).
+
+    Application file descriptors are handles for kernel open-file objects;
+    each read calls the object's [compute-ra] method to decide which (if
+    any) additional file blocks to prefetch. The default policy prefetches
+    only on sequential access. Applications override it by grafting a new
+    [compute-ra] onto their open file — typically driven by an access
+    pattern the application writes into a buffer shared with the graft,
+    guarded by a lock (the 33 us "lock overhead" line of Table 3). *)
+
+type ra_request = {
+  offset_block : int;  (** block of the current read (file-relative) *)
+  size_blocks : int;
+  last_block : int;  (** previous read's block, -1 initially *)
+  file_blocks : int;
+}
+
+val max_extents : int
+(** Upper bound on blocks one [compute-ra] decision may request. *)
+
+type t
+
+val openf :
+  kernel:Vino_core.Kernel.t ->
+  cache:Cache.t ->
+  disk:Disk.t ->
+  name:string ->
+  first_block:int ->
+  blocks:int ->
+  ?ra_window:int ->
+  unit ->
+  t
+(** [first_block]/[blocks] place the file contiguously on disk.
+    [ra_window] is the default sequential-read-ahead depth (default 1).
+    Registers the graft-callable function ["ra.lock:<name>"] that grafts
+    use to lock the shared pattern buffer. *)
+
+val name : t -> string
+val blocks : t -> int
+val ra_point : t -> (ra_request, int list) Vino_core.Graft_point.t
+val ra_lock_name : t -> string
+val prefetcher : t -> Prefetch.t
+
+val read : t -> cred:Vino_core.Cred.t -> block:int -> [ `Hit | `Miss ]
+(** Blocking read of one file block (must run inside an engine process):
+    consult the cache, go to disk on a miss, then run [compute-ra] and
+    queue its decision on the prefetch queue. Dirty blocks pushed off the
+    LRU end are written back. *)
+
+val write : t -> cred:Vino_core.Cred.t -> block:int -> unit
+(** Whole-block write-allocate: the block becomes resident and dirty. The
+    attached syncer (or LRU eviction) carries it to disk. *)
+
+val attach_syncer : t -> Syncer.t -> unit
+(** Let writes kick the write-back daemon past its threshold. *)
+
+val reads : t -> int
+val writes : t -> int
+val cache_hits : t -> int
+
+(** Dirty blocks written back because eviction pushed them out: *)
+val writebacks : t -> int
+val stall_cycles : t -> int
+(** Total cycles spent blocked on disk for demand reads — the quantity
+    read-ahead grafting exists to reduce. *)

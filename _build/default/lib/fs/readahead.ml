@@ -1,0 +1,38 @@
+module Asm = Vino_vm.Asm
+module Mem = Vino_vm.Mem
+module Graft_point = Vino_core.Graft_point
+
+let pattern_slot = 0
+
+let extent_slot = 8
+
+let app_directed_source ~lock_kcall : Asm.item list =
+  [
+    (* lock the shared pattern buffer; released when the invocation's
+       transaction commits (two-phase locking) *)
+    Kcall lock_kcall;
+    (* load the application's announced next block from the shared window
+       (r4 = window address, passed by the kernel: the code is position
+       independent, so it runs identically with and without SFI) *)
+    Ld (Asm.r6, Asm.r4, pattern_slot);
+    (* nothing announced? *)
+    Li (Asm.r7, 0);
+    Br (Vino_vm.Insn.Lt, Asm.r6, Asm.r7, "none");
+    (* emit a one-extent decision *)
+    Alui (Vino_vm.Insn.Add, Asm.r8, Asm.r4, extent_slot);
+    St (Asm.r6, Asm.r8, 0);
+    Li (Asm.r0, 1);
+    Mov (Asm.r1, Asm.r8);
+    Ret;
+    Label "none";
+    Li (Asm.r0, 0);
+    Ret;
+  ]
+
+let null_source : Asm.item list = [ Li (Asm.r0, 0); Ret ]
+
+let announce kernel point block =
+  match Graft_point.shared_base point with
+  | None -> ()
+  | Some base ->
+      Mem.store kernel.Vino_core.Kernel.mem (base + pattern_slot) block

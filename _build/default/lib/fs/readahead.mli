@@ -1,0 +1,32 @@
+(** Read-ahead graft sources (§4.1.2-4.1.3).
+
+    The application-directed policy: a buffer shared between the
+    application and the graft carries the application's anticipated access
+    pattern — each time the application issues a read it also places the
+    location of its *next* read in the shared buffer — and the grafted
+    [compute-ra] turns that into prefetch requests. *)
+
+val pattern_slot : int
+(** Word 0 of the shared window holds the next block (-1 = none). *)
+
+val extent_slot : int
+(** Shared-window word where the graft writes its decision. *)
+
+val app_directed_source : lock_kcall:string -> Vino_vm.Asm.item list
+(** Graft source: acquire the pattern-buffer lock (through the named
+    graft-callable function), load the next block from the shared window
+    (whose address the kernel passes in r4), and return it as a one-extent
+    prefetch decision (count in r0, extent array address in r1). The code
+    is position independent so it behaves identically with and without
+    SFI. *)
+
+val null_source : Vino_vm.Asm.item list
+(** The minimal graft: no prefetch. Used for the null-path measurements. *)
+
+val announce :
+  Vino_core.Kernel.t ->
+  (File.ra_request, int list) Vino_core.Graft_point.t ->
+  int ->
+  unit
+(** The application side of the protocol: write the next intended block
+    into the graft's shared window (no-op if the point is not grafted). *)

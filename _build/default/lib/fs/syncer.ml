@@ -1,0 +1,162 @@
+module Cpu = Vino_vm.Cpu
+module Mem = Vino_vm.Mem
+module Asm = Vino_vm.Asm
+module Engine = Vino_sim.Engine
+module Waitq = Vino_sim.Waitq
+module Kernel = Vino_core.Kernel
+module Graft_point = Vino_core.Graft_point
+
+type flush_request = { dirty : int list; last_flushed : int }
+
+type t = {
+  kernel : Kernel.t;
+  cache : Cache.t;
+  disk : Disk.t;
+  threshold : int;
+  wakeup : Waitq.t;
+  point : (flush_request, int) Graft_point.t;
+  mutable last : int;
+  mutable order : int list; (* newest first *)
+  mutable n_flushed : int;
+  mutable running : bool;
+}
+
+let list_area = 64
+let max_listed = 512
+
+let setup kernel cpu req =
+  let seg = Cpu.segment cpu in
+  let listed = List.filteri (fun k _ -> k < max_listed) req.dirty in
+  List.iteri
+    (fun k b ->
+      Mem.store kernel.Kernel.mem (Mem.sandbox seg (list_area + k)) b)
+    listed;
+  Cpu.set_reg cpu 2 (seg.Mem.base + list_area);
+  Cpu.set_reg cpu 3 (List.length listed);
+  Cpu.set_reg cpu 4 req.last_flushed
+
+(* Pick the next buffer to write: the graft may reorder; the kernel then
+   verifies the choice is genuinely dirty. *)
+let choose t req =
+  let choice = Graft_point.invoke t.point t.kernel ~cred:Vino_core.Cred.root req in
+  if List.mem choice req.dirty then choice
+  else
+    match req.dirty with b :: _ -> b | [] -> invalid_arg "Syncer.choose"
+
+(* Flush everything dirty right now; returns how many writes were issued.
+   Blocks are cleaned immediately (the write is in flight: a re-dirty
+   before completion will simply be flushed again later). *)
+let flush t ~on_complete =
+  let rec go issued =
+    match Cache.dirty_blocks t.cache with
+    | [] -> issued
+    | dirty ->
+        let block = choose t { dirty; last_flushed = t.last } in
+        (* the policy may have yielded (graft execution): another flusher
+           can have taken the block meanwhile — re-validate *)
+        if not (Cache.is_dirty t.cache block) then go issued
+        else begin
+          Cache.clean t.cache block;
+          t.last <- block;
+          t.order <- block :: t.order;
+          Disk.submit t.disk Disk.Write ~block ~on_complete:(fun () ->
+              t.n_flushed <- t.n_flushed + 1;
+              on_complete ());
+          go (issued + 1)
+        end
+  in
+  go 0
+
+let rec daemon t () =
+  if t.running then begin
+    ignore (flush t ~on_complete:(fun () -> ()));
+    Waitq.wait t.wakeup;
+    daemon t ()
+  end
+
+let create kernel ~cache ~disk ?(threshold = 32) () =
+  let point =
+    Graft_point.create ~name:"syncer.choose-flush"
+      ~default:(fun req ->
+        match req.dirty with
+        | b :: _ -> b
+        | [] -> invalid_arg "choose-flush: nothing dirty")
+      ~setup:(setup kernel)
+      ~read_result:(fun cpu _ -> Ok (Cpu.reg cpu 0))
+      ()
+  in
+  let t =
+    {
+      kernel;
+      cache;
+      disk;
+      threshold;
+      wakeup = Waitq.create kernel.Kernel.engine;
+      point;
+      last = -1;
+      order = [];
+      n_flushed = 0;
+      running = true;
+    }
+  in
+  ignore
+    (Engine.spawn kernel.Kernel.engine ~name:"syncer" (fun () -> daemon t ()));
+  t
+
+let flush_point t = t.point
+let kick t = ignore (Waitq.signal t.wakeup)
+
+let note_write t =
+  if List.length (Cache.dirty_blocks t.cache) >= t.threshold then kick t
+
+let sync t =
+  (* flush in normal process context (the flush policy may be a graft and
+     performs engine effects), then wait for the disk confirmations *)
+  let completed = ref 0 in
+  let target = ref max_int in
+  let waker = ref None in
+  let issued =
+    flush t ~on_complete:(fun () ->
+        incr completed;
+        if !completed >= !target then
+          match !waker with Some wake -> wake () | None -> ())
+  in
+  target := issued;
+  if !completed < issued then
+    Engine.suspend (fun wake -> waker := Some wake)
+
+let flushed t = t.n_flushed
+let flush_order t = List.rev t.order
+
+let stop t =
+  t.running <- false;
+  kick t
+
+(* r5 = loop index, r6 = best block, r7 = best distance, r8/r9/r10 scratch *)
+let nearest_first_source : Asm.item list =
+  let open Vino_vm.Insn in
+  [
+    Li (Asm.r5, 0);
+    Li (Asm.r6, -1);
+    Li (Asm.r7, max_int);
+    Label "scan";
+    Br (Ge, Asm.r5, Asm.r3, "done");
+    Alu (Add, Asm.r8, Asm.r2, Asm.r5);
+    Ld (Asm.r9, Asm.r8, 0);
+    (* distance = |block - last| *)
+    Alu (Sub, Asm.r10, Asm.r9, Asm.r4);
+    Li (Asm.r11, 0);
+    Br (Ge, Asm.r10, Asm.r11, "abs_done");
+    Li (Asm.r11, -1);
+    Alu (Mul, Asm.r10, Asm.r10, Asm.r11);
+    Label "abs_done";
+    Br (Ge, Asm.r10, Asm.r7, "next");
+    Mov (Asm.r6, Asm.r9);
+    Mov (Asm.r7, Asm.r10);
+    Label "next";
+    Alui (Add, Asm.r5, Asm.r5, 1);
+    Jmp "scan";
+    Label "done";
+    Mov (Asm.r0, Asm.r6);
+    Ret;
+  ]

@@ -1,0 +1,58 @@
+(** The write-back daemon, with a graftable flush-order policy.
+
+    Dirty blocks accumulate in the cache ({!File.write} marks them); the
+    syncer flushes them to disk — when kicked, when the dirty count passes
+    its threshold, or synchronously via {!sync}. Together with write-back
+    on LRU eviction this gives the buffer cache a complete write path.
+
+    "A Prioritization Graft chooses a candidate from a set such as
+    selecting a process to schedule, a page to evict, or a buffer to
+    flush" (§4): {!flush_point} is that third graft point. Each flush
+    round the policy is given the dirty set and the last block written and
+    picks the next buffer; the kernel verifies the choice is actually
+    dirty before using it. *)
+
+type flush_request = {
+  dirty : int list;  (** current dirty blocks, oldest-dirtied first *)
+  last_flushed : int;  (** last block written (-1 initially) *)
+}
+
+type t
+
+val create :
+  Vino_core.Kernel.t ->
+  cache:Cache.t ->
+  disk:Disk.t ->
+  ?threshold:int ->
+  unit ->
+  t
+(** [threshold] (default 32) is the dirty-block count beyond which
+    {!note_write} wakes the daemon on its own. *)
+
+val flush_point : t -> (flush_request, int) Vino_core.Graft_point.t
+(** Returns the next block to flush; the default takes the dirty list in
+    aging (dirtied-first) order, like a conventional syncer. *)
+
+val kick : t -> unit
+(** Wake the daemon to flush everything currently dirty. *)
+
+val note_write : t -> unit
+(** Called by the write path; kicks the daemon past the threshold. *)
+
+val sync : t -> unit
+(** Flush all dirty blocks and wait for the disk to confirm them (must run
+    inside an engine process). *)
+
+val flushed : t -> int
+(** Blocks written back by the daemon or {!sync}. *)
+
+val flush_order : t -> int list
+(** The order in which blocks were flushed, oldest first. *)
+
+val stop : t -> unit
+
+val nearest_first_source : Vino_vm.Asm.item list
+(** A flush-policy graft that picks the dirty block closest to the last
+    one written — shortening seeks, like an elevator in graft form. Entry:
+    r2 = dirty-list address, r3 = count, r4 = last flushed block; returns
+    the chosen block in r0. *)

@@ -1,0 +1,1 @@
+lib/measure/abort_model.ml: List Printf Probe Sc_crypt Sc_evict Sc_readahead Sc_sched Table Vino_core Vino_sim Vino_txn Vino_vm

@@ -1,0 +1,1 @@
+lib/measure/abort_model.mli: Table

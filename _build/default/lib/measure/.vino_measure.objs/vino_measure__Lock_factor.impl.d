@@ -1,0 +1,1 @@
+lib/measure/lock_factor.ml: Float List Printf Probe String Table Vino_core Vino_sim Vino_txn Vino_vm

@@ -1,0 +1,1 @@
+lib/measure/lock_factor.mli: Table Vino_txn

@@ -1,0 +1,1 @@
+lib/measure/probe.ml: Printexc Printf Vino_core Vino_sim Vino_vm

@@ -1,0 +1,1 @@
+lib/measure/probe.mli: Vino_core Vino_sim

@@ -1,0 +1,1 @@
+lib/measure/rig.ml: Format Vino_core Vino_sim Vino_txn Vino_vm

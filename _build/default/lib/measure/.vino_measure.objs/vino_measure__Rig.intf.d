@@ -1,0 +1,1 @@
+lib/measure/rig.mli: Vino_core Vino_misfit Vino_txn Vino_vm

@@ -1,0 +1,1 @@
+lib/measure/sc_crypt.ml: Array List Path Probe Rig Table Vino_core Vino_sim Vino_stream Vino_vm

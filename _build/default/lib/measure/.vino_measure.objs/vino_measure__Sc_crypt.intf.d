@@ -1,0 +1,1 @@
+lib/measure/sc_crypt.mli: Path Table Vino_sim

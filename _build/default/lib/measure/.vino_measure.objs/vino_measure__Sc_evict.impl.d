@@ -1,0 +1,1 @@
+lib/measure/sc_evict.ml: List Path Probe Rig Table Vino_core Vino_sim Vino_txn Vino_vm Vino_vmem

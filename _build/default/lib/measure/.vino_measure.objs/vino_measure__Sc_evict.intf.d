@@ -1,0 +1,1 @@
+lib/measure/sc_evict.mli: Path Table Vino_sim

@@ -1,0 +1,1 @@
+lib/measure/sc_readahead.ml: List Path Probe Rig Table Vino_core Vino_fs Vino_sim Vino_vm

@@ -1,0 +1,1 @@
+lib/measure/sc_readahead.mli: Path Table Vino_sim

@@ -1,0 +1,1 @@
+lib/measure/sc_sched.ml: List Path Printf Probe Rig Table Vino_core Vino_sched Vino_sim Vino_txn Vino_vm

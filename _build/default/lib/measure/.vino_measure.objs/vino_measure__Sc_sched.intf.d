@@ -1,0 +1,1 @@
+lib/measure/sc_sched.mli: Path Table Vino_sim

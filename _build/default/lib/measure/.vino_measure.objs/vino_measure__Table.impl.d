@@ -1,0 +1,1 @@
+lib/measure/table.ml: Format List Printf String

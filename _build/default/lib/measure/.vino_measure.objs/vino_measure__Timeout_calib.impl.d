@@ -1,0 +1,1 @@
+lib/measure/timeout_calib.ml: List Printf Table Vino_core Vino_sim Vino_txn Vino_vm

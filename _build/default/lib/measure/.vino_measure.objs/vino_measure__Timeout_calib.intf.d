@@ -1,0 +1,1 @@
+lib/measure/timeout_calib.mli: Table

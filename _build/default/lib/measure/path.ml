@@ -1,0 +1,13 @@
+type t = Base | Vino | Null | Unsafe | Safe | Abort
+
+let all = [ Base; Vino; Null; Unsafe; Safe; Abort ]
+
+let name = function
+  | Base -> "Base path"
+  | Vino -> "VINO path"
+  | Null -> "Null path"
+  | Unsafe -> "Unsafe path"
+  | Safe -> "Safe path"
+  | Abort -> "Abort path"
+
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,13 @@
+(** The six measured code paths of Table 2. *)
+
+type t =
+  | Base  (** graft support and indirection removed *)
+  | Vino  (** normal kernel path: indirection + return-value verification *)
+  | Null  (** graft stubs, transaction begin/commit, minimal graft *)
+  | Unsafe  (** full graft code and lock overhead, no MiSFIT *)
+  | Safe  (** full graft code protected with MiSFIT *)
+  | Abort  (** complete safe path, transaction abort instead of commit *)
+
+val all : t list
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+module Cpu = Vino_vm.Cpu
+module Engine = Vino_sim.Engine
+module Txn = Vino_txn.Txn
+module Kernel = Vino_core.Kernel
+module Linker = Vino_core.Linker
+module Wrapper = Vino_core.Wrapper
+
+type t = {
+  kernel : Kernel.t;
+  loaded : Linker.loaded;
+  cred : Vino_core.Cred.t;
+  limits : Vino_txn.Rlimit.t;
+}
+
+let load kernel ~words image =
+  match Linker.load kernel ~words image with
+  | Ok loaded ->
+      {
+        kernel;
+        loaded;
+        cred = Vino_core.Cred.root;
+        limits = Vino_txn.Rlimit.unlimited ();
+      }
+  | Error e -> failwith ("Rig.load: " ^ e)
+
+let seg_base t = t.loaded.Linker.seg.Vino_vm.Mem.base
+
+type outcome = Committed | Rolled_back | Failed of string
+
+let run t ?(indirection = Vino_txn.Tcosts.us 1.)
+    ?(check_cost = Vino_txn.Tcosts.us 2.) ?(setup = fun _ -> ())
+    ?(check = fun _ -> true) ~commit () =
+  Engine.delay indirection;
+  let txn = Txn.begin_ t.kernel.Kernel.txn_mgr ~name:"rig" () in
+  let cpu, result =
+    Wrapper.exec t.kernel ~txn ~cred:t.cred ~limits:t.limits
+      ~seg:t.loaded.Linker.seg ~code:t.loaded.Linker.code ~setup ()
+  in
+  match result with
+  | Cpu.Halted ->
+      Engine.delay check_cost;
+      if not (check cpu) then begin
+        Txn.abort txn ~reason:"result validation failed";
+        Failed "result validation failed"
+      end
+      else if commit then begin
+        match Txn.commit txn with
+        | Ok () -> Committed
+        | Error reason -> Failed reason
+      end
+      else begin
+        Txn.abort txn ~reason:"measured abort";
+        Rolled_back
+      end
+  | Cpu.Faulted f ->
+      let reason = Format.asprintf "%a" Cpu.pp_fault f in
+      Txn.abort txn ~reason;
+      Failed reason
+  | Cpu.Aborted reason ->
+      if Txn.is_active txn then Txn.abort txn ~reason;
+      Failed reason
+  | Cpu.Out_of_fuel ->
+      Txn.abort txn ~reason:"budget";
+      Failed "budget"
+
+let run_exn t ?setup ~commit () =
+  match run t ?setup ~commit () with
+  | Committed | Rolled_back -> ()
+  | Failed reason -> failwith ("Rig.run_exn: " ^ reason)

@@ -1,0 +1,41 @@
+(** Manual composition of the measured graft paths.
+
+    {!Vino_core.Graft_point} implements the production behaviour (abort ⇒
+    forcibly remove the graft, fall back to the default), which is wrong
+    for measurement: the Abort path must abort the same graft thousands of
+    times. The rig loads a graft once and exposes one invocation with an
+    explicit commit/abort decision, mirroring Table 2's path definitions
+    component by component. *)
+
+type t = {
+  kernel : Vino_core.Kernel.t;
+  loaded : Vino_core.Linker.loaded;
+  cred : Vino_core.Cred.t;
+  limits : Vino_txn.Rlimit.t;
+}
+
+val load : Vino_core.Kernel.t -> words:int -> Vino_misfit.Image.t -> t
+(** @raise Failure on a linker error. *)
+
+val seg_base : t -> int
+(** Base address of the graft segment (for writing shared data). *)
+
+type outcome = Committed | Rolled_back | Failed of string
+
+val run :
+  t ->
+  ?indirection:int ->
+  ?check_cost:int ->
+  ?setup:(Vino_vm.Cpu.t -> unit) ->
+  ?check:(Vino_vm.Cpu.t -> bool) ->
+  commit:bool ->
+  unit ->
+  outcome
+(** One transactional graft invocation: charge the indirection, begin a
+    transaction, execute under SFI, charge result checking and validate,
+    then commit or deliberately abort. Must run inside an engine
+    process. *)
+
+val run_exn : t -> ?setup:(Vino_vm.Cpu.t -> unit) -> commit:bool -> unit -> unit
+(** Like {!run} but raises [Failure] unless the invocation reached its
+    commit/abort decision. *)

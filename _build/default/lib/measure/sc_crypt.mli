@@ -1,0 +1,13 @@
+(** Table 6 — encryption (Stream) graft overhead.
+
+    Workload: xor-encrypt an 8 KB buffer as it is copied to user level.
+    Nearly every instruction is a load or a store, so this is the worst
+    case for software fault isolation; no lock is required (the buffers
+    are private to the transfer). *)
+
+val buffer_words : int
+val stats : ?iterations:int -> Path.t -> Vino_sim.Stats.t
+val measure : ?iterations:int -> Path.t -> float
+val measure_abort : ?iterations:int -> full:bool -> unit -> float
+val paper_elapsed : (Path.t * float) list
+val table : ?iterations:int -> unit -> Table.row list

@@ -1,0 +1,224 @@
+(* Table 4: the page-eviction (Prioritization) graft. *)
+
+module Cpu = Vino_vm.Cpu
+module Mem = Vino_vm.Mem
+module Engine = Vino_sim.Engine
+module Kernel = Vino_core.Kernel
+module Graft_point = Vino_core.Graft_point
+module Frame = Vino_vmem.Frame
+module Vas = Vino_vmem.Vas
+module Evict = Vino_vmem.Evict
+module Vgrafts = Vino_vmem.Grafts
+
+let resident_pages = 512 (* 2 MB at 4 KB *)
+let protected_pages = 48
+
+type fixture = {
+  kernel : Kernel.t;
+  vas : Vas.t;
+  evictor : Evict.t; (* graft_support:false — the pure global selection *)
+  cred : Vino_core.Cred.t;
+}
+
+let fixture () =
+  let kernel = Kernel.create ~mem_words:(1 lsl 16) () in
+  let frames = Frame.create_table ~frames:(resident_pages + 64) in
+  let evictor = Evict.create kernel ~frames ~graft_support:false () in
+  let vas = Vas.create kernel ~name:"bench-vas" in
+  Evict.register_vas evictor vas;
+  let fx = { kernel; vas; evictor; cred = Vino_core.Cred.root } in
+  (* populate the footprint and run one clearing pass of the clock *)
+  ignore
+    (Engine.spawn kernel.Kernel.engine ~name:"populate" (fun () ->
+         for vpage = 0 to resident_pages - 1 do
+           ignore (Evict.touch evictor vas ~vpage)
+         done;
+         ignore (Evict.select_replacement evictor ~cred:fx.cred)));
+  Kernel.run kernel;
+  fx
+
+let select fx =
+  match Evict.select_replacement fx.evictor ~cred:fx.cred with
+  | Ok frame -> frame
+  | Error `Nothing_evictable -> failwith "sc_evict: nothing evictable"
+
+(* run one selection outside the timed loop (needs a process context) *)
+let probe_victim fx =
+  let victim = ref 0 in
+  ignore
+    (Engine.spawn fx.kernel.Kernel.engine ~name:"probe-victim" (fun () ->
+         let frame = select fx in
+         match frame.Frame.owner with
+         | Some o -> victim := o.Frame.vpage
+         | None -> ()));
+  Kernel.run fx.kernel;
+  !victim
+
+(* The graft segment layout: protected list in the shared window (count at
+   word 0), candidates at Vas.candidate_area, heap above them. *)
+let segment_words = Vas.candidate_area + resident_pages + 512
+
+let graft_image fx path =
+  let source =
+    match path with
+    | Path.Null -> Vgrafts.accept_victim_source
+    | Path.Unsafe | Path.Safe | Path.Abort ->
+        Vgrafts.protect_hot_pages_source
+          ~lock_kcall:(Vas.lock_name fx.vas)
+          ()
+    | Path.Base | Path.Vino -> invalid_arg "no graft on this path"
+  in
+  let obj = Vino_vm.Asm.assemble_exn source in
+  match path with
+  | Path.Unsafe -> Kernel.seal_unsafe fx.kernel obj
+  | _ -> (
+      match Kernel.seal fx.kernel obj with
+      | Ok image -> image
+      | Error e -> failwith e)
+
+(* Write the application's hot-page list and the kernel's candidate list
+   into the rig's segment once; neither changes between iterations. *)
+let prepare_rig_memory fx rig ~victim =
+  let mem = fx.kernel.Kernel.mem in
+  let base = Rig.seg_base rig in
+  Mem.store mem base protected_pages;
+  for k = 0 to protected_pages - 1 do
+    Mem.store mem (base + 1 + k) k
+  done;
+  let candidates =
+    Vas.resident_pages fx.vas |> List.filter (fun p -> p <> victim)
+  in
+  List.iteri
+    (fun k page -> Mem.store mem (base + Vas.candidate_area + k) page)
+    candidates;
+  List.length candidates
+
+let setup_regs ~victim ~count cpu =
+  let base = (Cpu.segment cpu).Mem.base in
+  Cpu.set_reg cpu 1 victim;
+  Cpu.set_reg cpu 2 (base + Vas.candidate_area);
+  Cpu.set_reg cpu 3 count;
+  Cpu.set_reg cpu 4 base
+
+(* the kernel-side verification of the suggestion (ownership + wiredness) *)
+let check_choice fx cpu =
+  let choice = Cpu.reg cpu 0 in
+  Vas.is_resident fx.vas choice && not (Vas.wired fx.vas ~vpage:choice)
+
+let check_cost = Vino_txn.Tcosts.us 2.
+
+let stats ?(iterations = 300) path =
+  let fx = fixture () in
+  match path with
+  | Path.Base ->
+      Probe.samples fx.kernel ~iterations (fun _ -> ignore (select fx))
+  | Path.Vino ->
+      let point = Vas.evict_point fx.vas in
+      Probe.samples fx.kernel ~iterations (fun _ ->
+          let frame = select fx in
+          let victim =
+            match frame.Frame.owner with
+            | Some o -> o.Frame.vpage
+            | None -> 0
+          in
+          ignore
+            (Graft_point.invoke point fx.kernel ~cred:fx.cred
+               { Vas.victim; candidates = [] }))
+  | Path.Null | Path.Unsafe | Path.Safe | Path.Abort ->
+      let rig = Rig.load fx.kernel ~words:segment_words (graft_image fx path) in
+      let commit = path <> Path.Abort in
+      let victim = probe_victim fx in
+      let count = prepare_rig_memory fx rig ~victim in
+      Probe.samples fx.kernel ~iterations (fun _ ->
+          ignore (select fx);
+          match
+            Rig.run rig ~check_cost
+              ~setup:(setup_regs ~victim ~count)
+              ~check:(check_choice fx) ~commit ()
+          with
+          | Rig.Committed | Rig.Rolled_back -> ()
+          | Rig.Failed reason -> failwith reason)
+
+let measure ?iterations path =
+  Vino_sim.Stats.trimmed_mean (stats ?iterations path)
+
+let measure_abort ?(iterations = 300) ~full () =
+  let fx = fixture () in
+  let path = if full then Path.Abort else Path.Null in
+  let rig = Rig.load fx.kernel ~words:segment_words (graft_image fx path) in
+  let victim = probe_victim fx in
+  let count = prepare_rig_memory fx rig ~victim in
+  let engine = fx.kernel.Kernel.engine in
+  let abort_stats = Vino_sim.Stats.create () in
+  let (_ : Vino_sim.Stats.t) =
+    Probe.samples fx.kernel ~iterations (fun _ ->
+        let before = ref 0 in
+        let check cpu =
+          before := Engine.now engine;
+          ignore (Cpu.cycles cpu);
+          true
+        in
+        (match
+           Rig.run rig ~check_cost
+             ~setup:(setup_regs ~victim ~count)
+             ~check ~commit:false ()
+         with
+        | Rig.Rolled_back -> ()
+        | Rig.Committed | Rig.Failed _ -> failwith "expected rollback");
+        Vino_sim.Stats.add abort_stats
+          (Vino_vm.Costs.us_of_cycles (Engine.now engine - !before)))
+  in
+  Vino_sim.Stats.trimmed_mean abort_stats
+
+(* The "graft agrees" case: victim is not a hot page, so the graft returns
+   it after only the victim check. *)
+let measure_agreement ?(iterations = 300) () =
+  let fx = fixture () in
+  let rig = Rig.load fx.kernel ~words:segment_words (graft_image fx Path.Safe) in
+  let victim = probe_victim fx in
+  let count = prepare_rig_memory fx rig ~victim in
+  (* overwrite the hot list with pages that never come up as victim *)
+  let mem = fx.kernel.Kernel.mem in
+  let base = Rig.seg_base rig in
+  for k = 0 to protected_pages - 1 do
+    Mem.store mem (base + 1 + k) (resident_pages + 100 + k)
+  done;
+  Probe.mean_us fx.kernel ~iterations (fun _ ->
+      ignore (select fx);
+      match
+        Rig.run rig ~check_cost
+          ~setup:(setup_regs ~victim ~count)
+          ~check:(check_choice fx) ~commit:true ()
+      with
+      | Rig.Committed | Rig.Rolled_back -> ()
+      | Rig.Failed reason -> failwith reason)
+
+let paper_elapsed =
+  [
+    (Path.Base, 39.);
+    (Path.Vino, 40.);
+    (Path.Null, 130.);
+    (Path.Unsafe, 329.);
+    (Path.Safe, 355.);
+    (Path.Abort, 348.);
+  ]
+
+let table ?iterations () =
+  let measured = List.map (fun p -> (p, measure ?iterations p)) Path.all in
+  let value p = List.assoc p measured in
+  let paper p = List.assoc p paper_elapsed in
+  let row p = Table.elapsed ~paper:(paper p) (Path.name p) (value p) in
+  let inc label p q paper = Table.overhead ~paper label (value q -. value p) in
+  [
+    row Path.Base;
+    inc "Indirection cost" Path.Base Path.Vino 1.;
+    row Path.Vino;
+    inc "Txn begin+commit+null graft+check" Path.Vino Path.Null 90.;
+    row Path.Null;
+    inc "Lock + graft function + check" Path.Null Path.Unsafe 199.;
+    row Path.Unsafe;
+    inc "MiSFIT overhead" Path.Unsafe Path.Safe 26.;
+    row Path.Safe;
+    inc "Abort cost (above commit)" Path.Safe Path.Abort (-7.);
+    row Path.Abort;
+  ]

@@ -1,0 +1,158 @@
+(* Table 3: the read-ahead (Black Box) graft.
+
+   Workload: the application reads blocks in a random order and announces
+   each next read in the buffer it shares with the graft; the grafted
+   compute-ra turns the announcement into a one-block prefetch decision.
+   Measured here is the compute-ra decision path alone (as in the paper),
+   not the disk time it hides. *)
+
+module Cpu = Vino_vm.Cpu
+module Mem = Vino_vm.Mem
+module Kernel = Vino_core.Kernel
+module Graft_point = Vino_core.Graft_point
+module File = Vino_fs.File
+module Readahead = Vino_fs.Readahead
+
+let file_blocks = 3072 (* 12 MB of 4 KB blocks *)
+let shared_words = 16
+
+type fixture = {
+  kernel : Kernel.t;
+  file : File.t;
+  cred : Vino_core.Cred.t;
+}
+
+let fixture () =
+  let kernel = Kernel.create ~mem_words:(1 lsl 16) () in
+  let disk = Vino_fs.Disk.create kernel.Kernel.engine () in
+  let cache = Vino_fs.Cache.create ~capacity:file_blocks () in
+  let file =
+    File.openf ~kernel ~cache ~disk ~name:"bench.db" ~first_block:0
+      ~blocks:file_blocks ()
+  in
+  { kernel; file; cred = Vino_core.Cred.root }
+
+(* a fixed non-sequential request so the default policy does no prefetch *)
+let request =
+  {
+    File.offset_block = 100;
+    size_blocks = 1;
+    last_block = 42;
+    file_blocks;
+  }
+
+let setup_regs cpu =
+  Cpu.set_reg cpu 1 request.File.offset_block;
+  Cpu.set_reg cpu 2 request.File.size_blocks;
+  Cpu.set_reg cpu 3 request.File.last_block;
+  Cpu.set_reg cpu 4 (Cpu.segment cpu).Mem.base
+
+let graft_image fx path =
+  let source =
+    match path with
+    | Path.Null -> Readahead.null_source
+    | Path.Unsafe | Path.Safe | Path.Abort ->
+        Readahead.app_directed_source
+          ~lock_kcall:(File.ra_lock_name fx.file)
+    | Path.Base | Path.Vino -> invalid_arg "no graft on this path"
+  in
+  let obj = Vino_vm.Asm.assemble_exn source in
+  match path with
+  | Path.Unsafe -> Kernel.seal_unsafe fx.kernel obj
+  | _ -> (
+      match Kernel.seal fx.kernel obj with
+      | Ok image -> image
+      | Error e -> failwith e)
+
+let rig_for fx path =
+  Rig.load fx.kernel ~words:(shared_words + 256) (graft_image fx path)
+
+let announce rig block =
+  Mem.store rig.Rig.kernel.Kernel.mem
+    (Rig.seg_base rig + Readahead.pattern_slot)
+    block
+
+let check_decision cpu =
+  let count = Cpu.reg cpu 0 in
+  count >= 0 && count <= File.max_extents
+
+let stats ?(iterations = 300) path =
+  let fx = fixture () in
+  let ra = File.ra_point fx.file in
+  match path with
+  | Path.Base ->
+      Probe.samples fx.kernel ~iterations (fun _ ->
+          ignore (Graft_point.default_fn ra request))
+  | Path.Vino ->
+      Probe.samples fx.kernel ~iterations (fun _ ->
+          ignore (Graft_point.invoke ra fx.kernel ~cred:fx.cred request))
+  | Path.Null | Path.Unsafe | Path.Safe | Path.Abort ->
+      let rig = rig_for fx path in
+      let commit = path <> Path.Abort in
+      Probe.samples fx.kernel ~iterations (fun k ->
+          announce rig ((k * 577) mod file_blocks);
+          match
+            Rig.run rig ~setup:setup_regs ~check:check_decision ~commit ()
+          with
+          | Rig.Committed | Rig.Rolled_back -> ()
+          | Rig.Failed reason -> failwith reason)
+
+let measure ?iterations path =
+  Vino_sim.Stats.trimmed_mean (stats ?iterations path)
+
+(* Table 7's null-abort column: abort at the end of the *null* graft. *)
+let measure_abort ?(iterations = 300) ~full () =
+  let fx = fixture () in
+  let rig = rig_for fx (if full then Path.Abort else Path.Null) in
+  let engine = fx.kernel.Kernel.engine in
+  let abort_stats = Vino_sim.Stats.create () in
+  let s =
+    Probe.samples fx.kernel ~iterations (fun k ->
+        announce rig ((k * 577) mod file_blocks);
+        (* time just the abort: run to the decision point, then sample *)
+        let before = ref 0 in
+        let check cpu =
+          before := Vino_sim.Engine.now engine;
+          ignore (Vino_vm.Cpu.cycles cpu);
+          true
+        in
+        (match Rig.run rig ~setup:setup_regs ~check ~commit:false () with
+        | Rig.Rolled_back -> ()
+        | Rig.Committed | Rig.Failed _ -> failwith "expected rollback");
+        Vino_sim.Stats.add abort_stats
+          (Vino_vm.Costs.us_of_cycles (Vino_sim.Engine.now engine - !before)))
+  in
+  ignore (s : Vino_sim.Stats.t);
+  Vino_sim.Stats.trimmed_mean abort_stats
+
+let paper_elapsed =
+  [
+    (Path.Base, 0.5);
+    (Path.Vino, 1.5);
+    (Path.Null, 67.);
+    (Path.Unsafe, 104.);
+    (Path.Safe, 107.);
+    (Path.Abort, 108.);
+  ]
+
+let table ?iterations () =
+  let measured = List.map (fun p -> (p, measure ?iterations p)) Path.all in
+  let value p = List.assoc p measured in
+  let paper p = List.assoc p paper_elapsed in
+  let rows p = Table.elapsed ~paper:(paper p) (Path.name p) (value p) in
+  let inc label p q paper =
+    Table.overhead ~paper label (value q -. value p)
+  in
+  [
+    rows Path.Base;
+    inc "Indirection cost" Path.Base Path.Vino 1.0;
+    rows Path.Vino;
+    inc "Txn begin+commit+null graft" Path.Vino Path.Null 65.5;
+    rows Path.Null;
+    inc "Lock overhead + graft function" Path.Null Path.Unsafe 37.0;
+    rows Path.Unsafe;
+    inc "MiSFIT overhead" Path.Unsafe Path.Safe 3.0;
+    rows Path.Safe;
+    inc "Abort cost (above commit)" Path.Safe Path.Abort 1.0;
+    rows Path.Abort;
+  ]

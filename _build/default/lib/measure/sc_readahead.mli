@@ -1,0 +1,17 @@
+(** Table 3 — read-ahead (Black Box) graft overhead.
+
+    Reproduces the paper's six-path decomposition for the
+    application-directed [compute-ra] graft: a fixed non-sequential read
+    request with the next access announced in the shared pattern buffer. *)
+
+val file_blocks : int
+val stats : ?iterations:int -> Path.t -> Vino_sim.Stats.t
+val measure : ?iterations:int -> Path.t -> float
+(** Trimmed-mean elapsed virtual microseconds for one invocation. *)
+
+val measure_abort : ?iterations:int -> full:bool -> unit -> float
+(** Abort time alone (Table 7): [full:false] aborts the null graft,
+    [full:true] the full safe graft. *)
+
+val paper_elapsed : (Path.t * float) list
+val table : ?iterations:int -> unit -> Table.row list

@@ -1,0 +1,160 @@
+(* Table 5: the scheduling (Prioritization) graft. *)
+
+module Cpu = Vino_vm.Cpu
+module Mem = Vino_vm.Mem
+module Engine = Vino_sim.Engine
+module Kernel = Vino_core.Kernel
+module Graft_point = Vino_core.Graft_point
+module Runq = Vino_sched.Runq
+module Sgrafts = Vino_sched.Grafts
+
+let process_count = 64
+let switch_cost = Vino_txn.Tcosts.us 27.
+
+type fixture = {
+  kernel : Kernel.t;
+  runq : Runq.t;
+  tasks : Runq.task list;
+  cred : Vino_core.Cred.t;
+}
+
+let fixture ~graft_support () =
+  let kernel = Kernel.create ~mem_words:(1 lsl 16) () in
+  let runq = Runq.create kernel ~switch_cost ~graft_support () in
+  let tasks =
+    List.init process_count (fun k ->
+        Runq.spawn_task runq ~name:(Printf.sprintf "proc%d" k))
+  in
+  { kernel; runq; tasks; cred = Vino_core.Cred.root }
+
+(* One scheduling round: pick the next process (running its delegate),
+   switch to it, and switch back — the paper's two-switch measurement. *)
+let round fx =
+  (match Runq.schedule fx.runq ~cred:fx.cred with
+  | Some _ -> ()
+  | None -> failwith "sc_sched: empty run queue");
+  Engine.delay switch_cost
+
+let graft_image fx path =
+  let source =
+    match path with
+    | Path.Null -> [ Vino_vm.Asm.Mov (Vino_vm.Asm.r0, Vino_vm.Asm.r1); Ret ]
+    | Path.Unsafe | Path.Safe | Path.Abort ->
+        Sgrafts.scan_and_return_self_source
+          ~lock_kcall:(Runq.proclist_lock_name fx.runq)
+          ()
+    | Path.Base | Path.Vino -> invalid_arg "no graft on this path"
+  in
+  let obj = Vino_vm.Asm.assemble_exn source in
+  match path with
+  | Path.Unsafe -> Kernel.seal_unsafe fx.kernel obj
+  | _ -> (
+      match Kernel.seal fx.kernel obj with
+      | Ok image -> image
+      | Error e -> failwith e)
+
+let segment_words = 256 + 256
+
+let prepare_rig_memory fx rig =
+  let base = Rig.seg_base rig in
+  List.iteri
+    (fun k task ->
+      Mem.store fx.kernel.Kernel.mem (base + k) (Runq.task_id task))
+    fx.tasks
+
+let setup_regs ~self cpu =
+  Cpu.set_reg cpu 1 self;
+  Cpu.set_reg cpu 2 (Cpu.segment cpu).Mem.base;
+  Cpu.set_reg cpu 3 process_count
+
+(* checking the returned id against the valid-thread hash (Table 5's
+   result-checking line, ~4 us) *)
+let check_cost = Vino_txn.Tcosts.us 4.
+
+let check_id fx cpu =
+  let id = Cpu.reg cpu 0 in
+  List.exists (fun t -> Runq.task_id t = id) fx.tasks
+
+let stats ?(iterations = 300) path =
+  match path with
+  | Path.Base ->
+      let fx = fixture ~graft_support:false () in
+      Probe.samples fx.kernel ~iterations (fun _ -> round fx)
+  | Path.Vino ->
+      let fx = fixture ~graft_support:true () in
+      Probe.samples fx.kernel ~iterations (fun _ -> round fx)
+  | Path.Null | Path.Unsafe | Path.Safe | Path.Abort ->
+      let fx = fixture ~graft_support:false () in
+      let rig = Rig.load fx.kernel ~words:segment_words (graft_image fx path) in
+      prepare_rig_memory fx rig;
+      let self = Runq.task_id (List.hd fx.tasks) in
+      let commit = path <> Path.Abort in
+      Probe.samples fx.kernel ~iterations (fun _ ->
+          (* pick + delegate graft + switch + switch back *)
+          (match
+             Rig.run rig ~check_cost ~setup:(setup_regs ~self)
+               ~check:(check_id fx) ~commit ()
+           with
+          | Rig.Committed | Rig.Rolled_back -> ()
+          | Rig.Failed reason -> failwith reason);
+          Engine.delay (2 * switch_cost))
+
+let measure ?iterations path =
+  Vino_sim.Stats.trimmed_mean (stats ?iterations path)
+
+let measure_abort ?(iterations = 300) ~full () =
+  let fx = fixture ~graft_support:false () in
+  let path = if full then Path.Abort else Path.Null in
+  let rig = Rig.load fx.kernel ~words:segment_words (graft_image fx path) in
+  prepare_rig_memory fx rig;
+  let self = Runq.task_id (List.hd fx.tasks) in
+  let engine = fx.kernel.Kernel.engine in
+  let abort_stats = Vino_sim.Stats.create () in
+  let (_ : Vino_sim.Stats.t) =
+    Probe.samples fx.kernel ~iterations (fun _ ->
+        let before = ref 0 in
+        let check cpu =
+          before := Engine.now engine;
+          ignore (Cpu.cycles cpu);
+          true
+        in
+        (match
+           Rig.run rig ~check_cost ~setup:(setup_regs ~self) ~check
+             ~commit:false ()
+         with
+        | Rig.Rolled_back -> ()
+        | Rig.Committed | Rig.Failed _ -> failwith "expected rollback");
+        Vino_sim.Stats.add abort_stats
+          (Vino_vm.Costs.us_of_cycles (Engine.now engine - !before)))
+  in
+  Vino_sim.Stats.trimmed_mean abort_stats
+
+let paper_elapsed =
+  [
+    (Path.Base, 54.);
+    (Path.Vino, 55.);
+    (Path.Null, 131.);
+    (Path.Unsafe, 203.);
+    (Path.Safe, 208.);
+    (Path.Abort, 211.);
+  ]
+
+let table ?iterations () =
+  let measured = List.map (fun p -> (p, measure ?iterations p)) Path.all in
+  let value p = List.assoc p measured in
+  let paper p = List.assoc p paper_elapsed in
+  let row p = Table.elapsed ~paper:(paper p) (Path.name p) (value p) in
+  let inc label p q paper = Table.overhead ~paper label (value q -. value p) in
+  [
+    row Path.Base;
+    inc "Indirection cost" Path.Base Path.Vino 1.;
+    row Path.Vino;
+    inc "Txn begin+commit+null graft" Path.Vino Path.Null 76.;
+    row Path.Null;
+    inc "Lock + graft function + check" Path.Null Path.Unsafe 72.;
+    row Path.Unsafe;
+    inc "MiSFIT overhead" Path.Unsafe Path.Safe 5.;
+    row Path.Safe;
+    inc "Abort cost (above commit)" Path.Safe Path.Abort 3.;
+    row Path.Abort;
+  ]

@@ -1,0 +1,12 @@
+(** Table 5 — scheduling (Prioritization) graft overhead.
+
+    Workload: 64 runnable processes; the measured delegate locks and scans
+    the 64-entry process list and returns its own id. The base path is the
+    cost of switching processes twice (select + switch + switch back). *)
+
+val process_count : int
+val stats : ?iterations:int -> Path.t -> Vino_sim.Stats.t
+val measure : ?iterations:int -> Path.t -> float
+val measure_abort : ?iterations:int -> full:bool -> unit -> float
+val paper_elapsed : (Path.t * float) list
+val table : ?iterations:int -> unit -> Table.row list

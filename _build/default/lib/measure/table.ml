@@ -1,0 +1,49 @@
+type row = {
+  label : string;
+  paper_us : float option;
+  measured_us : float;
+  incremental : bool;
+}
+
+let elapsed ?paper label measured_us =
+  { label; paper_us = paper; measured_us; incremental = false }
+
+let overhead ?paper label measured_us =
+  { label; paper_us = paper; measured_us; incremental = true }
+
+let render ppf ~title ?notes rows =
+  let line = String.make 74 '-' in
+  Format.fprintf ppf "%s@\n%s@\n" line title;
+  Format.fprintf ppf "%-40s %12s %12s %6s@\n" "" "paper (us)" "sim (us)"
+    "ratio";
+  Format.fprintf ppf "%s@\n" line;
+  List.iter
+    (fun r ->
+      let label = if r.incremental then "  " ^ r.label else r.label in
+      let paper =
+        match r.paper_us with
+        | Some v -> Printf.sprintf "%12.1f" v
+        | None -> Printf.sprintf "%12s" "-"
+      in
+      let ratio =
+        match r.paper_us with
+        | Some p when p <> 0. -> Printf.sprintf "%6.2f" (r.measured_us /. p)
+        | Some _ | None -> Printf.sprintf "%6s" "-"
+      in
+      Format.fprintf ppf "%-40s %s %12.1f %s@\n" label paper r.measured_us
+        ratio)
+    rows;
+  Format.fprintf ppf "%s@\n" line;
+  (match notes with
+  | Some n -> Format.fprintf ppf "%s@\n" n
+  | None -> ());
+  Format.fprintf ppf "@."
+
+let print ~title ?notes rows = render Format.std_formatter ~title ?notes rows
+
+let diffs labelled =
+  let rec go = function
+    | (_, a) :: ((l2, b) :: _ as rest) -> (l2, b -. a) :: go rest
+    | [ _ ] | [] -> []
+  in
+  go labelled

@@ -1,0 +1,18 @@
+(** Rendering of paper-versus-measured tables. *)
+
+type row = {
+  label : string;
+  paper_us : float option;  (** the paper's reported value, if any *)
+  measured_us : float;
+  incremental : bool;  (** an overhead line rather than an elapsed line *)
+}
+
+val elapsed : ?paper:float -> string -> float -> row
+val overhead : ?paper:float -> string -> float -> row
+
+val render : Format.formatter -> title:string -> ?notes:string -> row list -> unit
+val print : title:string -> ?notes:string -> row list -> unit
+
+val diffs : (string * float) list -> (string * float) list
+(** Successive differences of a list of labelled elapsed values:
+    [(l1,a);(l2,b);...] gives [(l2, b-a); ...]. *)

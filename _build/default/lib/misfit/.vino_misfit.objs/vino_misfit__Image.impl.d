@@ -1,0 +1,1 @@
+lib/misfit/image.ml: Array Char In_channel List Out_channel Printf Result Rewrite Sign String Vino_vm

@@ -1,0 +1,1 @@
+lib/misfit/image.mli: Sign Vino_vm

@@ -1,0 +1,1 @@
+lib/misfit/rewrite.ml: Array Hashtbl List Printf Vino_vm

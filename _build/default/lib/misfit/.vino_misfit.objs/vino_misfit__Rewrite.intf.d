@@ -1,0 +1,1 @@
+lib/misfit/rewrite.mli: Vino_vm

@@ -1,0 +1,1 @@
+lib/misfit/sign.ml: Array Char Format Int String

@@ -1,0 +1,1 @@
+lib/misfit/sign.mli: Format

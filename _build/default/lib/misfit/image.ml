@@ -1,0 +1,122 @@
+module Insn = Vino_vm.Insn
+module Asm = Vino_vm.Asm
+module Encode = Vino_vm.Encode
+
+type t = {
+  code : Insn.t array;
+  relocs : Asm.reloc list;
+  signature : Sign.t;
+}
+
+(* Canonical word stream covered by the signature: code then reloc table. *)
+let signed_words code relocs =
+  let code_words = Encode.to_words code in
+  let reloc_words =
+    List.concat_map
+      (fun { Asm.index; name } ->
+        index :: String.length name
+        :: List.init (String.length name) (fun k -> Char.code name.[k]))
+      relocs
+  in
+  Array.append code_words (Array.of_list reloc_words)
+
+(* After rewriting, the placeholder [Kcall (-1)] instructions appear in the
+   same order as in the source; re-derive their indices. *)
+let relocate_on rewritten (relocs : Asm.reloc list) =
+  let placeholders = ref [] in
+  Array.iteri
+    (fun k i ->
+      match i with
+      | Insn.Kcall (-1) -> placeholders := k :: !placeholders
+      | _ -> ())
+    rewritten;
+  let placeholders = List.rev !placeholders in
+  if List.length placeholders <> List.length relocs then
+    Error "relocation count mismatch after rewriting"
+  else
+    Ok
+      (List.map2
+         (fun index { Asm.name; _ } -> { Asm.index; name })
+         placeholders relocs)
+
+let make ~key code relocs =
+  { code; relocs; signature = Sign.digest ~key (signed_words code relocs) }
+
+let seal ?optimize ~key (obj : Asm.obj) =
+  Result.bind (Rewrite.process ?optimize obj.code) @@ fun code ->
+  Result.map (make ~key code) (relocate_on code obj.relocs)
+
+let seal_unsafe ~key (obj : Asm.obj) = make ~key obj.code obj.relocs
+
+let verify ~key t =
+  Sign.equal t.signature (Sign.digest ~key (signed_words t.code t.relocs))
+
+let tamper t =
+  let code = Array.copy t.code in
+  if Array.length code > 0 then code.(0) <- Insn.Li (0, 0xdead);
+  { t with code }
+
+let serialise t =
+  let body = signed_words t.code t.relocs in
+  let code_words = Array.length (Encode.to_words t.code) in
+  Array.concat
+    [
+      [| code_words; Array.length body |];
+      body;
+      [| (t.signature :> int) |];
+    ]
+
+let deserialise words =
+  let n = Array.length words in
+  if n < 3 then Error "image too short"
+  else
+    let code_words = words.(0) in
+    let body_len = words.(1) in
+    if code_words < 0 || body_len < code_words || 2 + body_len + 1 <> n then
+      Error "malformed image header"
+    else
+      let code_stream = Array.sub words 2 code_words in
+      Result.bind (Encode.of_words code_stream) @@ fun code ->
+      let rec read_relocs acc pos =
+        if pos = 2 + body_len then Ok (List.rev acc)
+        else if pos + 2 > 2 + body_len then Error "truncated relocation table"
+        else
+          let index = words.(pos) in
+          let len = words.(pos + 1) in
+          if len < 0 || pos + 2 + len > 2 + body_len then
+            Error "truncated relocation name"
+          else
+            let name =
+              String.init len (fun k -> Char.chr (words.(pos + 2 + k) land 0xff))
+            in
+            read_relocs ({ Asm.index; name } :: acc) (pos + 2 + len)
+      in
+      Result.map
+        (fun relocs -> { code; relocs; signature = Sign.forge words.(n - 1) })
+        (read_relocs [] (2 + code_words))
+
+let magic = "VINOIMG1"
+
+let save t ~path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (magic ^ "\n");
+      Array.iter
+        (fun w -> Out_channel.output_string oc (string_of_int w ^ "\n"))
+        (serialise t))
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | exception Sys_error e -> Error e
+  | lines -> (
+      let lines = List.filter (fun l -> String.trim l <> "") lines in
+      match lines with
+      | first :: rest when String.trim first = magic ->
+          let rec words acc = function
+            | [] -> Ok (Array.of_list (List.rev acc))
+            | l :: ls -> (
+                match int_of_string_opt (String.trim l) with
+                | Some w -> words (w :: acc) ls
+                | None -> Error (Printf.sprintf "corrupt image word %S" l))
+          in
+          Result.bind (words [] rest) deserialise
+      | _ :: _ | [] -> Error "not a vino graft image")

@@ -1,0 +1,43 @@
+(** A sealed graft image: SFI-processed code, kernel-call relocations and the
+    toolchain signature — the unit the dynamic linker loads (paper §3.3/3.4).
+
+    [seal] is "running the graft through MiSFIT": the only supported way to
+    produce an image whose signature the kernel will accept. Images carry
+    their relocation table so the linker can resolve named kernel calls
+    against the graft-callable list and reject any that are not on it. *)
+
+type t = private {
+  code : Vino_vm.Insn.t array;  (** SFI-rewritten program *)
+  relocs : Vino_vm.Asm.reloc list;
+      (** indices of unresolved [Kcall] placeholders, with target names *)
+  signature : Sign.t;
+}
+
+val seal :
+  ?optimize:bool -> key:string -> Vino_vm.Asm.obj -> (t, string) result
+(** Rewrite with {!Rewrite.process} (optionally with redundant-sandbox
+    elimination), recompute relocation indices on the rewritten code, and
+    sign. Fails if the source uses the reserved sandbox register. *)
+
+val seal_unsafe : key:string -> Vino_vm.Asm.obj -> t
+(** Sign WITHOUT SFI rewriting. This models the paper's "unsafe path"
+    measurement configuration (trusted code, no MiSFIT overhead); it is not
+    reachable from the public kernel API with an untrusted graft. *)
+
+val verify : key:string -> t -> bool
+(** Recompute the checksum and compare with the saved copy. *)
+
+val tamper : t -> t
+(** Flip one instruction without re-signing — for tests that check the
+    linker rejects modified code. *)
+
+val serialise : t -> int array
+val deserialise : int array -> (t, string) result
+
+val save : t -> path:string -> unit
+(** Write the ".gimg" on-disk form (a text header plus the serialised word
+    stream, one word per line). *)
+
+val load : path:string -> (t, string) result
+(** Read a ".gimg" file; rejects bad magic, corrupt words and malformed
+    streams. The signature still needs {!verify}. *)

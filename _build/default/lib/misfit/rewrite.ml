@@ -1,0 +1,136 @@
+module Insn = Vino_vm.Insn
+
+let uses_reserved_register prog =
+  Array.exists
+    (fun i -> List.mem Insn.scratch (Insn.registers_used i))
+    prog
+
+(* Expand each instruction into a list, then remap every control-flow target
+   from its old index to the start of that instruction's expansion. *)
+let expand f prog =
+  let expansions = Array.map f prog in
+  let n = Array.length prog in
+  let new_index = Array.make (n + 1) 0 in
+  for k = 0 to n - 1 do
+    new_index.(k + 1) <- new_index.(k) + List.length expansions.(k)
+  done;
+  let remap t = new_index.(t) in
+  let out = Array.make new_index.(n) Insn.Halt in
+  Array.iteri
+    (fun k exp ->
+      List.iteri
+        (fun j i -> out.(new_index.(k) + j) <- Insn.map_targets remap i)
+        exp)
+    expansions;
+  out
+
+let lower_stack_ops prog =
+  let lower : Insn.t -> Insn.t list = function
+    | Push r -> [ Alui (Sub, Insn.sp, Insn.sp, 1); St (r, Insn.sp, 0) ]
+    | Pop r -> [ Ld (r, Insn.sp, 0); Alui (Add, Insn.sp, Insn.sp, 1) ]
+    | i -> [ i ]
+  in
+  expand lower prog
+
+(* Indices that control flow can land on: optimisation state must reset
+   there (and after any control transfer), because the scratch register's
+   contents are only known along straight-line paths. *)
+let branch_target_set prog =
+  let targets = Hashtbl.create 16 in
+  Array.iter
+    (fun i ->
+      match i with
+      | Insn.Br (_, _, _, t) | Insn.Jmp t | Insn.Call t ->
+          Hashtbl.replace targets t ()
+      | _ -> ())
+    prog;
+  targets
+
+let is_control_transfer : Insn.t -> bool = function
+  | Br _ | Jmp _ | Call _ | Callr _ | Ret | Kcall _ | Kcallr _ | Halt -> true
+  | Li _ | Mov _ | Alu _ | Alui _ | Ld _ | St _ | Push _ | Pop _ | Sandbox _
+  | Checkcall _ ->
+      false
+
+let writes_register (i : Insn.t) r =
+  match i with
+  | Li (rd, _) | Mov (rd, _) | Alu (_, rd, _, _) | Alui (_, rd, _, _)
+  | Ld (rd, _, _) | Pop rd ->
+      rd = r
+  | St _ | Push _ | Br _ | Jmp _ | Call _ | Callr _ | Ret | Kcall _
+  | Kcallr _ | Sandbox _ | Checkcall _ | Halt ->
+      false
+
+let sandbox_memory ?(optimize = false) prog =
+  let s = Insn.scratch in
+  let targets = branch_target_set prog in
+  (* (base register, offset) whose sandboxed address scratch still holds *)
+  let known : (Insn.reg * int) option ref = ref None in
+  let with_address rb off rest : Insn.t list =
+    if optimize && !known = Some (rb, off) then rest
+    else begin
+      known := Some (rb, off);
+      if off = 0 then Insn.Mov (s, rb) :: Sandbox s :: rest
+      else Insn.Alui (Add, s, rb, off) :: Sandbox s :: rest
+    end
+  in
+  let protect index (i : Insn.t) : Insn.t list =
+    if Hashtbl.mem targets index then known := None;
+    let expansion =
+      match i with
+      | Ld (rd, rb, off) ->
+          let e = with_address rb off [ Insn.Ld (rd, s, 0) ] in
+          if writes_register i rb then known := None;
+          e
+      | St (rv, rb, off) -> with_address rb off [ Insn.St (rv, s, 0) ]
+      | i ->
+          (match !known with
+          | Some (rb, _) when writes_register i rb || is_control_transfer i ->
+              known := None
+          | Some _ | None -> if is_control_transfer i then known := None);
+          [ i ]
+    in
+    expansion
+  in
+  (* expand with index awareness *)
+  let expansions = Array.mapi protect prog in
+  let n = Array.length prog in
+  let new_index = Array.make (n + 1) 0 in
+  for k = 0 to n - 1 do
+    new_index.(k + 1) <- new_index.(k) + List.length expansions.(k)
+  done;
+  let remap t = new_index.(t) in
+  let out = Array.make new_index.(n) Insn.Halt in
+  Array.iteri
+    (fun k exp ->
+      List.iteri
+        (fun j i -> out.(new_index.(k) + j) <- Insn.map_targets remap i)
+        exp)
+    expansions;
+  out
+
+let eliminated_sandboxes prog =
+  let count code =
+    Array.fold_left
+      (fun acc i -> match i with Insn.Sandbox _ -> acc + 1 | _ -> acc)
+      0 code
+  in
+  count (sandbox_memory ~optimize:false prog)
+  - count (sandbox_memory ~optimize:true prog)
+
+let guard_indirect_calls prog =
+  let guard : Insn.t -> Insn.t list = function
+    | Kcallr r -> [ Checkcall r; Kcallr r ]
+    | i -> [ i ]
+  in
+  expand guard prog
+
+let process ?optimize prog =
+  if uses_reserved_register prog then
+    Error
+      (Printf.sprintf "graft code uses reserved sandbox register r%d"
+         Insn.scratch)
+  else
+    Ok
+      (guard_indirect_calls
+         (sandbox_memory ?optimize (lower_stack_ops prog)))

@@ -1,0 +1,48 @@
+(** MiSFIT: the software-fault-isolation rewriter (paper §3.3, [17]).
+
+    At "compilation" time the rewriter inserts instructions that protect
+    loads and stores: the target address is forced to fall within the range
+    of memory allocated to the graft (its segment), at a cost of 2-5 cycles
+    per load or store. Indirect kernel calls get a [Checkcall] instruction
+    that probes the graft-callable hash table at run time (10-15 cycles).
+
+    The rewriter operates on the graft IR; instruction insertion remaps all
+    branch/jump/call targets. Code that uses the reserved sandbox register
+    {!Vino_vm.Insn.scratch} is rejected. *)
+
+val uses_reserved_register : Vino_vm.Insn.t array -> bool
+
+val lower_stack_ops : Vino_vm.Insn.t array -> Vino_vm.Insn.t array
+(** Expand [Push]/[Pop] into explicit stack-pointer arithmetic plus a plain
+    store/load, so the generic sandboxing pass covers them. *)
+
+val sandbox_memory :
+  ?optimize:bool -> Vino_vm.Insn.t array -> Vino_vm.Insn.t array
+(** Insert [Sandbox] sequences before every [Ld]/[St].
+
+    With [optimize] (default false), consecutive accesses through the same
+    base register and offset within a basic block share one sandboxed
+    address: the scratch register provably still holds it, so the second
+    mask+or is elided. The paper notes its MiSFIT "protects each indirect
+    memory access" for lack of such optimisation (§4.4); this is the
+    classic Wahbe-style improvement. *)
+
+val eliminated_sandboxes : Vino_vm.Insn.t array -> int
+(** How many sandbox sequences optimisation would remove. *)
+
+val guard_indirect_calls : Vino_vm.Insn.t array -> Vino_vm.Insn.t array
+(** Insert [Checkcall] before every [Kcallr]. *)
+
+val process :
+  ?optimize:bool ->
+  Vino_vm.Insn.t array ->
+  (Vino_vm.Insn.t array, string) result
+(** Full MiSFIT pipeline: reject reserved-register use, lower stack ops,
+    sandbox memory accesses (optimised if asked), guard indirect calls. *)
+
+val expand :
+  (Vino_vm.Insn.t -> Vino_vm.Insn.t list) ->
+  Vino_vm.Insn.t array ->
+  Vino_vm.Insn.t array
+(** Generic instruction-expansion pass with control-flow target remapping
+    (exposed for tests and ablations). *)

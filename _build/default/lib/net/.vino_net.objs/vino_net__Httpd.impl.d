@@ -1,0 +1,1 @@
+lib/net/httpd.ml: Hashtbl List Port Vino_core Vino_vm

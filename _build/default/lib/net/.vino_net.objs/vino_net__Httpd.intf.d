@@ -1,0 +1,1 @@
+lib/net/httpd.mli: Port Vino_core Vino_vm

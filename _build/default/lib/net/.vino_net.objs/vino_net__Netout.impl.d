@@ -1,0 +1,1 @@
+lib/net/netout.ml: Hashtbl List Option Vino_core Vino_sim Vino_txn

@@ -1,0 +1,1 @@
+lib/net/netout.mli: Vino_core

@@ -1,0 +1,1 @@
+lib/net/nfsd.mli: Port Vino_core Vino_fs Vino_vm

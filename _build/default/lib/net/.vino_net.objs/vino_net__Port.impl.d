@@ -1,0 +1,1 @@
+lib/net/port.ml: Printf Vino_core

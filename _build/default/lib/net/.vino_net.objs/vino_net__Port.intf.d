@@ -1,0 +1,1 @@
+lib/net/port.mli: Vino_core

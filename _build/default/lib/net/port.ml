@@ -1,0 +1,36 @@
+module Event_point = Vino_core.Event_point
+
+type protocol = Tcp | Udp
+
+type t = {
+  kernel : Vino_core.Kernel.t;
+  protocol : protocol;
+  number : int;
+  point : Event_point.t;
+}
+
+let create kernel protocol ~number =
+  let prefix = match protocol with Tcp -> "tcp" | Udp -> "udp" in
+  {
+    kernel;
+    protocol;
+    number;
+    point =
+      Event_point.create ~name:(Printf.sprintf "%s.port-%d" prefix number) ();
+  }
+
+let number t = t.number
+let protocol t = t.protocol
+let event_point t = t.point
+
+let connect t ~payload =
+  match t.protocol with
+  | Tcp -> Event_point.dispatch t.point t.kernel ~payload
+  | Udp -> invalid_arg "Port.connect: not a TCP port"
+
+let datagram t ~payload =
+  match t.protocol with
+  | Udp -> Event_point.dispatch t.point t.kernel ~payload
+  | Tcp -> invalid_arg "Port.datagram: not a UDP port"
+
+let events t = Event_point.events_delivered t.point

@@ -1,0 +1,23 @@
+(** Network ports as event sources (§3.5).
+
+    Each port owns an event graft point; a TCP connection established on it
+    (or a UDP datagram arriving) dispatches the event to the grafted
+    handlers — the mechanism under kernel-resident HTTP and NFS servers. *)
+
+type protocol = Tcp | Udp
+
+type t
+
+val create : Vino_core.Kernel.t -> protocol -> number:int -> t
+val number : t -> int
+val protocol : t -> protocol
+val event_point : t -> Vino_core.Event_point.t
+
+val connect : t -> payload:int array -> unit
+(** Deliver a TCP connection-established event.
+    @raise Invalid_argument on a UDP port. *)
+
+val datagram : t -> payload:int array -> unit
+(** Deliver a UDP datagram event. @raise Invalid_argument on a TCP port. *)
+
+val events : t -> int

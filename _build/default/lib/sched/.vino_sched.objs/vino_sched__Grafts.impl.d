@@ -1,0 +1,1 @@
+lib/sched/grafts.ml: Vino_vm

@@ -1,0 +1,1 @@
+lib/sched/grafts.mli: Vino_vm

@@ -1,0 +1,1 @@
+lib/sched/runq.ml: Hashtbl List Printf Queue Vino_core Vino_sim Vino_txn Vino_vm

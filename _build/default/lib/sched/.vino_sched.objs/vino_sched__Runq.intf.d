@@ -1,0 +1,1 @@
+lib/sched/runq.mli: Vino_core

@@ -1,0 +1,47 @@
+module Asm = Vino_vm.Asm
+open Vino_vm.Insn
+
+let scan_and_return_self_source ?lock_kcall () : Asm.item list =
+  (match lock_kcall with
+  | Some name -> [ Asm.Kcall name ]
+  | None -> [])
+  @ [
+    (* scan the process list, examining each entry through a collection-
+       class method call (the paper notes theirs is not well-optimised:
+       ~0.5 us per element, dominated by the call) *)
+    Li (Asm.r5, 0);
+    Label "scan";
+    Br (Ge, Asm.r5, Asm.r3, "done");
+    Alu (Add, Asm.r6, Asm.r2, Asm.r5);
+    Ld (Asm.r7, Asm.r6, 0);
+    Call "examine";
+    Alui (Add, Asm.r5, Asm.r5, 1);
+    Jmp "scan";
+    Label "done";
+    Mov (Asm.r0, Asm.r1);
+    Ret;
+    (* examine(r7): should this entry run instead of us? *)
+    Label "examine";
+    Br (Eq, Asm.r7, Asm.r1, "examine_self");
+    Li (Asm.r9, 0);
+    Ret;
+    Label "examine_self";
+    Li (Asm.r9, 1);
+    Ret;
+  ]
+
+let handoff_source ~target : Asm.item list =
+  [ Li (Asm.r0, target); Ret ]
+
+let conditional_handoff_source ~flag_addr ~target : Asm.item list =
+  [
+    Li (Asm.r5, flag_addr);
+    Ld (Asm.r6, Asm.r5, 0);
+    Li (Asm.r7, 0);
+    Br (Eq, Asm.r6, Asm.r7, "keep");
+    Li (Asm.r0, target);
+    Ret;
+    Label "keep";
+    Mov (Asm.r0, Asm.r1);
+    Ret;
+  ]

@@ -1,0 +1,18 @@
+(** Scheduling graft sources (the Table 5 workload and the §4.3 examples). *)
+
+val scan_and_return_self_source :
+  ?lock_kcall:string -> unit -> Vino_vm.Asm.item list
+(** The paper's measured delegate: lock (when [lock_kcall], normally
+    {!Runq.proclist_lock_name}, is given) and scan the process list
+    (r2 = address, r3 = count), examining each entry, then return the
+    delegator's own id (r1). Entry convention matches
+    {!Runq.delegate_point}. *)
+
+val handoff_source : target:int -> Vino_vm.Asm.item list
+(** A delegate that always hands the timeslice to a fixed thread id — the
+    client-blocked-on-server / UI-to-video-thread pattern. *)
+
+val conditional_handoff_source : flag_addr:int -> target:int -> Vino_vm.Asm.item list
+(** Hand off to [target] only when the application has set the word at
+    [flag_addr] in the shared window (e.g. "a frame is due"); otherwise
+    keep the timeslice. *)

@@ -1,0 +1,168 @@
+module Cpu = Vino_vm.Cpu
+module Mem = Vino_vm.Mem
+module Engine = Vino_sim.Engine
+module Kernel = Vino_core.Kernel
+module Kcall = Vino_core.Kcall
+module Graft_point = Vino_core.Graft_point
+module Calltable = Vino_core.Calltable
+module Txn = Vino_txn.Txn
+
+type delegate_request = { self : int; runnable : int list }
+
+type task = {
+  tid : int;
+  tname : string;
+  delegate : (delegate_request, int) Graft_point.t;
+  mutable group : int option;
+}
+
+type t = {
+  kernel : Kernel.t;
+  tslice : int;
+  switch_cost : int;
+  graft_support : bool;
+  lock_name : string;
+  tasks : (int, task) Hashtbl.t;
+  valid_tids : Calltable.t;
+  queue : int Queue.t;
+  mutable next_tid : int;
+  mutable n_switches : int;
+  mutable n_redirects : int;
+  mutable n_invalid : int;
+}
+
+(* The process list is written above the first 64 words of the graft
+   segment, which are reserved as the application-shared window (e.g. for
+   handoff flags). *)
+let list_area = 64
+let max_listed = 64
+
+let instances = ref 0
+
+let create kernel ?(timeslice = Vino_txn.Tcosts.us 10_000.)
+    ?(switch_cost = Vino_txn.Tcosts.us 27.) ?(graft_support = true) () =
+  incr instances;
+  let lock =
+    Kernel.make_lock kernel
+      ~timeout:(Vino_txn.Tcosts.us 200.)
+      ~name:(Printf.sprintf "process-list-%d" !instances)
+      ()
+  in
+  let lock_name = Printf.sprintf "sched.proclist-lock:%d" !instances in
+  let (_ : Kcall.fn) =
+    Kernel.register_kcall kernel ~name:lock_name (fun ctx ->
+        match ctx.Kcall.txn with
+        | None -> Kcall.abort "process-list lock outside a transaction"
+        | Some txn -> (
+            match Txn.acquire_lock txn lock Exclusive with
+            | Ok () -> Kcall.ok
+            | Error reason -> Kcall.abort reason))
+  in
+  {
+    kernel;
+    tslice = timeslice;
+    switch_cost;
+    graft_support;
+    lock_name;
+    tasks = Hashtbl.create 64;
+    valid_tids = Calltable.create ();
+    queue = Queue.create ();
+    next_tid = 1;
+    n_switches = 0;
+    n_redirects = 0;
+    n_invalid = 0;
+  }
+
+let setup kernel cpu req =
+  let seg = Cpu.segment cpu in
+  Cpu.set_reg cpu 1 req.self;
+  let listed = List.filteri (fun k _ -> k < max_listed) req.runnable in
+  List.iteri
+    (fun k tid ->
+      Mem.store kernel.Kernel.mem (Mem.sandbox seg (list_area + k)) tid)
+    listed;
+  Cpu.set_reg cpu 2 (seg.Vino_vm.Mem.base + list_area);
+  Cpu.set_reg cpu 3 (List.length listed)
+
+let spawn_task t ~name =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let delegate =
+    Graft_point.create
+      ~name:(Printf.sprintf "%s.schedule-delegate" name)
+      ~default:(fun req -> req.self)
+      ~setup:(setup t.kernel)
+      ~read_result:(fun cpu _ -> Ok (Cpu.reg cpu 0))
+      ()
+  in
+  let task = { tid; tname = name; delegate; group = None } in
+  Hashtbl.replace t.tasks tid task;
+  Calltable.add t.valid_tids tid;
+  Queue.push tid t.queue;
+  task
+
+let task_id task = task.tid
+let task_name task = task.tname
+let delegate_point task = task.delegate
+
+let remove_task t task =
+  Hashtbl.remove t.tasks task.tid;
+  Calltable.remove t.valid_tids task.tid;
+  (* lazy removal from the queue: skipped when popped *)
+  ()
+
+let join_group _t task ~group = task.group <- Some group
+
+let same_group a b =
+  match (a.group, b.group) with
+  | Some g1, Some g2 -> g1 = g2
+  | _, _ -> false
+
+let runnable_snapshot t =
+  Queue.fold (fun acc tid -> tid :: acc) [] t.queue |> List.rev
+
+let rec pop_live t =
+  match Queue.pop t.queue with
+  | exception Queue.Empty -> None
+  | tid -> (
+      match Hashtbl.find_opt t.tasks tid with
+      | Some task -> Some task
+      | None -> pop_live t (* task was removed; skip its stale entry *))
+
+let schedule t ~cred =
+  match pop_live t with
+  | None -> None
+  | Some task ->
+      Queue.push task.tid t.queue;
+      let req = { self = task.tid; runnable = runnable_snapshot t } in
+      let suggestion =
+        if t.graft_support then
+          Graft_point.invoke task.delegate t.kernel ~cred req
+        else Graft_point.default_fn task.delegate req
+      in
+      let chosen =
+        if suggestion = task.tid then task
+        else if not (Calltable.mem t.valid_tids suggestion) then begin
+          t.n_invalid <- t.n_invalid + 1;
+          task
+        end
+        else
+          match Hashtbl.find_opt t.tasks suggestion with
+          | Some target when same_group task target ->
+              t.n_redirects <- t.n_redirects + 1;
+              target
+          | Some _ | None ->
+              (* delegating outside the consenting group is antisocial
+                 (Rule 8): ignored *)
+              t.n_invalid <- t.n_invalid + 1;
+              task
+      in
+      t.n_switches <- t.n_switches + 1;
+      Engine.delay t.switch_cost;
+      Some chosen
+
+let switches t = t.n_switches
+let delegate_redirects t = t.n_redirects
+let invalid_delegations t = t.n_invalid
+let timeslice t = t.tslice
+let proclist_lock_name t = t.lock_name

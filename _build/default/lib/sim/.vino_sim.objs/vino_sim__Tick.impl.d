@@ -1,0 +1,1 @@
+lib/sim/tick.ml: Engine Vino_vm

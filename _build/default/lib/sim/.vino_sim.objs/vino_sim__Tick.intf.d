@@ -1,0 +1,1 @@
+lib/sim/tick.mli: Engine

@@ -1,0 +1,189 @@
+exception Stopped
+
+type proc = {
+  id : int;
+  name : string;
+  mutable dead : bool;
+  mutable kill_requested : bool;
+  mutable interrupt : (exn -> unit) option;
+      (* set while suspended: injects an exception into the continuation *)
+}
+
+type event = { mutable cancelled : bool; mutable thunk : unit -> unit }
+
+type t = {
+  mutable clock : int;
+  queue : event Pqueue.t;
+  mutable procs : proc list;
+  mutable failures : (string * exn) list;
+  mutable next_id : int;
+}
+
+type cancel = unit -> unit
+
+type _ Effect.t +=
+  | Delay : int -> unit Effect.t
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+  | Yield : unit Effect.t
+  | Self : proc Effect.t
+
+let create () =
+  {
+    clock = 0;
+    queue = Pqueue.create ();
+    procs = [];
+    failures = [];
+    next_id = 0;
+  }
+
+let now t = t.clock
+let now_us t = Vino_vm.Costs.us_of_cycles t.clock
+
+let do_nothing () = ()
+
+let at t time f =
+  if time < t.clock then
+    invalid_arg "Engine.at: cannot schedule in the past";
+  let ev = { cancelled = false; thunk = f } in
+  Pqueue.add t.queue ~key:time ev;
+  fun () ->
+    ev.cancelled <- true;
+    (* drop the closure so cancelled events don't retain memory *)
+    ev.thunk <- do_nothing
+
+let after t delta f = at t (t.clock + delta) f
+
+(* Schedule and discard the cancellation handle. *)
+let schedule t time f =
+  let (_ : cancel) = at t time f in
+  ()
+
+let proc_name p = p.name
+let proc_id p = p.id
+let alive p = not p.dead
+
+let delay n = Effect.perform (Delay n)
+let yield () = Effect.perform Yield
+let suspend f = Effect.perform (Suspend f)
+let self () = Effect.perform Self
+
+(* Run [f] as the body of process [p], handling its scheduling effects. *)
+let start t p body =
+  let open Effect.Deep in
+  (* Resume a stored continuation from the event loop on behalf of [p]. *)
+  let resuming k v =
+    p.interrupt <- None;
+    continue k v
+  in
+  let discontinuing k e =
+    p.interrupt <- None;
+    discontinue k e
+  in
+  let handle_delay n k =
+    if p.kill_requested then discontinue k Stopped
+    else begin
+      let fired = ref false in
+      let cancel =
+        at t (t.clock + n) (fun () ->
+            if not !fired then begin
+              fired := true;
+              resuming k ()
+            end)
+      in
+      p.interrupt <-
+        Some
+          (fun e ->
+            if not !fired then begin
+              fired := true;
+              cancel ();
+              schedule t t.clock (fun () -> discontinuing k e)
+            end)
+    end
+  in
+  let handle_suspend f k =
+    if p.kill_requested then discontinue k Stopped
+    else begin
+      let fired = ref false in
+      p.interrupt <-
+        Some
+          (fun e ->
+            if not !fired then begin
+              fired := true;
+              schedule t t.clock (fun () -> discontinuing k e)
+            end);
+      f (fun v ->
+          if not !fired then begin
+            fired := true;
+            (* resume from the event loop, not the waker's stack *)
+            schedule t t.clock (fun () -> resuming k v)
+          end)
+    end
+  in
+  let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
+    function
+    | Delay n -> Some (fun k -> handle_delay n k)
+    | Yield -> Some (fun k -> handle_delay 0 k)
+    | Suspend f -> Some (fun k -> handle_suspend f k)
+    | Self -> Some (fun k -> continue k p)
+    | _ -> None
+  in
+  let retc () = p.dead <- true in
+  let exnc = function
+    | Stopped -> p.dead <- true
+    | e ->
+        p.dead <- true;
+        t.failures <- (p.name, e) :: t.failures
+  in
+  match_with
+    (fun () -> if p.kill_requested then raise Stopped else body ())
+    () { retc; exnc; effc }
+
+let spawn t ?name body =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "proc-%d" id
+  in
+  let p =
+    { id; name; dead = false; kill_requested = false; interrupt = None }
+  in
+  t.procs <- p :: t.procs;
+  schedule t t.clock (fun () -> start t p body);
+  p
+
+let kill _t p =
+  if not p.dead then begin
+    p.kill_requested <- true;
+    match p.interrupt with
+    | Some inject -> inject Stopped
+    | None -> () (* flag is honoured at the next suspension point *)
+  end
+
+let step t =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some (time, ev) ->
+      t.clock <- max t.clock time;
+      if not ev.cancelled then ev.thunk ();
+      true
+
+let run ?until t =
+  let continue_past time =
+    match until with None -> true | Some limit -> time <= limit
+  in
+  let rec loop () =
+    match Pqueue.peek_key t.queue with
+    | None -> ()
+    | Some time when not (continue_past time) -> ()
+    | Some _ ->
+        ignore (step t);
+        loop ()
+  in
+  loop ()
+
+let failures t = List.rev t.failures
+
+let blocked t =
+  t.procs
+  |> List.filter (fun p -> (not p.dead) && p.interrupt <> None)
+  |> List.rev_map (fun p -> p.name)

@@ -1,0 +1,68 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let precedes a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow t entry =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let fresh = Array.make (max 8 (2 * capacity)) entry in
+    Array.blit t.data 0 fresh 0 t.size;
+    t.data <- fresh
+  end
+
+let rec sift_up t k =
+  if k > 0 then begin
+    let parent = (k - 1) / 2 in
+    if precedes t.data.(k) t.data.(parent) then begin
+      let tmp = t.data.(k) in
+      t.data.(k) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t k =
+  let left = (2 * k) + 1 and right = (2 * k) + 2 in
+  let smallest = ref k in
+  if left < t.size && precedes t.data.(left) t.data.(!smallest) then
+    smallest := left;
+  if right < t.size && precedes t.data.(right) t.data.(!smallest) then
+    smallest := right;
+  if !smallest <> k then begin
+    let tmp = t.data.(k) in
+    t.data.(k) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~key value =
+  let entry = { key; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek_key t = if t.size = 0 then None else Some t.data.(0).key

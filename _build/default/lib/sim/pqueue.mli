@@ -1,0 +1,18 @@
+(** Binary min-heap used as the simulation event queue.
+
+    Entries are ordered by [key] (virtual time) and, for equal keys, by
+    insertion sequence — so simultaneous events run in FIFO order and the
+    simulation is deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val add : 'a t -> key:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum entry as [(key, value)]. *)
+
+val peek_key : 'a t -> int option

@@ -1,0 +1,55 @@
+type t = { mutable samples : float list; mutable n : int }
+
+let create () = { samples = []; n = 0 }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.n <- t.n + 1
+
+let count t = t.n
+
+let mean_of = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev_of = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+      let m = mean_of xs in
+      let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+      sqrt (sq /. float_of_int (List.length xs - 1))
+
+let mean t = mean_of t.samples
+let stddev t = stddev_of t.samples
+
+let trimmed ?(fraction = 0.10) t =
+  let sorted = List.sort compare t.samples in
+  let n = List.length sorted in
+  let drop = int_of_float (fraction *. float_of_int n) in
+  sorted |> List.filteri (fun k _ -> k >= drop && k < n - drop)
+
+let trimmed_mean ?fraction t = mean_of (trimmed ?fraction t)
+let trimmed_stddev ?fraction t = stddev_of (trimmed ?fraction t)
+
+let min_value t = List.fold_left min infinity t.samples
+let max_value t = List.fold_left max neg_infinity t.samples
+
+let percentile t p =
+  match List.sort compare t.samples with
+  | [] -> 0.
+  | sorted ->
+      let n = List.length sorted in
+      let rank = p /. 100. *. float_of_int (n - 1) in
+      let low = int_of_float rank in
+      let high = min (low + 1) (n - 1) in
+      let frac = rank -. float_of_int low in
+      let nth k = List.nth sorted k in
+      (nth low *. (1. -. frac)) +. (nth high *. frac)
+
+module Counter = struct
+  type t = int ref
+
+  let create () = ref 0
+  let incr ?(by = 1) t = t := !t + by
+  let value t = !t
+end

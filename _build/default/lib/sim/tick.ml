@@ -1,0 +1,25 @@
+type t = { engine : Engine.t; tick : int }
+
+let default_tick = Vino_vm.Costs.cycles_of_us 10_000. (* 10 ms *)
+
+let create engine ?(tick = default_tick) () =
+  if tick <= 0 then invalid_arg "Tick.create: tick must be positive";
+  { engine; tick }
+
+let tick t = t.tick
+
+let round_up_to_boundary t time =
+  (time + t.tick - 1) / t.tick * t.tick
+
+(* avoid overflow for effectively-infinite timeouts *)
+let saturating_add now after =
+  if after >= max_int - now - 1 then max_int / 2 else now + after
+
+let arm t ~after f =
+  let now = Engine.now t.engine in
+  let deadline = round_up_to_boundary t (saturating_add now after) in
+  Engine.at t.engine deadline f
+
+let latency t ~after =
+  let now = Engine.now t.engine in
+  round_up_to_boundary t (saturating_add now after) - now

@@ -1,0 +1,22 @@
+(** Clock-tick–aligned timeouts.
+
+    The paper (§4.5) schedules transaction time-outs on system-clock
+    boundaries, which occur every 10 ms; the delay for timing out a
+    transaction is therefore between 10 and 20 ms. This module reproduces
+    that behaviour: a timeout armed for [after] cycles fires on the first
+    tick boundary at or after [now + after]. The ablation bench compares
+    this against fine-grained timeouts (a wheel with [tick = 1]). *)
+
+type t
+
+val default_tick : int
+(** 10 ms at 120 MHz. *)
+
+val create : Engine.t -> ?tick:int -> unit -> t
+val tick : t -> int
+
+val arm : t -> after:int -> (unit -> unit) -> Engine.cancel
+(** [arm w ~after f]: run [f] on the first tick boundary >= now + after. *)
+
+val latency : t -> after:int -> int
+(** The actual delay [arm] would impose for a nominal [after], from now. *)

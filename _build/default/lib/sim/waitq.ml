@@ -1,0 +1,51 @@
+type outcome = Signalled | Timed_out
+
+type waiter = { wid : int; wake : outcome -> unit }
+
+type t = {
+  engine : Engine.t;
+  mutable waiters : waiter list; (* FIFO: head is longest-waiting *)
+  mutable next_wid : int;
+}
+
+let create engine = { engine; waiters = []; next_wid = 0 }
+let length t = List.length t.waiters
+
+let enqueue t wake =
+  let wid = t.next_wid in
+  t.next_wid <- wid + 1;
+  t.waiters <- t.waiters @ [ { wid; wake } ];
+  wid
+
+let remove t wid = t.waiters <- List.filter (fun w -> w.wid <> wid) t.waiters
+
+let wait t =
+  match
+    Engine.suspend (fun wake -> ignore (enqueue t wake))
+  with
+  | Signalled -> ()
+  | Timed_out -> assert false (* no timer was armed *)
+
+let wait_timeout t cycles =
+  Engine.suspend (fun wake ->
+      let wid = enqueue t wake in
+      let (_ : Engine.cancel) =
+        Engine.after t.engine cycles (fun () ->
+            remove t wid;
+            wake Timed_out)
+      in
+      ())
+
+let signal t =
+  match t.waiters with
+  | [] -> false
+  | w :: rest ->
+      t.waiters <- rest;
+      w.wake Signalled;
+      true
+
+let broadcast t =
+  let woken = t.waiters in
+  t.waiters <- [];
+  List.iter (fun w -> w.wake Signalled) woken;
+  List.length woken

@@ -1,0 +1,26 @@
+(** FIFO wait queues (condition variables) for engine processes.
+
+    Lock waiters, I/O completions and the page daemon all block on wait
+    queues. {!wait_timeout} implements the paper's time-constrained-resource
+    discipline: a blocked waiter schedules a timeout whose expiry lets the
+    caller take recovery action (abort the holder's transaction). *)
+
+type t
+
+type outcome = Signalled | Timed_out
+
+val create : Engine.t -> t
+val length : t -> int
+
+val wait : t -> unit
+(** Block the calling process until {!signal} or {!broadcast} reaches it. *)
+
+val wait_timeout : t -> int -> outcome
+(** [wait_timeout q cycles] blocks at most [cycles]; FIFO order. A waiter
+    that times out is removed from the queue. *)
+
+val signal : t -> bool
+(** Wake the longest-waiting process; [false] if the queue was empty. *)
+
+val broadcast : t -> int
+(** Wake everyone; returns how many were woken. *)

@@ -1,0 +1,1 @@
+lib/stream/channel.ml: Array Printf Vino_core Vino_sim Vino_vm

@@ -1,0 +1,1 @@
+lib/stream/channel.mli: Vino_core Vino_misfit Vino_txn

@@ -1,0 +1,1 @@
+lib/stream/grafts.ml: Vino_vm

@@ -1,0 +1,1 @@
+lib/stream/grafts.mli: Vino_vm

@@ -1,0 +1,1 @@
+lib/txn/lock.ml: List Lock_policy Printf Tcosts Vino_sim

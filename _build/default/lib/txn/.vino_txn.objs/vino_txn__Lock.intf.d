@@ -1,0 +1,1 @@
+lib/txn/lock.mli: Lock_policy Tcosts Vino_sim

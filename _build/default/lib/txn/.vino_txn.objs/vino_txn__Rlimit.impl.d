@@ -1,0 +1,1 @@
+lib/txn/rlimit.ml: Array Format List

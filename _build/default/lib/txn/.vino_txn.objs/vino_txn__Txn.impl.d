@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Hashtbl List Lock Result Tcosts Undo_log Vino_sim

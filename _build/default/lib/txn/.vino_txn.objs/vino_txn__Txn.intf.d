@@ -1,0 +1,1 @@
+lib/txn/txn.mli: Lock Lock_policy Tcosts Vino_sim

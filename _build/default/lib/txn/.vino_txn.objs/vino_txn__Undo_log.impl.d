@@ -1,0 +1,1 @@
+lib/txn/undo_log.ml: List

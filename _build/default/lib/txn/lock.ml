@@ -1,0 +1,213 @@
+module Engine = Vino_sim.Engine
+module Tick = Vino_sim.Tick
+
+type owner = { name : string; request_abort : (string -> unit) option }
+
+let plain_owner name = { name; request_abort = None }
+
+type signal = Wake | Timeout_fired
+
+type waiter = {
+  wowner : owner;
+  wmode : Lock_policy.mode;
+  mutable pending_wake : bool;
+  mutable waker : (signal -> unit) option;
+}
+
+type t = {
+  engine : Engine.t;
+  wheel : Tick.t;
+  costs : Tcosts.t;
+  lname : string;
+  ltimeout : int;
+  mutable lpolicy : Lock_policy.t;
+  mutable holders : held list;
+  mutable waitq : waiter list; (* index 0 is the queue head *)
+  mutable n_acquisitions : int;
+  mutable n_contentions : int;
+  mutable n_timeouts : int;
+  mutable n_holder_aborts : int;
+  mutable n_hold_cycles : int;
+}
+
+and held = {
+  lock : t;
+  howner : owner;
+  hmode : Lock_policy.mode;
+  acquired_at : int;
+  mutable released : bool;
+}
+
+type outcome = Granted of held | Gave_up of string
+
+let default_timeout = Tcosts.us 1000.
+
+let create engine ~wheel ?(costs = Tcosts.default)
+    ?(policy = Lock_policy.reader_priority) ?(timeout = default_timeout)
+    ~name () =
+  {
+    engine;
+    wheel;
+    costs;
+    lname = name;
+    ltimeout = timeout;
+    lpolicy = policy;
+    holders = [];
+    waitq = [];
+    n_acquisitions = 0;
+    n_contentions = 0;
+    n_timeouts = 0;
+    n_holder_aborts = 0;
+    n_hold_cycles = 0;
+  }
+
+let name t = t.lname
+let timeout t = t.ltimeout
+let policy t = t.lpolicy
+let set_policy t p = t.lpolicy <- p
+let holder_modes t = List.map (fun h -> h.hmode) t.holders
+let holders t = List.map (fun h -> (h.howner.name, h.hmode)) t.holders
+let waiters t = List.map (fun w -> (w.wowner.name, w.wmode)) t.waitq
+let acquisitions t = t.n_acquisitions
+let contentions t = t.n_contentions
+let timeouts_fired t = t.n_timeouts
+let holder_aborts_requested t = t.n_holder_aborts
+let total_hold_cycles t = t.n_hold_cycles
+
+let charge_policy t = t.lpolicy.indirections * t.costs.policy_indirection
+
+(* Insert at the index chosen by the policy. *)
+let enqueue t w =
+  let k = t.lpolicy.insert w.wmode ~waiters:(List.map (fun x -> x.wmode) t.waitq) in
+  let rec ins i = function
+    | rest when i = 0 -> w :: rest
+    | [] -> [ w ]
+    | x :: rest -> x :: ins (i - 1) rest
+  in
+  t.waitq <- ins k t.waitq
+
+let dequeue t w = t.waitq <- List.filter (fun x -> x != w) t.waitq
+
+(* Modes of the waiters strictly ahead of [w] in the queue (everything, for a
+   fresh request). *)
+let modes_ahead_of t w =
+  let rec take acc = function
+    | [] -> List.rev acc
+    | x :: _ when x == w -> List.rev acc
+    | x :: rest -> take (x.wmode :: acc) rest
+  in
+  take [] t.waitq
+
+let wake_waiters t =
+  List.iter
+    (fun w ->
+      w.pending_wake <- true;
+      match w.waker with Some f -> f Wake | None -> ())
+    t.waitq
+
+let grant t mode owner =
+  let h =
+    {
+      lock = t;
+      howner = owner;
+      hmode = mode;
+      acquired_at = Engine.now t.engine;
+      released = false;
+    }
+  in
+  t.holders <- h :: t.holders;
+  t.n_acquisitions <- t.n_acquisitions + 1;
+  h
+
+(* Ask every abortable holder's transaction to abort: the paper's
+   time-constrained-resource recovery (§3.2). *)
+let abort_holders t =
+  List.iter
+    (fun h ->
+      match h.howner.request_abort with
+      | Some f ->
+          t.n_holder_aborts <- t.n_holder_aborts + 1;
+          f (Printf.sprintf "lock %S held past its time-out" t.lname)
+      | None -> ())
+    t.holders
+
+(* One blocking episode for waiter [w]: returns the signal that ended it. *)
+let sleep t w =
+  if w.pending_wake then begin
+    w.pending_wake <- false;
+    Wake
+  end
+  else begin
+    let cancel_timer = ref (fun () -> ()) in
+    let result =
+      Engine.suspend (fun wk ->
+          w.waker <- Some wk;
+          cancel_timer :=
+            Tick.arm t.wheel ~after:t.ltimeout (fun () ->
+                match w.waker with Some f -> f Timeout_fired | None -> ()))
+    in
+    !cancel_timer ();
+    w.waker <- None;
+    if result = Wake then w.pending_wake <- false;
+    result
+  end
+
+let acquire t mode owner ?(poll = fun () -> None) () =
+  let acquisition_charge =
+    t.costs.mutex_acquire
+    + (match owner.request_abort with
+      | Some _ -> t.costs.txn_lock_extra
+      | None -> 0)
+    + charge_policy t
+  in
+  Engine.delay acquisition_charge;
+  match poll () with
+  | Some reason -> Gave_up reason
+  | None ->
+      if
+        t.lpolicy.grant mode ~holders:(holder_modes t)
+          ~waiters:(List.map (fun x -> x.wmode) t.waitq)
+      then Granted (grant t mode owner)
+      else begin
+        t.n_contentions <- t.n_contentions + 1;
+        let w =
+          { wowner = owner; wmode = mode; pending_wake = false; waker = None }
+        in
+        enqueue t w;
+        let rec wait_loop () =
+          let signal = sleep t w in
+          match poll () with
+          | Some reason ->
+              dequeue t w;
+              Gave_up reason
+          | None ->
+              if
+                t.lpolicy.grant mode ~holders:(holder_modes t)
+                  ~waiters:(modes_ahead_of t w)
+              then begin
+                dequeue t w;
+                Granted (grant t mode owner)
+              end
+              else begin
+                (match signal with
+                | Timeout_fired ->
+                    t.n_timeouts <- t.n_timeouts + 1;
+                    abort_holders t
+                | Wake -> ());
+                wait_loop ()
+              end
+        in
+        wait_loop ()
+      end
+
+let release ?(during_abort = false) h =
+  if not h.released then begin
+    let t = h.lock in
+    h.released <- true;
+    t.n_hold_cycles <- t.n_hold_cycles + (Engine.now t.engine - h.acquired_at);
+    t.holders <- List.filter (fun x -> x != h) t.holders;
+    wake_waiters t;
+    Engine.delay
+      (if during_abort then t.costs.lock_release_abort
+       else t.costs.mutex_release)
+  end

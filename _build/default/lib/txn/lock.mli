@@ -1,0 +1,78 @@
+(** Time-out–based kernel locks (paper §3.1, §3.2).
+
+    Locks are the time-constrained resources: holding one is harmless until
+    somebody else wants it. Every lockable resource type carries a time-out
+    saying how long it may be held under contention. A blocked request
+    schedules that time-out (on 10 ms clock-tick boundaries, §4.5); if it
+    expires and a holder is executing a transaction, that holder's
+    transaction is asked to abort — which releases the lock and lets the
+    rest of the system make progress. This also implicitly breaks deadlocks.
+
+    Acquisition charges virtual cycles to the calling engine process:
+    a conventional mutex price for plain threads, plus the transaction-lock
+    surcharge (§4.6) when the owner is abortable, plus one
+    policy-indirection charge per encapsulated decision point (Fig 4/5). *)
+
+type owner = {
+  name : string;
+  request_abort : (string -> unit) option;
+      (** [Some f] iff the owner is executing a transaction; [f reason]
+          asks that transaction to abort at its next poll point. *)
+}
+
+val plain_owner : string -> owner
+(** A non-transactional kernel thread: cannot be aborted by waiters. *)
+
+type t
+type held
+(** Evidence of a granted acquisition; needed to release. *)
+
+type outcome =
+  | Granted of held
+  | Gave_up of string
+      (** the caller's own transaction was asked to abort while waiting *)
+
+val create :
+  Vino_sim.Engine.t ->
+  wheel:Vino_sim.Tick.t ->
+  ?costs:Tcosts.t ->
+  ?policy:Lock_policy.t ->
+  ?timeout:int ->
+  name:string ->
+  unit ->
+  t
+(** [timeout] is the per-resource-type hold time-out in cycles (default
+    1 ms). [policy] defaults to {!Lock_policy.reader_priority}. *)
+
+val acquire :
+  t ->
+  Lock_policy.mode ->
+  owner ->
+  ?poll:(unit -> string option) ->
+  unit ->
+  outcome
+(** Block until granted. While blocked, each expiry of the lock's time-out
+    asks every abortable holder's transaction to abort, then keeps waiting.
+    [poll] is consulted at every wake-up so a waiter whose own transaction
+    has been aborted gives up promptly. Must run inside an engine process. *)
+
+val release : ?during_abort:bool -> held -> unit
+(** [during_abort] selects the abort-path cost (~10 us per lock, §4.5). *)
+
+val name : t -> string
+val timeout : t -> int
+val policy : t -> Lock_policy.t
+
+val set_policy : t -> Lock_policy.t -> unit
+(** The lock-policy graft point (Fig 5). *)
+
+val holders : t -> (string * Lock_policy.mode) list
+val waiters : t -> (string * Lock_policy.mode) list
+
+(* Statistics for the experiment harness. *)
+
+val acquisitions : t -> int
+val contentions : t -> int
+val timeouts_fired : t -> int
+val holder_aborts_requested : t -> int
+val total_hold_cycles : t -> int

@@ -1,0 +1,35 @@
+type mode = Shared | Exclusive
+
+let conflicts a b =
+  match (a, b) with Shared, Shared -> false | _, _ -> true
+
+type t = {
+  name : string;
+  grant : mode -> holders:mode list -> waiters:mode list -> bool;
+  insert : mode -> waiters:mode list -> int;
+  indirections : int;
+}
+
+let no_holder_conflict mode holders =
+  not (List.exists (fun h -> conflicts mode h) holders)
+
+let reader_priority =
+  {
+    name = "reader-priority";
+    grant = (fun mode ~holders ~waiters:_ -> no_holder_conflict mode holders);
+    insert = (fun _mode ~waiters -> List.length waiters);
+    indirections = 0;
+  }
+
+let fifo_fair =
+  {
+    name = "fifo-fair";
+    grant =
+      (fun mode ~holders ~waiters ->
+        waiters = [] && no_holder_conflict mode holders);
+    insert = (fun _mode ~waiters -> List.length waiters);
+    indirections = 0;
+  }
+
+let factored p =
+  { p with name = p.name ^ "-factored"; indirections = 2 }

@@ -1,0 +1,42 @@
+(** Encapsulated lock-manager policy decisions (paper §6, Figures 4 and 5).
+
+    A conventional lock manager hard-codes at least two policy decisions in
+    its [get_lock] path: whether an incoming request may be granted when it
+    does not conflict with current holders (ignoring waiters — reader
+    priority), and where a blocked request sits in the wait queue. The
+    fully-factored implementation puts each decision behind an indirection
+    so grafts can replace it, at the cost of a function call (~35 cycles)
+    per decision point.
+
+    [indirections] records how many such encapsulated decision points a
+    policy consults per operation; the lock manager charges
+    {!Tcosts.t.policy_indirection} cycles for each, which is what the
+    Fig 4/5 ablation bench measures. *)
+
+type mode = Shared | Exclusive
+
+val conflicts : mode -> mode -> bool
+(** Shared/Shared is the only compatible pair. *)
+
+type t = {
+  name : string;
+  grant : mode -> holders:mode list -> waiters:mode list -> bool;
+      (** may a fresh request be granted right now? *)
+  insert : mode -> waiters:mode list -> int;
+      (** index in the wait queue at which a blocked request is placed *)
+  indirections : int;
+}
+
+val reader_priority : t
+(** Figure 4: grant whenever no holder conflicts, ignoring the wait list;
+    append to the waiters. Zero indirections — the conventional inlined
+    implementation. *)
+
+val fifo_fair : t
+(** Grant only if no holder conflicts and nobody is already waiting; append.
+    Zero indirections. *)
+
+val factored : t -> t
+(** The Figure 5 treatment of any policy: same decisions, but each of the
+    two decision points (grant check, queue insertion) is consulted through
+    an indirection. *)

@@ -1,0 +1,77 @@
+type resource = Memory_words | Wired_pages | Io_slots | Net_packets
+
+let all_resources = [ Memory_words; Wired_pages; Io_slots; Net_packets ]
+
+let resource_name = function
+  | Memory_words -> "memory-words"
+  | Wired_pages -> "wired-pages"
+  | Io_slots -> "io-slots"
+  | Net_packets -> "net-packets"
+
+let index = function
+  | Memory_words -> 0
+  | Wired_pages -> 1
+  | Io_slots -> 2
+  | Net_packets -> 3
+
+type account = { limits : int array; uses : int array }
+type t = { account : account }
+
+let n = List.length all_resources
+
+let create ?(memory_words = 0) ?(wired_pages = 0) ?(io_slots = 0)
+    ?(net_packets = 0) () =
+  let limits = Array.make n 0 in
+  limits.(index Memory_words) <- memory_words;
+  limits.(index Wired_pages) <- wired_pages;
+  limits.(index Io_slots) <- io_slots;
+  limits.(index Net_packets) <- net_packets;
+  { account = { limits; uses = Array.make n 0 } }
+
+let zero () = create ()
+
+let unlimited () =
+  let big = max_int / 2 in
+  create ~memory_words:big ~wired_pages:big ~io_slots:big ~net_packets:big ()
+
+let delegate t = { account = t.account }
+let same_account a b = a.account == b.account
+let limit t r = t.account.limits.(index r)
+let used t r = t.account.uses.(index r)
+let available t r = limit t r - used t r
+
+let request t r amount =
+  if amount <= 0 then invalid_arg "Rlimit.request: amount must be positive";
+  let k = index r in
+  if t.account.uses.(k) + amount > t.account.limits.(k) then Error `Denied
+  else begin
+    t.account.uses.(k) <- t.account.uses.(k) + amount;
+    Ok ()
+  end
+
+let release t r amount =
+  if amount <= 0 then invalid_arg "Rlimit.release: amount must be positive";
+  let k = index r in
+  t.account.uses.(k) <- max 0 (t.account.uses.(k) - amount)
+
+let transfer ~src ~dst r amount =
+  if amount <= 0 then invalid_arg "Rlimit.transfer: amount must be positive";
+  if same_account src dst then Error `Denied
+  else
+    let k = index r in
+    if src.account.limits.(k) - amount < src.account.uses.(k) then
+      Error `Denied
+    else begin
+      src.account.limits.(k) <- src.account.limits.(k) - amount;
+      dst.account.limits.(k) <- dst.account.limits.(k) + amount;
+      Ok ()
+    end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-13s %d/%d@ " (resource_name r) (used t r)
+        (limit t r))
+    all_resources;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,211 @@
+module Engine = Vino_sim.Engine
+module Tick = Vino_sim.Tick
+
+type state = Active | Committed | Aborted of string
+
+type mgr = {
+  engine : Engine.t;
+  wheel : Tick.t;
+  costs : Tcosts.t;
+  mutable next_id : int;
+  mutable n_begins : int;
+  mutable n_commits : int;
+  mutable n_aborts : int;
+  mutable n_live : int;
+  current : (int, tref) Hashtbl.t; (* engine proc id -> innermost txn *)
+}
+and tref = T : t -> tref
+
+and t = {
+  mgr : mgr;
+  tid : int;
+  tname : string;
+  tparent : t option;
+  undo : Undo_log.t;
+  mutable locks : Lock.held list; (* most recently acquired first *)
+  mutable tstate : state;
+  mutable abort_reason : string option;
+  mutable active_children : int;
+  mutable deferred : (unit -> unit) list; (* run at top-level commit only *)
+}
+
+let create_mgr engine ~wheel ?(costs = Tcosts.default) () =
+  {
+    engine;
+    wheel;
+    costs;
+    next_id = 0;
+    n_begins = 0;
+    n_commits = 0;
+    n_aborts = 0;
+    n_live = 0;
+    current = Hashtbl.create 16;
+  }
+
+let engine m = m.engine
+let wheel m = m.wheel
+let costs m = m.costs
+let begins m = m.n_begins
+let commits m = m.n_commits
+let aborts m = m.n_aborts
+let live m = m.n_live
+
+let id t = t.tid
+let name t = t.tname
+let state t = t.tstate
+let is_active t = t.tstate = Active
+let parent t = t.tparent
+let undo_depth t = Undo_log.length t.undo
+let locks_held t = List.length t.locks
+
+let begin_ m ?parent ~name () =
+  (match parent with
+  | Some p ->
+      if p.mgr != m then invalid_arg "Txn.begin_: parent on another manager";
+      if not (is_active p) then
+        invalid_arg "Txn.begin_: parent is not active";
+      p.active_children <- p.active_children + 1
+  | None -> ());
+  let tid = m.next_id in
+  m.next_id <- tid + 1;
+  m.n_begins <- m.n_begins + 1;
+  m.n_live <- m.n_live + 1;
+  Engine.delay
+    (match parent with
+    | Some _ -> m.costs.nested_begin
+    | None -> m.costs.txn_begin);
+  {
+    mgr = m;
+    tid;
+    tname = name;
+    tparent = parent;
+    undo = Undo_log.create ();
+    locks = [];
+    tstate = Active;
+    abort_reason = None;
+    active_children = 0;
+    deferred = [];
+  }
+
+let defer t action =
+  if not (is_active t) then invalid_arg "Txn.defer: transaction is not active";
+  t.deferred <- action :: t.deferred
+
+let push_undo t ?cost ~label undo =
+  if not (is_active t) then
+    invalid_arg "Txn.push_undo: transaction is not active";
+  Undo_log.push t.undo ?cost ~label undo;
+  Engine.delay t.mgr.costs.undo_push
+
+let request_abort t reason =
+  if is_active t && t.abort_reason = None then t.abort_reason <- Some reason
+
+let abort_requested t = t.abort_reason
+
+let rec chain_abort_reason t =
+  match t.abort_reason with
+  | Some _ as r -> r
+  | None -> (
+      match t.tparent with Some p -> chain_abort_reason p | None -> None)
+
+let poll t () = if is_active t then chain_abort_reason t else None
+
+let owner t =
+  { Lock.name = t.tname; request_abort = Some (fun r -> request_abort t r) }
+
+let resolve t = t.mgr.n_live <- t.mgr.n_live - 1
+
+let finish_child t =
+  match t.tparent with
+  | Some p -> p.active_children <- p.active_children - 1
+  | None -> ()
+
+let abort t ~reason =
+  match t.tstate with
+  | Aborted _ -> ()
+  | Committed -> invalid_arg "Txn.abort: already committed"
+  | Active ->
+      if t.active_children > 0 then
+        invalid_arg "Txn.abort: children still active";
+      let replay_cost = Undo_log.replay t.undo in
+      List.iter (fun h -> Lock.release ~during_abort:true h) t.locks;
+      t.locks <- [];
+      t.deferred <- [];
+      t.tstate <- Aborted reason;
+      t.mgr.n_aborts <- t.mgr.n_aborts + 1;
+      resolve t;
+      finish_child t;
+      Engine.delay (t.mgr.costs.txn_abort + replay_cost)
+
+let commit t =
+  match t.tstate with
+  | Committed -> Ok ()
+  | Aborted reason -> Error reason
+  | Active -> (
+      if t.active_children > 0 then
+        invalid_arg "Txn.commit: children still active";
+      match chain_abort_reason t with
+      | Some reason ->
+          (* requested on us or on an ancestor: either way this transaction
+             cannot usefully continue *)
+          abort t ~reason;
+          Error reason
+      | None ->
+          (match t.tparent with
+          | Some p ->
+              (* merge undo stack, locks and deferred work into the parent
+                 (§3.1) *)
+              Undo_log.merge_into ~parent:p.undo t.undo;
+              p.locks <- t.locks @ p.locks;
+              t.locks <- [];
+              p.deferred <- t.deferred @ p.deferred;
+              t.deferred <- [];
+              Engine.delay t.mgr.costs.nested_commit
+          | None ->
+              List.iter (fun h -> Lock.release h) t.locks;
+              t.locks <- [];
+              let deferred = List.rev t.deferred in
+              t.deferred <- [];
+              List.iter (fun action -> action ()) deferred;
+              Engine.delay t.mgr.costs.txn_commit);
+          t.tstate <- Committed;
+          t.mgr.n_commits <- t.mgr.n_commits + 1;
+          resolve t;
+          finish_child t;
+          Ok ())
+
+(* The transaction the calling engine process is currently executing
+   under, if any (set by the invocation wrapper). *)
+let current m =
+  match Hashtbl.find_opt m.current (Engine.proc_id (Engine.self ())) with
+  | Some (T t) when is_active t -> Some t
+  | Some _ | None -> None
+
+let with_current m t f =
+  let pid = Engine.proc_id (Engine.self ()) in
+  let saved = Hashtbl.find_opt m.current pid in
+  Hashtbl.replace m.current pid (T t);
+  let restore () =
+    match saved with
+    | Some prev -> Hashtbl.replace m.current pid prev
+    | None -> Hashtbl.remove m.current pid
+  in
+  match f () with
+  | result ->
+      restore ();
+      result
+  | exception e ->
+      restore ();
+      raise e
+
+let acquire_lock t lock mode =
+  if not (is_active t) then Error "transaction is not active"
+  else
+    match Lock.acquire lock mode (owner t) ~poll:(poll t) () with
+    | Lock.Granted held ->
+        t.locks <- held :: t.locks;
+        Ok ()
+    | Lock.Gave_up reason -> Error reason
+
+let with_lock t lock mode f =
+  Result.map (fun () -> f ()) (acquire_lock t lock mode)

@@ -1,0 +1,111 @@
+(** The lightweight kernel transaction system (paper §3.1).
+
+    Every graft invocation runs inside a transaction so the kernel can
+    spontaneously abort it and clean up its state. The mechanism is simpler
+    than a data manager's: the log is transient and undo-only, so of the
+    ACID properties only atomicity, consistency and isolation are provided.
+    Two-phase locking holds every lock acquired under a transaction until
+    commit or abort. Because grafts may indirectly invoke other grafts,
+    transactions nest: a nested commit merges its undo stack and locks into
+    its parent; a nested abort undoes only its own work.
+
+    Aborts are requested asynchronously (by a lock time-out, a resource
+    quota, or an operator) and take effect when the transaction's thread
+    reaches a poll point — a graft VM poll, a lock operation, or commit. *)
+
+type mgr
+(** The default VINO transaction manager. *)
+
+type t
+
+type state = Active | Committed | Aborted of string
+
+val create_mgr :
+  Vino_sim.Engine.t -> wheel:Vino_sim.Tick.t -> ?costs:Tcosts.t -> unit -> mgr
+
+val engine : mgr -> Vino_sim.Engine.t
+val wheel : mgr -> Vino_sim.Tick.t
+val costs : mgr -> Tcosts.t
+
+val begin_ : mgr -> ?parent:t -> name:string -> unit -> t
+(** Allocate a transaction object associated with the calling thread and
+    charge the begin cost. [parent] must be [Active] and on the same
+    manager. Must run inside an engine process. *)
+
+val id : t -> int
+val name : t -> string
+val state : t -> state
+val is_active : t -> bool
+val parent : t -> t option
+val undo_depth : t -> int
+val locks_held : t -> int
+
+val defer : t -> (unit -> unit) -> unit
+(** Register an action to run only when the top-level transaction commits —
+    the paper's "delaying deletes until transaction abort [is ruled out]"
+    work-around (§6): an accessor that frees a kernel object must not free
+    it while an abort could still resurrect it, so the actual delete is
+    deferred to commit. Deferred work merges into the parent on nested
+    commit and is dropped on abort.
+    @raise Invalid_argument if the transaction is not active. *)
+
+val push_undo : t -> ?cost:int -> label:string -> (unit -> unit) -> unit
+(** Record the inverse of a kernel-state change (called by accessor
+    functions, §3.1). Charges the undo bookkeeping cost.
+    @raise Invalid_argument if the transaction is not active. *)
+
+val commit : t -> (unit, string) result
+(** If an abort was requested, performs the abort instead and returns
+    [Error reason]. A top-level commit releases all locks and discards the
+    undo stack; a nested commit merges both into the parent. Fails
+    (raises [Invalid_argument]) if children are still active. *)
+
+val abort : t -> reason:string -> unit
+(** Replay the undo stack (most recent first), release held locks at
+    abort-path cost, and mark the transaction aborted. Idempotent on an
+    already-aborted transaction. *)
+
+val request_abort : t -> string -> unit
+(** Asynchronous abort request; honoured at the next poll point. The first
+    request wins. No-op once the transaction is resolved. *)
+
+val abort_requested : t -> string option
+
+val poll : t -> unit -> string option
+(** Poll function for {!Vino_vm.Cpu.env} and {!Lock.acquire}: returns the
+    pending abort reason, checking this transaction and all ancestors
+    (a holder time-out on a lock acquired before the graft was invoked must
+    still stop the graft, §3.2). *)
+
+val owner : t -> Lock.owner
+(** Lock-manager identity: waiters that time out on a lock held by this
+    transaction will {!request_abort} it. *)
+
+val with_lock :
+  t -> Lock.t -> Lock_policy.mode -> (unit -> 'a) -> ('a, string) result
+(** Acquire under two-phase locking (released at commit/abort, not after
+    [f]). [Error reason] if the acquisition gave up because this
+    transaction was asked to abort. The caller is expected to abort on
+    error. *)
+
+val acquire_lock : t -> Lock.t -> Lock_policy.mode -> (unit, string) result
+(** Bare 2PL acquisition without a body. *)
+
+val current : mgr -> t option
+(** The transaction the calling engine process is executing under, if any —
+    the context graft invocations nest into (§3.1: "graft functions may
+    indirectly invoke other grafts ... nested transactions"). Set by the
+    invocation wrapper via {!with_current}. Must run inside an engine
+    process. *)
+
+val with_current : mgr -> t -> (unit -> 'a) -> 'a
+(** Run a computation with [t] as the calling process's current
+    transaction, restoring the previous binding afterwards (also on
+    exceptions). *)
+
+(* Manager-wide statistics. *)
+
+val begins : mgr -> int
+val commits : mgr -> int
+val aborts : mgr -> int
+val live : mgr -> int

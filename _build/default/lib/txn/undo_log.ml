@@ -1,0 +1,26 @@
+type entry = { label : string; undo : unit -> unit; cost : int }
+type t = { mutable entries : entry list (* most recent first *) }
+
+let create () = { entries = [] }
+let length t = List.length t.entries
+let is_empty t = t.entries = []
+
+let push t ?(cost = 0) ~label undo =
+  t.entries <- { label; undo; cost } :: t.entries
+
+let replay t =
+  let rec go total =
+    match t.entries with
+    | [] -> total
+    | e :: rest ->
+        t.entries <- rest;
+        e.undo ();
+        go (total + e.cost)
+  in
+  go 0
+
+let merge_into ~parent t =
+  parent.entries <- t.entries @ parent.entries;
+  t.entries <- []
+
+let labels t = List.map (fun e -> e.label) t.entries

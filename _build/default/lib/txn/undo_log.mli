@@ -1,0 +1,30 @@
+(** The in-memory undo call stack (paper §3.1).
+
+    Every accessor function that mutates kernel state on behalf of a
+    transaction pushes its inverse operation here. The log is transient (no
+    redo, no durability): abort replays it LIFO; commit of a nested
+    transaction merges it into the parent's log so the parent can still undo
+    the child's effects. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> ?cost:int -> label:string -> (unit -> unit) -> unit
+(** [cost] (cycles) is what replaying this entry will charge; it defaults to
+    0 (the inverse of a cheap accessor). *)
+
+val replay : t -> int
+(** Run every undo operation, most recent first; empties the log and returns
+    the total replay cost in cycles. An undo operation must not raise; if
+    one does, the exception propagates after the log is left consistent
+    (entries already run are removed). *)
+
+val merge_into : parent:t -> t -> unit
+(** Move all entries onto [parent] such that replaying [parent] runs the
+    child's entries first (they are more recent). Empties the child. *)
+
+val labels : t -> string list
+(** Most recent first; for tests and debugging. *)

@@ -1,0 +1,1 @@
+lib/vm/asm.ml: Array Hashtbl Insn List Printf Result

@@ -1,0 +1,1 @@
+lib/vm/cpu.ml: Array Costs Format Insn Mem

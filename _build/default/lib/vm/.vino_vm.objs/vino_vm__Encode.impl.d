@@ -1,0 +1,1 @@
+lib/vm/encode.ml: Array Insn List Printf Result

@@ -1,0 +1,1 @@
+lib/vm/encode.mli: Insn

@@ -1,0 +1,1 @@
+lib/vm/insn.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/vm/parse.ml: Asm Format In_channel Insn List Printf Result String

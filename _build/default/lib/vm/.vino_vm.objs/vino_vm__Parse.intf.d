@@ -1,0 +1,1 @@
+lib/vm/parse.mli: Asm Format

@@ -1,0 +1,121 @@
+type reg = Insn.reg
+
+type item =
+  | Label of string
+  | Li of reg * int
+  | Mov of reg * reg
+  | Alu of Insn.alu * reg * reg * reg
+  | Alui of Insn.alu * reg * reg * int
+  | Ld of reg * reg * int
+  | St of reg * reg * int
+  | Br of Insn.cond * reg * reg * string
+  | Jmp of string
+  | Call of string
+  | Callr of reg
+  | Ret
+  | Kcall of string
+  | Kcall_id of int
+  | Kcallr of reg
+  | Push of reg
+  | Pop of reg
+  | Sandbox of reg
+  | Checkcall of reg
+  | Halt
+
+type reloc = { index : int; name : string }
+type obj = { code : Insn.t array; relocs : reloc list }
+
+(* First pass: map every label to the index of the next real instruction. *)
+let label_table items =
+  let table = Hashtbl.create 16 in
+  let rec scan index = function
+    | [] -> Ok table
+    | Label name :: rest ->
+        if Hashtbl.mem table name then
+          Error (Printf.sprintf "duplicate label %S" name)
+        else begin
+          Hashtbl.add table name index;
+          scan index rest
+        end
+    | _ :: rest -> scan (index + 1) rest
+  in
+  scan 0 items
+
+let assemble items =
+  Result.bind (label_table items) @@ fun labels ->
+  let lookup name =
+    match Hashtbl.find_opt labels name with
+    | Some index -> Ok index
+    | None -> Error (Printf.sprintf "undefined label %S" name)
+  in
+  let relocs = ref [] in
+  let code = ref [] in
+  let count = ref 0 in
+  let emit i =
+    code := i :: !code;
+    incr count;
+    Ok ()
+  in
+  let emit_at_label l make = Result.bind (lookup l) (fun t -> emit (make t)) in
+  let translate = function
+    | Label _ -> Ok ()
+    | Li (r, v) -> emit (Insn.Li (r, v))
+    | Mov (a, b) -> emit (Insn.Mov (a, b))
+    | Alu (op, d, a, b) -> emit (Insn.Alu (op, d, a, b))
+    | Alui (op, d, a, v) -> emit (Insn.Alui (op, d, a, v))
+    | Ld (d, b, o) -> emit (Insn.Ld (d, b, o))
+    | St (v, b, o) -> emit (Insn.St (v, b, o))
+    | Br (c, a, b, l) -> emit_at_label l (fun t -> Insn.Br (c, a, b, t))
+    | Jmp l -> emit_at_label l (fun t -> Insn.Jmp t)
+    | Call l -> emit_at_label l (fun t -> Insn.Call t)
+    | Callr r -> emit (Insn.Callr r)
+    | Ret -> emit Insn.Ret
+    | Kcall name ->
+        relocs := { index = !count; name } :: !relocs;
+        emit (Insn.Kcall (-1))
+    | Kcall_id id -> emit (Insn.Kcall id)
+    | Kcallr r -> emit (Insn.Kcallr r)
+    | Push r -> emit (Insn.Push r)
+    | Pop r -> emit (Insn.Pop r)
+    | Sandbox r -> emit (Insn.Sandbox r)
+    | Checkcall r -> emit (Insn.Checkcall r)
+    | Halt -> emit Insn.Halt
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | item :: rest -> Result.bind (translate item) (fun () -> go rest)
+  in
+  Result.bind (go items) @@ fun () ->
+  let code = Array.of_list (List.rev !code) in
+  let length = Array.length code in
+  let first_problem =
+    Array.to_list code
+    |> List.find_map (fun i ->
+           match Insn.validate ~program_length:length i with
+           | Ok () -> None
+           | Error e -> Some e)
+  in
+  match first_problem with
+  | Some e -> Error e
+  | None -> Ok { code; relocs = List.rev !relocs }
+
+let assemble_exn items =
+  match assemble items with
+  | Ok obj -> obj
+  | Error e -> invalid_arg ("Asm.assemble: " ^ e)
+
+let r0 = 0
+let r1 = 1
+let r2 = 2
+let r3 = 3
+let r4 = 4
+let r5 = 5
+let r6 = 6
+let r7 = 7
+let r8 = 8
+let r9 = 9
+let r10 = 10
+let r11 = 11
+let r12 = 12
+let r13 = 13
+let sp = Insn.sp

@@ -1,0 +1,62 @@
+(** Symbolic assembler for graft programs.
+
+    Graft source is a list of {!item}s with symbolic branch labels and
+    symbolic kernel-function names. Assembly resolves labels to instruction
+    indices and leaves each named kernel call as a relocation for the dynamic
+    linker ({!Vino_core.Linker}), which resolves names against the
+    graft-callable table — the static check of paper §3.3. *)
+
+type reg = Insn.reg
+
+type item =
+  | Label of string
+  | Li of reg * int
+  | Mov of reg * reg
+  | Alu of Insn.alu * reg * reg * reg
+  | Alui of Insn.alu * reg * reg * int
+  | Ld of reg * reg * int
+  | St of reg * reg * int
+  | Br of Insn.cond * reg * reg * string
+  | Jmp of string
+  | Call of string
+  | Callr of reg
+  | Ret
+  | Kcall of string  (** direct kernel call by name; linked later *)
+  | Kcall_id of int  (** direct kernel call by raw id (tests only) *)
+  | Kcallr of reg
+  | Push of reg
+  | Pop of reg
+  | Sandbox of reg  (** only MiSFIT emits these; present for tests *)
+  | Checkcall of reg
+  | Halt
+
+type reloc = { index : int; name : string }
+(** Instruction [index] holds a [Kcall] whose id must be patched to the
+    kernel function registered under [name]. *)
+
+type obj = { code : Insn.t array; relocs : reloc list }
+
+val assemble : item list -> (obj, string) result
+(** Resolve labels; report duplicate or undefined labels and invalid
+    registers. *)
+
+val assemble_exn : item list -> obj
+(** @raise Invalid_argument on assembly errors. *)
+
+(* Register aliases used throughout graft sources. *)
+
+val r0 : reg
+val r1 : reg
+val r2 : reg
+val r3 : reg
+val r4 : reg
+val r5 : reg
+val r6 : reg
+val r7 : reg
+val r8 : reg
+val r9 : reg
+val r10 : reg
+val r11 : reg
+val r12 : reg
+val r13 : reg
+val sp : reg

@@ -1,0 +1,57 @@
+type t = {
+  alu : int;
+  li : int;
+  mov : int;
+  load : int;
+  store : int;
+  branch : int;
+  jump : int;
+  call : int;
+  ret : int;
+  kcall : int;
+  push : int;
+  pop : int;
+  sandbox : int;
+  checkcall : int;
+  halt : int;
+}
+
+let default =
+  {
+    alu = 1;
+    li = 1;
+    mov = 1;
+    load = 2;
+    store = 2;
+    branch = 2;
+    jump = 1;
+    call = 35;
+    ret = 5;
+    kcall = 60;
+    push = 2;
+    pop = 2;
+    sandbox = 4;
+    checkcall = 12;
+    halt = 1;
+  }
+
+let insn c : Insn.t -> int = function
+  | Li _ -> c.li
+  | Mov _ -> c.mov
+  | Alu _ | Alui _ -> c.alu
+  | Ld _ -> c.load
+  | St _ -> c.store
+  | Br _ -> c.branch
+  | Jmp _ -> c.jump
+  | Call _ | Callr _ -> c.call
+  | Ret -> c.ret
+  | Kcall _ | Kcallr _ -> c.kcall
+  | Push _ -> c.push
+  | Pop _ -> c.pop
+  | Sandbox _ -> c.sandbox
+  | Checkcall _ -> c.checkcall
+  | Halt -> c.halt
+
+let mhz = 120.
+let us_of_cycles cy = float_of_int cy /. mhz
+let cycles_of_us us = int_of_float (us *. mhz)

@@ -1,0 +1,45 @@
+(** Cycle-cost model of the simulated machine.
+
+    The paper's test platform is a 120 MHz Pentium; all of its measurements
+    are cycle counts scaled by the clock. We keep the same accounting: every
+    instruction executed by {!Cpu} and every kernel service charges cycles
+    against the virtual clock, and reports convert cycles to microseconds at
+    {!mhz}.
+
+    Per-instruction charges follow the paper where it is specific: a function
+    call costs ~35 cycles (§6), a sandboxing sequence 2-5 cycles per
+    load/store (§3.3), an indirect-call hash probe 10-15 cycles (§3.3).
+    Kernel-service charges (transaction begin/commit, lock acquire/release,
+    undo bookkeeping) are calibrated once against Tables 3-6 and recorded
+    here; all relative results then emerge from executing the code paths. *)
+
+type t = {
+  alu : int;
+  li : int;
+  mov : int;
+  load : int;
+  store : int;
+  branch : int;
+  jump : int;
+  call : int;  (** intra-graft call, ~35 cycles on the paper's machine *)
+  ret : int;
+  kcall : int;  (** graft-to-kernel call dispatch *)
+  push : int;
+  pop : int;
+  sandbox : int;  (** the MiSFIT mask+or (plus register spill) sequence *)
+  checkcall : int;  (** sparse open-hash probe, 10-15 cycles *)
+  halt : int;
+}
+
+val default : t
+
+val insn : t -> Insn.t -> int
+(** Cycle charge for one instruction. *)
+
+val mhz : float
+(** Simulated clock rate: 120 MHz, as in the paper. *)
+
+val us_of_cycles : int -> float
+(** Convert a virtual-cycle count to microseconds at {!mhz}. *)
+
+val cycles_of_us : float -> int

@@ -1,0 +1,219 @@
+type fault =
+  | Memory_fault of { addr : int; write : bool }
+  | Division_by_zero
+  | Bad_pc of int
+  | Bad_call_target of int
+  | Bad_kcall of int
+  | Call_stack_overflow
+  | Call_stack_underflow
+
+type outcome = Halted | Faulted of fault | Out_of_fuel | Aborted of string
+
+type t = {
+  regs : int array;
+  mem : Mem.t;
+  seg : Mem.segment;
+  costs : Costs.t;
+  checked : bool;
+  check_access_cost : int;
+  mutable fuel : int;
+  mutable pc : int;
+  mutable cycles : int;
+  mutable callstack : int list;
+  mutable depth : int;
+  mutable insns : int;
+  mutable accesses : int;
+}
+
+type kstatus = K_ok | K_abort of string | K_fault of fault
+
+type env = {
+  kcall : int -> t -> kstatus;
+  call_ok : int -> bool;
+  poll : unit -> string option;
+}
+
+let env_trusted =
+  {
+    kcall = (fun id _ -> K_fault (Bad_kcall id));
+    call_ok = (fun _ -> true);
+    poll = (fun () -> None);
+  }
+
+let max_call_depth = 4096
+
+let default_check_access_cost = 20
+
+let make ~mem ~seg ?(costs = Costs.default) ?(checked = false)
+    ?(check_access_cost = default_check_access_cost) ?(fuel = max_int) () =
+  let t =
+    {
+      regs = Array.make Insn.num_regs 0;
+      mem;
+      seg;
+      costs;
+      checked;
+      check_access_cost;
+      fuel;
+      pc = 0;
+      cycles = 0;
+      callstack = [];
+      depth = 0;
+      insns = 0;
+      accesses = 0;
+    }
+  in
+  t.regs.(Insn.sp) <- seg.Mem.base + seg.Mem.size;
+  t
+
+let reg t r = t.regs.(r)
+let set_reg t r v = t.regs.(r) <- v
+let cycles t = t.cycles
+let charge t n = t.cycles <- t.cycles + n
+let insns_executed t = t.insns
+let refuel t extra = t.fuel <- t.cycles + extra
+let fuel_left t = max 0 (t.fuel - t.cycles)
+let mem_accesses t = t.accesses
+let mem t = t.mem
+let segment t = t.seg
+
+(* Internal control signal for one instruction step. *)
+type step = Next | Goto of int | Stop of outcome
+
+exception Fault_exn of fault
+
+(* In checked mode every access is bounds-checked against the segment by
+   the execution environment itself — the "interpreted extension" model of
+   the paper's related work — at a per-access interpretation cost. *)
+let guard t ~write addr =
+  if t.checked then begin
+    t.cycles <- t.cycles + t.check_access_cost;
+    if not (Mem.in_segment t.seg addr) then
+      raise (Fault_exn (Memory_fault { addr; write }))
+  end;
+  addr
+
+let step env t (i : Insn.t) : step =
+  let r = t.regs in
+  match i with
+  | Li (rd, v) ->
+      r.(rd) <- v;
+      Next
+  | Mov (rd, rs) ->
+      r.(rd) <- r.(rs);
+      Next
+  | Alu (op, rd, ra, rb) ->
+      let v =
+        try Insn.eval_alu op r.(ra) r.(rb)
+        with Division_by_zero -> raise (Fault_exn Division_by_zero)
+      in
+      r.(rd) <- v;
+      Next
+  | Alui (op, rd, ra, imm) ->
+      let v =
+        try Insn.eval_alu op r.(ra) imm
+        with Division_by_zero -> raise (Fault_exn Division_by_zero)
+      in
+      r.(rd) <- v;
+      Next
+  | Ld (rd, rb, off) ->
+      t.accesses <- t.accesses + 1;
+      r.(rd) <- Mem.load t.mem (guard t ~write:false (r.(rb) + off));
+      Next
+  | St (rv, rb, off) ->
+      t.accesses <- t.accesses + 1;
+      Mem.store t.mem (guard t ~write:true (r.(rb) + off)) r.(rv);
+      Next
+  | Br (c, ra, rb, target) ->
+      if Insn.eval_cond c r.(ra) r.(rb) then Goto target else Next
+  | Jmp target -> Goto target
+  | Call target ->
+      if t.depth >= max_call_depth then raise (Fault_exn Call_stack_overflow);
+      t.callstack <- (t.pc + 1) :: t.callstack;
+      t.depth <- t.depth + 1;
+      Goto target
+  | Callr rr ->
+      if t.depth >= max_call_depth then raise (Fault_exn Call_stack_overflow);
+      t.callstack <- (t.pc + 1) :: t.callstack;
+      t.depth <- t.depth + 1;
+      Goto r.(rr)
+  | Ret -> (
+      match t.callstack with
+      | [] -> Stop Halted (* top-level return: graft entry completed *)
+      | ret :: rest ->
+          t.callstack <- rest;
+          t.depth <- t.depth - 1;
+          Goto ret)
+  | Kcall id -> (
+      match env.kcall id t with
+      | K_ok -> Next
+      | K_abort reason -> Stop (Aborted reason)
+      | K_fault f -> Stop (Faulted f))
+  | Kcallr rr -> (
+      match env.kcall r.(rr) t with
+      | K_ok -> Next
+      | K_abort reason -> Stop (Aborted reason)
+      | K_fault f -> Stop (Faulted f))
+  | Push rv ->
+      t.accesses <- t.accesses + 1;
+      r.(Insn.sp) <- r.(Insn.sp) - 1;
+      Mem.store t.mem (guard t ~write:true r.(Insn.sp)) r.(rv);
+      Next
+  | Pop rd ->
+      t.accesses <- t.accesses + 1;
+      r.(rd) <- Mem.load t.mem (guard t ~write:false r.(Insn.sp));
+      r.(Insn.sp) <- r.(Insn.sp) + 1;
+      Next
+  | Sandbox rr ->
+      r.(rr) <- Mem.sandbox t.seg r.(rr);
+      Next
+  | Checkcall rr ->
+      if env.call_ok r.(rr) then Next
+      else raise (Fault_exn (Bad_call_target r.(rr)))
+  | Halt -> Stop Halted
+
+let run ?(poll_every = 32) env t prog =
+  let len = Array.length prog in
+  let rec loop since_poll =
+    if t.cycles > t.fuel then Out_of_fuel
+    else if since_poll >= poll_every then
+      match env.poll () with
+      | Some reason -> Aborted reason
+      | None -> loop 0
+    else if t.pc < 0 || t.pc >= len then Faulted (Bad_pc t.pc)
+    else
+      let i = prog.(t.pc) in
+      t.insns <- t.insns + 1;
+      t.cycles <- t.cycles + Costs.insn t.costs i;
+      match step env t i with
+      | Next ->
+          t.pc <- t.pc + 1;
+          loop (since_poll + 1)
+      | Goto target ->
+          t.pc <- target;
+          loop (since_poll + 1)
+      | Stop o -> o
+      | exception Fault_exn f -> Faulted f
+      | exception Mem.Fault { addr; write } ->
+          Faulted (Memory_fault { addr; write })
+  in
+  loop 0
+
+let pp_fault ppf = function
+  | Memory_fault { addr; write } ->
+      Format.fprintf ppf "memory fault (%s addr %d)"
+        (if write then "store to" else "load from")
+        addr
+  | Division_by_zero -> Format.fprintf ppf "division by zero"
+  | Bad_pc pc -> Format.fprintf ppf "control transfer outside program (%d)" pc
+  | Bad_call_target id ->
+      Format.fprintf ppf "indirect call to non-callable id %d" id
+  | Bad_kcall id -> Format.fprintf ppf "kernel call to unknown id %d" id
+  | Call_stack_overflow -> Format.fprintf ppf "call stack overflow"
+  | Call_stack_underflow -> Format.fprintf ppf "call stack underflow"
+
+let pp_outcome ppf = function
+  | Halted -> Format.fprintf ppf "halted"
+  | Faulted f -> Format.fprintf ppf "faulted: %a" pp_fault f
+  | Out_of_fuel -> Format.fprintf ppf "out of fuel"
+  | Aborted reason -> Format.fprintf ppf "aborted: %s" reason

@@ -1,0 +1,91 @@
+(** Interpreter for graft programs.
+
+    The CPU executes one graft invocation at a time on behalf of a kernel
+    thread. It charges virtual cycles per instruction ({!Costs}), enforces a
+    fuel limit (the CPU quota the kernel grants the invocation), and polls an
+    abort flag so that the transaction manager can asynchronously kill a
+    misbehaving graft (paper §2.2: grafts must be preemptible). *)
+
+type fault =
+  | Memory_fault of { addr : int; write : bool }
+      (** wild access outside physical memory (un-sandboxed code only) *)
+  | Division_by_zero
+  | Bad_pc of int  (** control transferred outside the program *)
+  | Bad_call_target of int  (** [Checkcall] found a non-callable id *)
+  | Bad_kcall of int  (** kernel dispatcher rejected the function id *)
+  | Call_stack_overflow
+  | Call_stack_underflow
+
+type outcome =
+  | Halted  (** normal completion; result in register 0 *)
+  | Faulted of fault
+  | Out_of_fuel  (** CPU quota exhausted *)
+  | Aborted of string  (** asynchronous abort observed at a poll point *)
+
+type t
+(** Mutable per-invocation machine state. *)
+
+type kstatus =
+  | K_ok
+  | K_abort of string  (** kernel function decided to abort the transaction *)
+  | K_fault of fault
+
+type env = {
+  kcall : int -> t -> kstatus;  (** graft-callable function dispatcher *)
+  call_ok : int -> bool;  (** runtime predicate behind [Checkcall] *)
+  poll : unit -> string option;  (** asynchronous abort request, if any *)
+}
+
+val env_trusted : env
+(** An environment with no kernel calls, permissive [Checkcall] and no abort
+    source; used by unit tests and baseline measurements. *)
+
+val default_check_access_cost : int
+
+val make :
+  mem:Mem.t ->
+  seg:Mem.segment ->
+  ?costs:Costs.t ->
+  ?checked:bool ->
+  ?check_access_cost:int ->
+  ?fuel:int ->
+  unit ->
+  t
+(** [fuel] is the cycle budget for the invocation (default: unlimited). The
+    stack pointer starts at the top of the segment.
+
+    [checked] selects the interpreted-extension execution model the paper's
+    related work compares against (§5, [16]): the environment bounds-checks
+    every access against the segment (faulting instead of sandboxing) and
+    charges [check_access_cost] cycles per access — safety through
+    interpretation, at interpretation prices. Off by default (MiSFIT-style
+    protection is the paper's mechanism). *)
+
+val run : ?poll_every:int -> env -> t -> Insn.t array -> outcome
+(** Execute from instruction 0 until an {!outcome} is reached. [poll_every]
+    (default 32) is the instruction interval between abort-flag polls —
+    the preemption granularity. *)
+
+val reg : t -> int -> int
+val set_reg : t -> int -> int -> unit
+
+val cycles : t -> int
+(** Virtual cycles consumed so far by this invocation. *)
+
+val charge : t -> int -> unit
+(** Charge extra cycles (used by kernel functions invoked via [Kcall] to
+    bill their own work against the graft invocation). *)
+
+val refuel : t -> int -> unit
+(** [refuel t n] grants [n] more cycles from the current consumption point;
+    the invocation wrapper uses this to execute grafts in preemptible
+    slices. *)
+
+val fuel_left : t -> int
+
+val insns_executed : t -> int
+val mem_accesses : t -> int
+val mem : t -> Mem.t
+val segment : t -> Mem.segment
+val pp_fault : Format.formatter -> fault -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

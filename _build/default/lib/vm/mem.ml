@@ -1,0 +1,42 @@
+type t = { data : int array }
+type segment = { base : int; size : int }
+
+exception Fault of { addr : int; write : bool }
+
+let create words =
+  if words <= 0 then invalid_arg "Mem.create: size must be positive";
+  { data = Array.make words 0 }
+
+let size t = Array.length t.data
+
+let load t addr =
+  if addr < 0 || addr >= Array.length t.data then
+    raise (Fault { addr; write = false })
+  else t.data.(addr)
+
+let store t addr v =
+  if addr < 0 || addr >= Array.length t.data then
+    raise (Fault { addr; write = true })
+  else t.data.(addr) <- v
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let segment ~base ~size =
+  if not (is_power_of_two size) then
+    invalid_arg "Mem.segment: size must be a power of two";
+  if base < 0 || base land (size - 1) <> 0 then
+    invalid_arg "Mem.segment: base must be size-aligned";
+  { base; size }
+
+let in_segment seg addr = addr >= seg.base && addr < seg.base + seg.size
+let sandbox seg addr = seg.base lor (addr land (seg.size - 1))
+
+let blit_in t addr src =
+  Array.iteri (fun k v -> store t (addr + k) v) src
+
+let blit_out t addr len = Array.init len (fun k -> load t (addr + k))
+
+let fill t addr len v =
+  for k = addr to addr + len - 1 do
+    store t k v
+  done

@@ -1,0 +1,179 @@
+let alu_ops =
+  [
+    ("add", Insn.Add); ("sub", Insn.Sub); ("mul", Insn.Mul); ("div", Insn.Div);
+    ("rem", Insn.Rem); ("and", Insn.And); ("or", Insn.Or); ("xor", Insn.Xor);
+    ("shl", Insn.Shl); ("shr", Insn.Shr);
+  ]
+
+let branch_ops =
+  [
+    ("beq", Insn.Eq); ("bne", Insn.Ne); ("blt", Insn.Lt); ("ble", Insn.Le);
+    ("bgt", Insn.Gt); ("bge", Insn.Ge);
+  ]
+
+let strip_comment line =
+  match String.index_opt line ';' with
+  | Some k -> String.sub line 0 k
+  | None -> line
+
+let tokens line =
+  String.split_on_char ' ' (String.map (fun c -> if c = ',' || c = '\t' then ' ' else c) line)
+  |> List.filter (fun s -> s <> "")
+
+let register token =
+  if token = "sp" then Ok Insn.sp
+  else if String.length token >= 2 && token.[0] = 'r' then
+    match int_of_string_opt (String.sub token 1 (String.length token - 1)) with
+    | Some r when r >= 0 && r < Insn.num_regs -> Ok r
+    | Some _ | None -> Error (Printf.sprintf "bad register %S" token)
+  else Error (Printf.sprintf "bad register %S" token)
+
+let immediate token =
+  match int_of_string_opt token with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bad immediate %S" token)
+
+let ( let* ) = Result.bind
+
+let instruction mnemonic operands : (Asm.item, string) result =
+  match (mnemonic, operands) with
+  | "li", [ rd; imm ] ->
+      let* rd = register rd in
+      let* imm = immediate imm in
+      Ok (Asm.Li (rd, imm))
+  | "mov", [ rd; rs ] ->
+      let* rd = register rd in
+      let* rs = register rs in
+      Ok (Asm.Mov (rd, rs))
+  | "ld", [ rd; rb; off ] ->
+      let* rd = register rd in
+      let* rb = register rb in
+      let* off = immediate off in
+      Ok (Asm.Ld (rd, rb, off))
+  | "st", [ rv; rb; off ] ->
+      let* rv = register rv in
+      let* rb = register rb in
+      let* off = immediate off in
+      Ok (Asm.St (rv, rb, off))
+  | "jmp", [ label ] -> Ok (Asm.Jmp label)
+  | "call", [ label ] -> Ok (Asm.Call label)
+  | "callr", [ r ] ->
+      let* r = register r in
+      Ok (Asm.Callr r)
+  | "ret", [] -> Ok Asm.Ret
+  | "kcall", [ name ] -> Ok (Asm.Kcall name)
+  | "kcallr", [ r ] ->
+      let* r = register r in
+      Ok (Asm.Kcallr r)
+  | "push", [ r ] ->
+      let* r = register r in
+      Ok (Asm.Push r)
+  | "pop", [ r ] ->
+      let* r = register r in
+      Ok (Asm.Pop r)
+  | "halt", [] -> Ok Asm.Halt
+  | _ -> (
+      match List.assoc_opt mnemonic branch_ops with
+      | Some cond -> (
+          match operands with
+          | [ ra; rb; label ] ->
+              let* ra = register ra in
+              let* rb = register rb in
+              Ok (Asm.Br (cond, ra, rb, label))
+          | _ -> Error (mnemonic ^ " expects: ra, rb, label"))
+      | None -> (
+          match List.assoc_opt mnemonic alu_ops with
+          | Some op -> (
+              match operands with
+              | [ rd; ra; rb ] ->
+                  let* rd = register rd in
+                  let* ra = register ra in
+                  let* rb = register rb in
+                  Ok (Asm.Alu (op, rd, ra, rb))
+              | _ -> Error (mnemonic ^ " expects: rd, ra, rb"))
+          | None -> (
+              (* immediate ALU form: mnemonic + 'i' *)
+              let n = String.length mnemonic in
+              if n >= 2 && mnemonic.[n - 1] = 'i' then
+                match List.assoc_opt (String.sub mnemonic 0 (n - 1)) alu_ops with
+                | Some op -> (
+                    match operands with
+                    | [ rd; ra; imm ] ->
+                        let* rd = register rd in
+                        let* ra = register ra in
+                        let* imm = immediate imm in
+                        Ok (Asm.Alui (op, rd, ra, imm))
+                    | _ -> Error (mnemonic ^ " expects: rd, ra, imm"))
+                | None -> Error (Printf.sprintf "unknown mnemonic %S" mnemonic)
+              else Error (Printf.sprintf "unknown mnemonic %S" mnemonic))))
+
+let parse_line line : (Asm.item list, string) result =
+  let line = String.trim (strip_comment line) in
+  if line = "" then Ok []
+  else if String.length line > 1 && line.[String.length line - 1] = ':' then
+    let label = String.trim (String.sub line 0 (String.length line - 1)) in
+    if label = "" || String.contains label ' ' then
+      Error (Printf.sprintf "bad label %S" line)
+    else Ok [ Asm.Label label ]
+  else
+    match tokens line with
+    | [] -> Ok []
+    | mnemonic :: operands ->
+        Result.map
+          (fun i -> [ i ])
+          (instruction (String.lowercase_ascii mnemonic) operands)
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  let rec go acc lineno = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | line :: rest -> (
+        match parse_line line with
+        | Ok items -> go (items :: acc) (lineno + 1) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go [] 1 lines
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | source -> parse source
+  | exception Sys_error e -> Error e
+
+let reg r = if r = Insn.sp then "sp" else Printf.sprintf "r%d" r
+
+let alu_name op = fst (List.find (fun (_, o) -> o = op) alu_ops)
+let branch_name c = fst (List.find (fun (_, o) -> o = c) branch_ops)
+
+let print_item ppf : Asm.item -> unit = function
+  | Asm.Label l -> Format.fprintf ppf "%s:" l
+  | Li (rd, v) -> Format.fprintf ppf "    li    %s, %d" (reg rd) v
+  | Mov (a, b) -> Format.fprintf ppf "    mov   %s, %s" (reg a) (reg b)
+  | Alu (op, d, a, b) ->
+      Format.fprintf ppf "    %-5s %s, %s, %s" (alu_name op) (reg d) (reg a)
+        (reg b)
+  | Alui (op, d, a, v) ->
+      Format.fprintf ppf "    %-5s %s, %s, %d"
+        (alu_name op ^ "i")
+        (reg d) (reg a) v
+  | Ld (d, b, o) -> Format.fprintf ppf "    ld    %s, %s, %d" (reg d) (reg b) o
+  | St (v, b, o) -> Format.fprintf ppf "    st    %s, %s, %d" (reg v) (reg b) o
+  | Br (c, a, b, l) ->
+      Format.fprintf ppf "    %-5s %s, %s, %s" (branch_name c) (reg a) (reg b)
+        l
+  | Jmp l -> Format.fprintf ppf "    jmp   %s" l
+  | Call l -> Format.fprintf ppf "    call  %s" l
+  | Callr r -> Format.fprintf ppf "    callr %s" (reg r)
+  | Ret -> Format.fprintf ppf "    ret"
+  | Kcall name -> Format.fprintf ppf "    kcall %s" name
+  | Kcall_id id -> Format.fprintf ppf "    kcall #%d" id
+  | Kcallr r -> Format.fprintf ppf "    kcallr %s" (reg r)
+  | Push r -> Format.fprintf ppf "    push  %s" (reg r)
+  | Pop r -> Format.fprintf ppf "    pop   %s" (reg r)
+  | Sandbox r -> Format.fprintf ppf "    ; sfi.sandbox %s" (reg r)
+  | Checkcall r -> Format.fprintf ppf "    ; sfi.checkcall %s" (reg r)
+  | Halt -> Format.fprintf ppf "    halt"
+
+let print ppf items =
+  List.iter (fun i -> Format.fprintf ppf "%a@\n" print_item i) items
+
+let to_string items = Format.asprintf "%a" print items

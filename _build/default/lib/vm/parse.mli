@@ -1,0 +1,36 @@
+(** Text format for graft source (".gasm").
+
+    One instruction per line; [;] starts a comment; a label is a word
+    followed by [:]. Registers are [r0]..[r15] (or [sp]). Kernel imports
+    are named directly: [kcall fs.read]. Example:
+
+    {v
+    ; double the argument
+        add   r0, r1, r1
+        kcall counter.incr
+    loop:
+        beq   r0, r1, loop
+        ret
+    v}
+
+    Grammar per line (after label/comment stripping):
+    - [li rd, imm]           load immediate
+    - [mov rd, rs]
+    - [add|sub|mul|div|rem|and|or|xor|shl|shr rd, ra, rb]
+    - [addi|subi|... rd, ra, imm]   (any ALU op + [i])
+    - [ld rd, rb, off] / [st rv, rb, off]
+    - [beq|bne|blt|ble|bgt|bge ra, rb, label]
+    - [jmp label] / [call label] / [callr r] / [ret]
+    - [kcall name] / [kcallr r]
+    - [push r] / [pop r] / [halt] *)
+
+val parse : string -> (Asm.item list, string) result
+(** Errors carry a line number. *)
+
+val parse_file : string -> (Asm.item list, string) result
+
+val print : Format.formatter -> Asm.item list -> unit
+(** Render items back to the text format ([parse] of the output
+    round-trips). *)
+
+val to_string : Asm.item list -> string

@@ -1,0 +1,1 @@
+lib/vmem/evict.ml: Frame Hashtbl List Result Vas Vino_core Vino_fs Vino_sim Vino_txn

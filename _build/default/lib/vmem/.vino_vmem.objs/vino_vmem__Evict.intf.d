@@ -1,0 +1,1 @@
+lib/vmem/evict.mli: Frame Vas Vino_core Vino_fs

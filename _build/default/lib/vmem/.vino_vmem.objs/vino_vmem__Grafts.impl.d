@@ -1,0 +1,1 @@
+lib/vmem/grafts.ml: Vino_vm

@@ -1,0 +1,1 @@
+lib/vmem/grafts.mli: Vino_vm

@@ -1,0 +1,1 @@
+lib/vmem/memobj.ml: Evict Hashtbl List Vas Vino_fs Vino_sim Vino_txn

@@ -1,0 +1,1 @@
+lib/vmem/memobj.mli: Evict Vas Vino_core Vino_fs

@@ -1,0 +1,1 @@
+lib/vmem/pagedaemon.ml: Evict Vino_core Vino_sim

@@ -1,0 +1,1 @@
+lib/vmem/pagedaemon.mli: Evict Vino_core

@@ -1,0 +1,1 @@
+lib/vmem/vas.ml: Frame Hashtbl List Printf Vino_core Vino_txn Vino_vm

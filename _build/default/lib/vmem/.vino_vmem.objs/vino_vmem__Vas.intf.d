@@ -1,0 +1,1 @@
+lib/vmem/vas.mli: Frame Vino_core

@@ -1,0 +1,42 @@
+type owner = { vas_id : int; vpage : int }
+
+type t = {
+  index : int;
+  mutable owner : owner option;
+  mutable referenced : bool;
+  mutable wired : bool;
+}
+
+type table = { frames : t array; mutable free : int list }
+
+let create_table ~frames =
+  if frames <= 0 then invalid_arg "Frame.create_table: need frames";
+  {
+    frames =
+      Array.init frames (fun index ->
+          { index; owner = None; referenced = false; wired = false });
+    free = List.init frames (fun k -> k);
+  }
+
+let frame_count t = Array.length t.frames
+let get t k = t.frames.(k)
+
+let allocate t =
+  match t.free with
+  | [] -> Error `None_free
+  | k :: rest ->
+      t.free <- rest;
+      let f = t.frames.(k) in
+      f.owner <- None;
+      f.referenced <- false;
+      f.wired <- false;
+      Ok f
+
+let release t f =
+  f.owner <- None;
+  f.referenced <- false;
+  f.wired <- false;
+  t.free <- f.index :: t.free
+
+let free_count t = List.length t.free
+let used_count t = Array.length t.frames - free_count t

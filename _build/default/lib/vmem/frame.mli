@@ -1,0 +1,29 @@
+(** Physical frame table.
+
+    Frames carry the reference bit the global clock algorithm uses for
+    second-chance selection, the wired flag that exempts a page from
+    eviction, and their current owner (VAS id and virtual page). *)
+
+type owner = { vas_id : int; vpage : int }
+
+type t = {
+  index : int;
+  mutable owner : owner option;
+  mutable referenced : bool;
+  mutable wired : bool;
+}
+
+type table
+
+val create_table : frames:int -> table
+val frame_count : table -> int
+val get : table -> int -> t
+
+val allocate : table -> (t, [ `None_free ]) result
+(** Take a frame off the free list (cleared flags, no owner). *)
+
+val release : table -> t -> unit
+(** Unmap and return a frame to the free list. *)
+
+val free_count : table -> int
+val used_count : table -> int

@@ -1,0 +1,57 @@
+module Asm = Vino_vm.Asm
+open Vino_vm.Insn
+
+(* Register use: r1 victim, r2 candidates addr, r3 count (arguments);
+   r5 protected count, r7 page under test, r8 loop index, r10/r11/r12
+   scratch for the is-protected scan. The protected list lives in the
+   shared window: count at word 0, pages from word 1. *)
+let protect_hot_pages_source ?lock_kcall () : Asm.item list =
+  (match lock_kcall with
+  | Some name -> [ Asm.Kcall name ]
+  | None -> [])
+  @ [
+    (* r4 = shared hot-page window address (kernel-provided) *)
+    Ld (Asm.r5, Asm.r4, 0) (* r5 = number of protected pages *);
+    (* is the victim protected? *)
+    Mov (Asm.r7, Asm.r1);
+    Call "is_protected";
+    Li (Asm.r6, 0);
+    Br (Eq, Asm.r0, Asm.r6, "return_victim");
+    (* victim is hot: scan candidates for the first unprotected page *)
+    Li (Asm.r8, 0);
+    Label "scan";
+    Br (Ge, Asm.r8, Asm.r3, "return_victim");
+    Alu (Add, Asm.r9, Asm.r2, Asm.r8);
+    Ld (Asm.r7, Asm.r9, 0);
+    Call "is_protected";
+    Li (Asm.r6, 0);
+    Br (Eq, Asm.r0, Asm.r6, "found");
+    Alui (Add, Asm.r8, Asm.r8, 1);
+    Jmp "scan";
+    Label "found";
+    Mov (Asm.r0, Asm.r7);
+    Ret;
+    Label "return_victim";
+    Mov (Asm.r0, Asm.r1);
+    Ret;
+    (* is_protected: r7 = page -> r0 = 1/0 *)
+    Label "is_protected";
+    Li (Asm.r10, 0);
+    Label "p_loop";
+    Br (Ge, Asm.r10, Asm.r5, "p_no");
+    Alu (Add, Asm.r11, Asm.r4, Asm.r10);
+    Ld (Asm.r12, Asm.r11, 1);
+    Br (Eq, Asm.r12, Asm.r7, "p_yes");
+    Alui (Add, Asm.r10, Asm.r10, 1);
+    Jmp "p_loop";
+    Label "p_yes";
+    Li (Asm.r0, 1);
+    Ret;
+    Label "p_no";
+    Li (Asm.r0, 0);
+    Ret;
+  ]
+
+let accept_victim_source : Asm.item list = [ Mov (Asm.r0, Asm.r1); Ret ]
+
+let suggest_invalid_source : Asm.item list = [ Li (Asm.r0, -42); Ret ]

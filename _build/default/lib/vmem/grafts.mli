@@ -1,0 +1,20 @@
+(** Page-eviction graft sources (the Table 4 workload).
+
+    The application places the page numbers it wants retained in the shared
+    window (count at word 0, pages from word 1). During page-out the graft
+    checks the globally selected victim against that list; if the victim is
+    protected it scans the candidate list for the first page that is not,
+    and returns it; otherwise it accepts the victim. *)
+
+val protect_hot_pages_source :
+  ?lock_kcall:string -> unit -> Vino_vm.Asm.item list
+(** Entry: r1 = victim page, r2 = candidate array address, r3 = candidate
+    count. Returns the chosen page in r0. [lock_kcall] (normally
+    {!Vas.lock_name}) prepends acquisition of the shared-window lock. *)
+
+val accept_victim_source : Vino_vm.Asm.item list
+(** The null graft: always agrees with the global choice. *)
+
+val suggest_invalid_source : Vino_vm.Asm.item list
+(** A misbehaving graft that always suggests page -42 — used to test that
+    the kernel ignores invalid suggestions. *)

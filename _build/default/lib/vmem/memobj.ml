@@ -1,0 +1,96 @@
+module Engine = Vino_sim.Engine
+
+type backing =
+  | Anonymous
+  | File_backed of { file : Vino_fs.File.t; start_block : int }
+
+type t = {
+  evictor : Evict.t;
+  mvas : Vas.t;
+  start : int;
+  count : int;
+  mbacking : backing;
+  mutable live : bool;
+  mutable n_faults : int;
+}
+
+(* registry of objects per VAS id *)
+let objects : (int, t list ref) Hashtbl.t = Hashtbl.create 16
+
+let objects_of vas =
+  match Hashtbl.find_opt objects (Vas.id vas) with
+  | Some cell -> cell
+  | None ->
+      let cell = ref [] in
+      Hashtbl.replace objects (Vas.id vas) cell;
+      cell
+
+let overlaps a_start a_count b_start b_count =
+  a_start < b_start + b_count && b_start < a_start + a_count
+
+let map evictor vas ~vpage_start ~pages backing =
+  if pages <= 0 || vpage_start < 0 then invalid_arg "Memobj.map: bad range";
+  let cell = objects_of vas in
+  if
+    List.exists
+      (fun o -> o.live && overlaps vpage_start pages o.start o.count)
+      !cell
+  then invalid_arg "Memobj.map: range overlaps an existing object";
+  let t =
+    {
+      evictor;
+      mvas = vas;
+      start = vpage_start;
+      count = pages;
+      mbacking = backing;
+      live = true;
+      n_faults = 0;
+    }
+  in
+  cell := t :: !cell;
+  t
+
+let unmap t =
+  t.live <- false;
+  let cell = objects_of t.mvas in
+  cell := List.filter (fun o -> o != t) !cell
+
+let vas t = t.mvas
+let vpage_start t = t.start
+let pages t = t.count
+let backing t = t.mbacking
+let covers t ~vpage = t.live && vpage >= t.start && vpage < t.start + t.count
+let faults t = t.n_faults
+
+let find vas ~vpage =
+  List.find_opt (fun o -> covers o ~vpage) !(objects_of vas)
+
+(* zeroing a fresh 4 KB page *)
+let zero_fill_cost = Vino_txn.Tcosts.us 40.
+
+let materialise t ~cred ~page =
+  match t.mbacking with
+  | Anonymous -> Engine.delay zero_fill_cost
+  | File_backed { file; start_block } ->
+      (* through the cache, the disk, and any installed compute-ra graft *)
+      ignore (Vino_fs.File.read file ~cred ~block:(start_block + page))
+
+let touch t ~cred ~page =
+  if page < 0 || page >= t.count then
+    invalid_arg "Memobj.touch: page outside the object";
+  let vpage = t.start + page in
+  if Vas.is_resident t.mvas vpage then begin
+    Vas.reference t.mvas ~vpage;
+    `Hit
+  end
+  else begin
+    t.n_faults <- t.n_faults + 1;
+    Vas.add_fault t.mvas;
+    match Evict.allocate_frame t.evictor ~cred with
+    | Error `Nothing_evictable ->
+        failwith "Memobj.touch: out of frames with nothing evictable"
+    | Ok frame ->
+        Evict.attach t.evictor t.mvas ~vpage frame;
+        materialise t ~cred ~page;
+        `Fault
+  end

@@ -1,0 +1,43 @@
+(** Memory objects (§4.2.1).
+
+    "A virtual address space consists of a collection of memory objects
+    mapped to virtual address ranges. A memory object represents a
+    contiguous piece of data that may be backed by a variety of objects
+    such as a device, a network connection, or a file. Once associated,
+    the object becomes responsible for handling page faults in a manner
+    appropriate for the materialized item."
+
+    A fault on a file-backed object reads through the real file-system
+    substrate (cache, disk, and any installed [compute-ra] graft — mapped
+    files get grafted read-ahead for free); anonymous objects zero-fill. *)
+
+type backing =
+  | Anonymous
+  | File_backed of { file : Vino_fs.File.t; start_block : int }
+
+type t
+
+val map :
+  Evict.t -> Vas.t -> vpage_start:int -> pages:int -> backing -> t
+(** Associate [pages] pages starting at [vpage_start] with the backing.
+    @raise Invalid_argument on a range overlapping an existing object of
+    this VAS or a negative range. *)
+
+val unmap : t -> unit
+(** Forget the object (resident pages stay until evicted normally). *)
+
+val vas : t -> Vas.t
+val vpage_start : t -> int
+val pages : t -> int
+val backing : t -> backing
+val covers : t -> vpage:int -> bool
+
+val touch :
+  t -> cred:Vino_core.Cred.t -> page:int -> [ `Hit | `Fault ]
+(** Reference page [page] (object-relative), materialising it on a fault
+    via the backing. Must run inside an engine process.
+    @raise Invalid_argument if [page] is outside the object. *)
+
+val faults : t -> int
+val find : Vas.t -> vpage:int -> t option
+(** The object covering a virtual page, if any. *)

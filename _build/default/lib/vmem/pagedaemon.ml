@@ -1,0 +1,55 @@
+module Engine = Vino_sim.Engine
+module Waitq = Vino_sim.Waitq
+
+type t = {
+  evictor : Evict.t;
+  low : int;
+  high : int;
+  wakeup : Waitq.t;
+  mutable n_passes : int;
+  mutable n_evicted : int;
+  mutable running : bool;
+}
+
+let rec daemon t () =
+  if t.running then begin
+    if Evict.free_frames t.evictor < t.low then begin
+      t.n_passes <- t.n_passes + 1;
+      let rec refill () =
+        if Evict.free_frames t.evictor < t.high then
+          match Evict.evict_one t.evictor ~cred:Vino_core.Cred.root with
+          | Ok _ ->
+              t.n_evicted <- t.n_evicted + 1;
+              refill ()
+          | Error `Nothing_evictable -> ()
+      in
+      refill ()
+    end;
+    Waitq.wait t.wakeup;
+    daemon t ()
+  end
+
+let create kernel ~evictor ?(low_watermark = 8) ?(high_watermark = 16) () =
+  let t =
+    {
+      evictor;
+      low = low_watermark;
+      high = high_watermark;
+      wakeup = Waitq.create kernel.Vino_core.Kernel.engine;
+      n_passes = 0;
+      n_evicted = 0;
+      running = true;
+    }
+  in
+  ignore
+    (Engine.spawn kernel.Vino_core.Kernel.engine ~name:"pagedaemon" (fun () ->
+         daemon t ()));
+  t
+
+let kick t = ignore (Waitq.signal t.wakeup)
+let passes t = t.n_passes
+let evicted t = t.n_evicted
+
+let stop t =
+  t.running <- false;
+  ignore (Waitq.signal t.wakeup)

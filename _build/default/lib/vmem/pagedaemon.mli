@@ -1,0 +1,28 @@
+(** The page-out daemon (§2.5, §4.2).
+
+    A background kernel thread that keeps the free-frame pool between a low
+    and a high watermark by running the two-level eviction algorithm. Since
+    the daemon *relies on grafts returning* to make forward progress, the
+    eviction graft points it drives carry a watchdog: a graft that never
+    returns is timed out, its transaction aborted, and the daemon continues
+    with the default policy — the paper's answer to covert denial of
+    service. *)
+
+type t
+
+val create :
+  Vino_core.Kernel.t ->
+  evictor:Evict.t ->
+  ?low_watermark:int ->
+  ?high_watermark:int ->
+  unit ->
+  t
+(** Watermarks are free-frame counts (defaults 8/16). The daemon sleeps
+    until kicked. *)
+
+val kick : t -> unit
+(** Wake the daemon (called by the fault path when memory is tight). *)
+
+val passes : t -> int
+val evicted : t -> int
+val stop : t -> unit

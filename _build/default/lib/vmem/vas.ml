@@ -1,0 +1,130 @@
+module Cpu = Vino_vm.Cpu
+module Mem = Vino_vm.Mem
+module Kernel = Vino_core.Kernel
+module Kcall = Vino_core.Kcall
+module Graft_point = Vino_core.Graft_point
+module Txn = Vino_txn.Txn
+
+type evict_request = { victim : int; candidates : int list }
+
+let candidate_area = 512
+let max_candidates = 2048
+
+type t = {
+  vid : int;
+  vname : string;
+  resident : (int, Frame.t) Hashtbl.t;
+  evict : (evict_request, int) Graft_point.t;
+  lock_name : string;
+  mutable n_faults : int;
+}
+
+let next_id = ref 0
+
+let setup kernel cpu req =
+  let seg = Cpu.segment cpu in
+  Cpu.set_reg cpu 1 req.victim;
+  let candidates =
+    if List.length req.candidates > max_candidates then
+      List.filteri (fun k _ -> k < max_candidates) req.candidates
+    else req.candidates
+  in
+  (* the candidate list is written above the application's shared window *)
+  List.iteri
+    (fun k page ->
+      Mem.store kernel.Kernel.mem
+        (Mem.sandbox seg (candidate_area + k))
+        page)
+    candidates;
+  Cpu.set_reg cpu 2 (seg.Mem.base + candidate_area);
+  Cpu.set_reg cpu 3 (List.length candidates);
+  Cpu.set_reg cpu 4 seg.Mem.base
+
+let create kernel ~name =
+  let vid = !next_id in
+  incr next_id;
+  let evict =
+    Graft_point.create
+      ~name:(Printf.sprintf "%s.page-eviction" name)
+      ~default:(fun req -> req.victim)
+      ~setup:(setup kernel)
+      (* any integer is accepted here; the global algorithm performs the
+         semantic ownership/wiredness verification and ignores bad
+         suggestions (§4.2.1) *)
+      ~read_result:(fun cpu _ -> Ok (Cpu.reg cpu 0))
+      ()
+  in
+  (* the lock guarding the application-shared hot-page window; eviction
+     grafts acquire it through this graft-callable function and two-phase
+     locking releases it at commit/abort *)
+  let lock =
+    Kernel.make_lock kernel
+      ~timeout:(Vino_txn.Tcosts.us 500.)
+      ~name:(Printf.sprintf "hot-pages:%s" name)
+      ()
+  in
+  let lock_name = Printf.sprintf "evict.lock:%s" name in
+  let (_ : Kcall.fn) =
+    Kernel.register_kcall kernel ~name:lock_name (fun ctx ->
+        match ctx.Kcall.txn with
+        | None -> Kcall.abort "hot-page lock outside a transaction"
+        | Some txn -> (
+            match Txn.acquire_lock txn lock Exclusive with
+            | Ok () -> Kcall.ok
+            | Error reason -> Kcall.abort reason))
+  in
+  {
+    vid;
+    vname = name;
+    resident = Hashtbl.create 256;
+    evict;
+    lock_name;
+    n_faults = 0;
+  }
+
+let id t = t.vid
+let lock_name t = t.lock_name
+let name t = t.vname
+
+let resident_pages t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.resident [] |> List.sort compare
+
+let is_resident t vpage = Hashtbl.mem t.resident vpage
+let frame_of t vpage = Hashtbl.find_opt t.resident vpage
+
+let map t ~vpage frame =
+  frame.Frame.owner <- Some { Frame.vas_id = t.vid; vpage };
+  frame.Frame.referenced <- true;
+  Hashtbl.replace t.resident vpage frame
+
+let unmap t ~vpage = Hashtbl.remove t.resident vpage
+
+let reference t ~vpage =
+  match frame_of t vpage with
+  | Some f -> f.Frame.referenced <- true
+  | None -> ()
+
+let set_wired t vpage value =
+  match frame_of t vpage with
+  | Some f -> f.Frame.wired <- value
+  | None -> ()
+
+let wire t ~vpage = set_wired t vpage true
+let unwire t ~vpage = set_wired t vpage false
+
+let wired t ~vpage =
+  match frame_of t vpage with Some f -> f.Frame.wired | None -> false
+
+let evict_point t = t.evict
+
+let protect_pages kernel t pages =
+  match Graft_point.shared_base t.evict with
+  | None -> ()
+  | Some base ->
+      Mem.store kernel.Kernel.mem base (List.length pages);
+      List.iteri
+        (fun k page -> Mem.store kernel.Kernel.mem (base + 1 + k) page)
+        pages
+
+let faults t = t.n_faults
+let add_fault t = t.n_faults <- t.n_faults + 1

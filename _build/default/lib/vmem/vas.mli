@@ -1,0 +1,57 @@
+(** Virtual address spaces and the page-eviction graft point (§4.2).
+
+    A VAS owns a set of resident virtual pages, each backed by a physical
+    frame. When the global eviction algorithm selects a victim belonging to
+    a VAS that has installed a page-eviction graft, the graft is invoked
+    with the victim and the list of the VAS's other evictable pages, and
+    may suggest a replacement. The *kernel* then verifies the suggestion
+    (ownership, wiredness); an invalid suggestion is ignored and the
+    original victim is evicted — the graft itself is not penalised
+    (§4.2.1), unlike a graft that faults.
+
+    The application side shares a window with the graft in which it lists
+    the pages it wants retained: word 0 holds the count, words 1.. the page
+    numbers. *)
+
+type evict_request = {
+  victim : int;  (** globally selected victim (virtual page) *)
+  candidates : int list;  (** the VAS's other evictable resident pages *)
+}
+
+type t
+
+val create : Vino_core.Kernel.t -> name:string -> t
+(** Also registers the graft-callable function ["evict.lock:<name>"] that
+    eviction grafts use to lock the shared hot-page window. *)
+
+val id : t -> int
+val lock_name : t -> string
+val name : t -> string
+val resident_pages : t -> int list
+val is_resident : t -> int -> bool
+val frame_of : t -> int -> Frame.t option
+
+val map : t -> vpage:int -> Frame.t -> unit
+val unmap : t -> vpage:int -> unit
+val reference : t -> vpage:int -> unit
+(** Mark the page referenced (sets the frame's reference bit). *)
+
+val wire : t -> vpage:int -> unit
+val unwire : t -> vpage:int -> unit
+val wired : t -> vpage:int -> bool
+
+val evict_point :
+  t -> (evict_request, int) Vino_core.Graft_point.t
+(** Returns the suggested replacement page; the default accepts the global
+    victim unchanged. *)
+
+val candidate_area : int
+(** Offset in the graft segment where the kernel writes the candidate page
+    list (above the application's shared window). *)
+
+val protect_pages : Vino_core.Kernel.t -> t -> int list -> unit
+(** Application side: write the hot-page list into the graft's shared
+    window (count at word 0). No-op when ungrafted. *)
+
+val faults : t -> int
+val add_fault : t -> unit

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array List String Vino_vm

@@ -1,0 +1,1 @@
+test/test_calltable.ml: Alcotest Hashtbl List Printf QCheck2 QCheck_alcotest Vino_core

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Format List Option Printexc String Vino_core Vino_misfit Vino_sim Vino_txn Vino_vm

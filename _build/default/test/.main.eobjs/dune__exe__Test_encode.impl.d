@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Array QCheck2 QCheck_alcotest String Vino_vm

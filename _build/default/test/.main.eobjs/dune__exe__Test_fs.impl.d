@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest List Printexc Printf QCheck2 QCheck_alcotest String Vino_core Vino_fs Vino_sim Vino_txn Vino_vm

@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Array Filename In_channel List Out_channel Printf Sys Vino_misfit Vino_vm

@@ -1,0 +1,1 @@
+test/test_insn.ml: Alcotest Array Format List Vino_vm

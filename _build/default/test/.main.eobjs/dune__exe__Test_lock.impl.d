@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest List Printf QCheck2 QCheck_alcotest String Vino_sim Vino_txn

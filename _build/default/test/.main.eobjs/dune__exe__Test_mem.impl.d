@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest QCheck2 QCheck_alcotest Vino_vm

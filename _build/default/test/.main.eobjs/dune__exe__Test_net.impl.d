@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest List Vino_core Vino_fs Vino_net Vino_sim Vino_txn Vino_vm

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Gen List QCheck2 QCheck_alcotest String Test Vino_fs Vino_net Vino_sched Vino_stream Vino_vm Vino_vmem

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Array Gen List QCheck2 QCheck_alcotest Test Vino_misfit Vino_vm

@@ -1,0 +1,1 @@
+test/test_rlimit.ml: Alcotest List QCheck2 QCheck_alcotest Vino_txn

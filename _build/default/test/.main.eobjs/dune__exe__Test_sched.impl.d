@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest List Printexc Printf Vino_core Vino_sched Vino_sim Vino_txn Vino_vm

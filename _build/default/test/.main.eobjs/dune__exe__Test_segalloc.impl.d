@@ -1,0 +1,1 @@
+test/test_segalloc.ml: Alcotest List QCheck2 QCheck_alcotest Vino_core Vino_vm

@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest List Printexc Printf Vino_core Vino_fs Vino_net Vino_sched Vino_sim Vino_txn Vino_vm Vino_vmem

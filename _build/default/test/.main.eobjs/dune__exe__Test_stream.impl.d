@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Array Printexc Vino_core Vino_sim Vino_stream Vino_txn Vino_vm

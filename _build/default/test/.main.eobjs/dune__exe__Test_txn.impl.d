@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Array Gen List Printexc Printf QCheck2 QCheck_alcotest Test Vino_sim Vino_txn Vino_vm

@@ -1,0 +1,1 @@
+test/test_undo.ml: Alcotest Array List QCheck2 QCheck_alcotest Vino_txn

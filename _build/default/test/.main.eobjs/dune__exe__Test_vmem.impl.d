@@ -1,0 +1,1 @@
+test/test_vmem.ml: Alcotest List Printexc Vino_core Vino_fs Vino_sim Vino_txn Vino_vm Vino_vmem

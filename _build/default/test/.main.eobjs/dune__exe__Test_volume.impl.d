@@ -1,0 +1,1 @@
+test/test_volume.ml: Alcotest List Option Printexc Printf QCheck2 QCheck_alcotest Vino_core Vino_fs Vino_sim Vino_txn

@@ -1,0 +1,1 @@
+test/test_wrapper.ml: Alcotest Array Format Gen List QCheck2 QCheck_alcotest Test Vino_core Vino_measure Vino_misfit Vino_sim Vino_txn Vino_vm

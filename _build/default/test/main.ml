@@ -1,0 +1,32 @@
+(* Aggregated alcotest runner for the whole repository. *)
+
+let () =
+  Alcotest.run "vino"
+    (List.concat
+       [
+         Test_insn.suite;
+         Test_mem.suite;
+         Test_cpu.suite;
+         Test_asm.suite;
+         Test_encode.suite;
+         Test_parse.suite;
+         Test_rewrite.suite;
+         Test_image.suite;
+         Test_engine.suite;
+         Test_undo.suite;
+         Test_rlimit.suite;
+         Test_lock.suite;
+         Test_txn.suite;
+         Test_calltable.suite;
+         Test_segalloc.suite;
+         Test_core.suite;
+         Test_fs.suite;
+         Test_volume.suite;
+         Test_vmem.suite;
+         Test_sched.suite;
+         Test_stream.suite;
+         Test_net.suite;
+         Test_wrapper.suite;
+         Test_measure.suite;
+         Test_soak.suite;
+       ])

@@ -1,0 +1,87 @@
+(* Tests for the symbolic assembler. *)
+
+module Asm = Vino_vm.Asm
+module Insn = Vino_vm.Insn
+
+let test_labels_resolve () =
+  let obj =
+    Asm.assemble_exn
+      [
+        Label "start";
+        Li (Asm.r0, 1);
+        Br (Insn.Eq, Asm.r0, Asm.r0, "end");
+        Jmp "start";
+        Label "end";
+        Halt;
+      ]
+  in
+  (match obj.code.(1) with
+  | Insn.Br (Eq, 0, 0, 3) -> ()
+  | i -> Alcotest.failf "unexpected %a" Insn.pp i);
+  match obj.code.(2) with
+  | Insn.Jmp 0 -> ()
+  | i -> Alcotest.failf "unexpected %a" Insn.pp i
+
+let test_label_at_end () =
+  (* A label pointing one past the last instruction is undefined behaviour we
+     reject at validation: branch to it falls outside the program. *)
+  match Asm.assemble [ Li (Asm.r0, 1); Jmp "end"; Label "end" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "label at end should be rejected"
+
+let test_duplicate_label () =
+  match Asm.assemble [ Label "a"; Halt; Label "a"; Halt ] with
+  | Error msg ->
+      Alcotest.(check bool) "mentions duplicate" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "duplicate label accepted"
+
+let test_undefined_label () =
+  match Asm.assemble [ Jmp "nowhere" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "undefined label accepted"
+
+let test_bad_register_rejected () =
+  match Asm.assemble [ Mov (99, 0); Halt ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "register 99 accepted"
+
+let test_kcall_relocations () =
+  let obj =
+    Asm.assemble_exn
+      [ Li (Asm.r1, 1); Kcall "fs.read"; Kcall "fs.write"; Halt ]
+  in
+  Alcotest.(check int) "two relocs" 2 (List.length obj.relocs);
+  let first = List.nth obj.relocs 0 and second = List.nth obj.relocs 1 in
+  Alcotest.(check int) "first index" 1 first.Asm.index;
+  Alcotest.(check string) "first name" "fs.read" first.Asm.name;
+  Alcotest.(check int) "second index" 2 second.Asm.index;
+  Alcotest.(check string) "second name" "fs.write" second.Asm.name;
+  match obj.code.(1) with
+  | Insn.Kcall -1 -> ()
+  | i -> Alcotest.failf "placeholder expected, got %a" Insn.pp i
+
+let test_assemble_exn_raises () =
+  Alcotest.check_raises "invalid arg"
+    (Invalid_argument "Asm.assemble: undefined label \"x\"") (fun () ->
+      ignore (Asm.assemble_exn [ Jmp "x" ]))
+
+let suite =
+  [
+    ( "asm",
+      [
+        Alcotest.test_case "labels resolve to indices" `Quick
+          test_labels_resolve;
+        Alcotest.test_case "trailing label rejected" `Quick test_label_at_end;
+        Alcotest.test_case "duplicate label rejected" `Quick
+          test_duplicate_label;
+        Alcotest.test_case "undefined label rejected" `Quick
+          test_undefined_label;
+        Alcotest.test_case "bad register rejected" `Quick
+          test_bad_register_rejected;
+        Alcotest.test_case "named kernel calls produce relocations" `Quick
+          test_kcall_relocations;
+        Alcotest.test_case "assemble_exn raises Invalid_argument" `Quick
+          test_assemble_exn_raises;
+      ] );
+  ]

@@ -1,0 +1,85 @@
+(* Tests for the sparse open hash table of graft-callable ids. *)
+
+module Calltable = Vino_core.Calltable
+
+let test_add_mem_remove () =
+  let t = Calltable.create () in
+  Calltable.add t 5;
+  Calltable.add t 9;
+  Alcotest.(check bool) "5 present" true (Calltable.mem t 5);
+  Alcotest.(check bool) "9 present" true (Calltable.mem t 9);
+  Alcotest.(check bool) "7 absent" false (Calltable.mem t 7);
+  Alcotest.(check int) "cardinal" 2 (Calltable.cardinal t);
+  Calltable.remove t 5;
+  Alcotest.(check bool) "5 gone" false (Calltable.mem t 5);
+  Alcotest.(check bool) "9 still there" true (Calltable.mem t 9);
+  Alcotest.(check int) "cardinal after remove" 1 (Calltable.cardinal t)
+
+let test_add_is_idempotent () =
+  let t = Calltable.create () in
+  Calltable.add t 3;
+  Calltable.add t 3;
+  Alcotest.(check int) "no duplicates" 1 (Calltable.cardinal t)
+
+let test_stays_sparse () =
+  let t = Calltable.create ~initial_slots:8 () in
+  for k = 0 to 199 do
+    Calltable.add t k
+  done;
+  Alcotest.(check int) "all inserted" 200 (Calltable.cardinal t);
+  Alcotest.(check bool) "load factor <= 1/4" true (Calltable.load_factor t <= 0.25);
+  for k = 0 to 199 do
+    Alcotest.(check bool) (Printf.sprintf "%d present" k) true
+      (Calltable.mem t k)
+  done
+
+let test_probe_cost_is_small () =
+  (* The paper reports 10-15 cycles per indirect call via a sparse open
+     table: the average probe count must stay near 1. *)
+  let t = Calltable.create () in
+  for k = 0 to 99 do
+    Calltable.add t (k * 7)
+  done;
+  for k = 0 to 999 do
+    ignore (Calltable.mem t k)
+  done;
+  Alcotest.(check bool) "average probes < 2" true (Calltable.average_probes t < 2.)
+
+let prop_model_check =
+  (* Compare against a reference set over random add/remove/mem traces. *)
+  QCheck2.Test.make ~name:"calltable agrees with a reference set" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 0 200) (pair (int_range 0 2) (int_range 0 50)))
+    (fun ops ->
+      let t = Calltable.create ~initial_slots:8 () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (op, id) ->
+          match op with
+          | 0 ->
+              Calltable.add t id;
+              Hashtbl.replace model id ();
+              true
+          | 1 ->
+              if Hashtbl.mem model id then begin
+                Calltable.remove t id;
+                Hashtbl.remove model id
+              end;
+              true
+          | _ -> Calltable.mem t id = Hashtbl.mem model id)
+        ops
+      && Calltable.cardinal t = Hashtbl.length model)
+
+let suite =
+  [
+    ( "calltable",
+      [
+        Alcotest.test_case "add/mem/remove" `Quick test_add_mem_remove;
+        Alcotest.test_case "add is idempotent" `Quick test_add_is_idempotent;
+        Alcotest.test_case "table stays sparse under growth" `Quick
+          test_stays_sparse;
+        Alcotest.test_case "probe cost matches the paper's 10-15 cycles"
+          `Quick test_probe_cost_is_small;
+        QCheck_alcotest.to_alcotest prop_model_check;
+      ] );
+  ]

@@ -1,0 +1,273 @@
+(* Tests for the graft-VM interpreter. *)
+
+module Insn = Vino_vm.Insn
+module Mem = Vino_vm.Mem
+module Cpu = Vino_vm.Cpu
+module Asm = Vino_vm.Asm
+module Costs = Vino_vm.Costs
+
+let outcome = Alcotest.testable Cpu.pp_outcome ( = )
+
+(* A 1 KiB machine whose graft segment is the upper 256 words. *)
+let machine ?fuel () =
+  let mem = Mem.create 1024 in
+  let seg = Mem.segment ~base:768 ~size:256 in
+  let cpu = Cpu.make ~mem ~seg ?fuel () in
+  (mem, seg, cpu)
+
+let run ?(env = Cpu.env_trusted) cpu items =
+  let obj = Asm.assemble_exn items in
+  Cpu.run env cpu obj.code
+
+let test_arith_and_halt () =
+  let _, _, cpu = machine () in
+  let o =
+    run cpu [ Li (Asm.r1, 6); Li (Asm.r2, 7); Alu (Mul, Asm.r0, Asm.r1, Asm.r2); Halt ]
+  in
+  Alcotest.check outcome "halts" Cpu.Halted o;
+  Alcotest.(check int) "result" 42 (Cpu.reg cpu 0)
+
+let test_toplevel_ret_halts () =
+  let _, _, cpu = machine () in
+  let o = run cpu [ Li (Asm.r0, 9); Ret ] in
+  Alcotest.check outcome "ret halts" Cpu.Halted o;
+  Alcotest.(check int) "result" 9 (Cpu.reg cpu 0)
+
+let test_call_ret () =
+  let _, _, cpu = machine () in
+  let o =
+    run cpu
+      [
+        Li (Asm.r1, 5);
+        Call "double";
+        Halt;
+        Label "double";
+        Alu (Insn.Add, Asm.r0, Asm.r1, Asm.r1);
+        Ret;
+      ]
+  in
+  Alcotest.check outcome "halts" Cpu.Halted o;
+  Alcotest.(check int) "doubled" 10 (Cpu.reg cpu 0)
+
+let test_branch_loop () =
+  (* Sum 1..10 with a backward branch. *)
+  let _, _, cpu = machine () in
+  let o =
+    run cpu
+      [
+        Li (Asm.r1, 10);
+        Li (Asm.r0, 0);
+        Li (Asm.r2, 0);
+        Label "loop";
+        Br (Insn.Gt, Asm.r2, Asm.r1, "done");
+        Alu (Insn.Add, Asm.r0, Asm.r0, Asm.r2);
+        Alui (Insn.Add, Asm.r2, Asm.r2, 1);
+        Jmp "loop";
+        Label "done";
+        Halt;
+      ]
+  in
+  Alcotest.check outcome "halts" Cpu.Halted o;
+  Alcotest.(check int) "sum" 55 (Cpu.reg cpu 0)
+
+let test_memory_and_stack () =
+  let mem, seg, cpu = machine () in
+  let base = seg.Mem.base in
+  let o =
+    run cpu
+      [
+        Li (Asm.r1, base);
+        Li (Asm.r2, 123);
+        St (Asm.r2, Asm.r1, 3);
+        Ld (Asm.r3, Asm.r1, 3);
+        Push (Asm.r3);
+        Pop (Asm.r0);
+        Halt;
+      ]
+  in
+  Alcotest.check outcome "halts" Cpu.Halted o;
+  Alcotest.(check int) "through memory and stack" 123 (Cpu.reg cpu 0);
+  Alcotest.(check int) "stored in place" 123 (Mem.load mem (base + 3))
+
+let test_wild_store_faults () =
+  let _, _, cpu = machine () in
+  let o = run cpu [ Li (Asm.r1, 100_000); St (Asm.r1, Asm.r1, 0); Halt ] in
+  match o with
+  | Cpu.Faulted (Memory_fault { write = true; _ }) -> ()
+  | o -> Alcotest.failf "expected write fault, got %a" Cpu.pp_outcome o
+
+let test_division_fault () =
+  let _, _, cpu = machine () in
+  let o =
+    run cpu [ Li (Asm.r1, 1); Li (Asm.r2, 0); Alu (Div, Asm.r0, Asm.r1, Asm.r2) ]
+  in
+  Alcotest.check outcome "div fault" (Cpu.Faulted Cpu.Division_by_zero) o
+
+let test_bad_pc_fault () =
+  let _, _, cpu = machine () in
+  let o = run cpu [ Li (Asm.r1, 400); Callr Asm.r1 ] in
+  Alcotest.check outcome "bad pc" (Cpu.Faulted (Cpu.Bad_pc 400)) o
+
+let test_fuel_stops_infinite_loop () =
+  let _, _, cpu = machine ~fuel:10_000 () in
+  let o = run cpu [ Label "spin"; Jmp "spin" ] in
+  Alcotest.check outcome "out of fuel" Cpu.Out_of_fuel o;
+  Alcotest.(check bool) "cycles near fuel" true (Cpu.cycles cpu >= 10_000)
+
+let test_poll_aborts () =
+  let _, _, cpu = machine () in
+  let polls = ref 0 in
+  let env =
+    {
+      Cpu.env_trusted with
+      poll =
+        (fun () ->
+          incr polls;
+          if !polls >= 3 then Some "resource hog" else None);
+    }
+  in
+  let o = run ~env cpu [ Label "spin"; Jmp "spin" ] in
+  Alcotest.check outcome "aborted" (Cpu.Aborted "resource hog") o
+
+let test_kcall_dispatch () =
+  let _, _, cpu = machine () in
+  let env =
+    {
+      Cpu.env_trusted with
+      kcall =
+        (fun id st ->
+          if id = 7 then begin
+            Cpu.set_reg st 0 (Cpu.reg st 1 * 2);
+            Cpu.charge st 100;
+            Cpu.K_ok
+          end
+          else Cpu.K_fault (Cpu.Bad_kcall id));
+    }
+  in
+  let o = run ~env cpu [ Li (Asm.r1, 21); Kcall_id 7; Halt ] in
+  Alcotest.check outcome "halts" Cpu.Halted o;
+  Alcotest.(check int) "kernel result" 42 (Cpu.reg cpu 0);
+  Alcotest.(check bool) "kernel charged cycles" true (Cpu.cycles cpu > 100)
+
+let test_kcall_abort_propagates () =
+  let _, _, cpu = machine () in
+  let env =
+    { Cpu.env_trusted with kcall = (fun _ _ -> Cpu.K_abort "lock timeout") }
+  in
+  let o = run ~env cpu [ Kcall_id 1; Halt ] in
+  Alcotest.check outcome "abort" (Cpu.Aborted "lock timeout") o
+
+let test_checkcall () =
+  let _, _, cpu = machine () in
+  let env = { Cpu.env_trusted with call_ok = (fun id -> id = 5) } in
+  let ok = run ~env cpu [ Li (Asm.r1, 5); Checkcall Asm.r1; Halt ] in
+  Alcotest.check outcome "allowed id passes" Cpu.Halted ok;
+  let _, _, cpu2 = machine () in
+  let bad = run ~env cpu2 [ Li (Asm.r1, 6); Checkcall Asm.r1; Halt ] in
+  Alcotest.check outcome "bad id faults"
+    (Cpu.Faulted (Cpu.Bad_call_target 6))
+    bad
+
+let test_sandbox_insn () =
+  let _, seg, cpu = machine () in
+  let o =
+    run cpu [ Li (Asm.r1, 5); Sandbox Asm.r1; Mov (Asm.r0, Asm.r1); Halt ]
+  in
+  Alcotest.check outcome "halts" Cpu.Halted o;
+  Alcotest.(check bool) "address confined" true
+    (Mem.in_segment seg (Cpu.reg cpu 0))
+
+let test_call_stack_overflow () =
+  let _, _, cpu = machine () in
+  let o = run cpu [ Label "rec"; Call "rec" ] in
+  Alcotest.check outcome "overflow" (Cpu.Faulted Cpu.Call_stack_overflow) o
+
+let test_cycle_accounting () =
+  let _, _, cpu = machine () in
+  let o = run cpu [ Li (Asm.r1, 1); Li (Asm.r2, 2); Halt ] in
+  Alcotest.check outcome "halts" Cpu.Halted o;
+  let c = Costs.default in
+  Alcotest.(check int) "exact cycles"
+    ((2 * c.Costs.li) + c.Costs.halt)
+    (Cpu.cycles cpu);
+  Alcotest.(check int) "insns" 3 (Cpu.insns_executed cpu)
+
+let test_checked_mode_faults_out_of_segment () =
+  (* the interpreted-extension model: accesses are bounds-checked by the
+     environment instead of sandboxed by rewriting *)
+  let mem = Mem.create 1024 in
+  let seg = Mem.segment ~base:768 ~size:256 in
+  let cpu = Cpu.make ~mem ~seg ~checked:true () in
+  let obj =
+    Asm.assemble_exn [ Li (Asm.r1, 3); St (Asm.r1, Asm.r1, 0); Halt ]
+  in
+  (match Cpu.run Cpu.env_trusted cpu obj.Asm.code with
+  | Cpu.Faulted (Cpu.Memory_fault { addr = 3; write = true }) -> ()
+  | o -> Alcotest.failf "expected checked fault, got %a" Cpu.pp_outcome o);
+  Alcotest.(check int) "kernel memory untouched" 0 (Mem.load mem 3)
+
+let test_checked_mode_charges_per_access () =
+  let run ~checked =
+    let mem = Mem.create 1024 in
+    let seg = Mem.segment ~base:768 ~size:256 in
+    let cpu = Cpu.make ~mem ~seg ~checked () in
+    let obj =
+      Asm.assemble_exn
+        [
+          Li (Asm.r1, 768);
+          Li (Asm.r2, 5);
+          St (Asm.r2, Asm.r1, 0);
+          Ld (Asm.r0, Asm.r1, 0);
+          Halt;
+        ]
+    in
+    (match Cpu.run Cpu.env_trusted cpu obj.Asm.code with
+    | Cpu.Halted -> ()
+    | o -> Alcotest.failf "unexpected %a" Cpu.pp_outcome o);
+    Cpu.cycles cpu
+  in
+  Alcotest.(check int) "two checked accesses"
+    (2 * Cpu.default_check_access_cost)
+    (run ~checked:true - run ~checked:false)
+
+let test_sp_starts_at_segment_top () =
+  let _, seg, cpu = machine () in
+  Alcotest.(check int) "sp" (seg.Mem.base + seg.Mem.size)
+    (Cpu.reg cpu Insn.sp)
+
+let suite =
+  [
+    ( "cpu",
+      [
+        Alcotest.test_case "arithmetic and halt" `Quick test_arith_and_halt;
+        Alcotest.test_case "top-level ret completes graft" `Quick
+          test_toplevel_ret_halts;
+        Alcotest.test_case "call/ret" `Quick test_call_ret;
+        Alcotest.test_case "branch loop computes sum" `Quick test_branch_loop;
+        Alcotest.test_case "memory and stack ops" `Quick test_memory_and_stack;
+        Alcotest.test_case "wild store faults (unsafe code)" `Quick
+          test_wild_store_faults;
+        Alcotest.test_case "division by zero faults" `Quick test_division_fault;
+        Alcotest.test_case "control transfer out of program faults" `Quick
+          test_bad_pc_fault;
+        Alcotest.test_case "fuel preempts infinite loop" `Quick
+          test_fuel_stops_infinite_loop;
+        Alcotest.test_case "abort poll is honoured" `Quick test_poll_aborts;
+        Alcotest.test_case "kernel call dispatch" `Quick test_kcall_dispatch;
+        Alcotest.test_case "kernel-call abort propagates" `Quick
+          test_kcall_abort_propagates;
+        Alcotest.test_case "checkcall accepts/rejects" `Quick test_checkcall;
+        Alcotest.test_case "sandbox instruction confines" `Quick
+          test_sandbox_insn;
+        Alcotest.test_case "runaway recursion overflows call stack" `Quick
+          test_call_stack_overflow;
+        Alcotest.test_case "cycle accounting is exact" `Quick
+          test_cycle_accounting;
+        Alcotest.test_case "checked mode faults out-of-segment" `Quick
+          test_checked_mode_faults_out_of_segment;
+        Alcotest.test_case "checked mode charges per access" `Quick
+          test_checked_mode_charges_per_access;
+        Alcotest.test_case "stack pointer initialised to segment top" `Quick
+          test_sp_starts_at_segment_top;
+      ] );
+  ]

@@ -1,0 +1,84 @@
+(* Round-trip and robustness tests for the program encoder. *)
+
+module Insn = Vino_vm.Insn
+module Encode = Vino_vm.Encode
+
+let arbitrary_insn : Insn.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let reg = int_range 0 (Insn.num_regs - 1) in
+  let target = int_range 0 200 in
+  let imm = int_range (-1000) 1000 in
+  let alu =
+    oneofl
+      [
+        Insn.Add; Insn.Sub; Insn.Mul; Insn.Div; Insn.Rem; Insn.And; Insn.Or;
+        Insn.Xor; Insn.Shl; Insn.Shr;
+      ]
+  in
+  let cond =
+    oneofl [ Insn.Eq; Insn.Ne; Insn.Lt; Insn.Le; Insn.Gt; Insn.Ge ]
+  in
+  oneof
+    [
+      map2 (fun r v -> Insn.Li (r, v)) reg imm;
+      map2 (fun a b -> Insn.Mov (a, b)) reg reg;
+      map3 (fun op d (a, b) -> Insn.Alu (op, d, a, b)) alu reg (pair reg reg);
+      map3 (fun op (d, a) v -> Insn.Alui (op, d, a, v)) alu (pair reg reg) imm;
+      map3 (fun d b o -> Insn.Ld (d, b, o)) reg reg imm;
+      map3 (fun v b o -> Insn.St (v, b, o)) reg reg imm;
+      map3
+        (fun c (a, b) t -> Insn.Br (c, a, b, t))
+        cond (pair reg reg) target;
+      map (fun t -> Insn.Jmp t) target;
+      map (fun t -> Insn.Call t) target;
+      map (fun r -> Insn.Callr r) reg;
+      return Insn.Ret;
+      map (fun id -> Insn.Kcall id) (int_range (-1) 100);
+      map (fun r -> Insn.Kcallr r) reg;
+      map (fun r -> Insn.Push r) reg;
+      map (fun r -> Insn.Pop r) reg;
+      map (fun r -> Insn.Sandbox r) reg;
+      map (fun r -> Insn.Checkcall r) reg;
+      return Insn.Halt;
+    ]
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"encode/decode round trip" ~count:300
+    QCheck2.Gen.(array_size (int_range 0 50) arbitrary_insn)
+    (fun prog ->
+      match Encode.of_words (Encode.to_words prog) with
+      | Ok decoded -> decoded = prog
+      | Error _ -> false)
+
+let test_truncated_stream () =
+  let words = Encode.to_words [| Insn.Halt; Insn.Ret |] in
+  let cut = Array.sub words 0 (Array.length words - 1) in
+  match Encode.of_words cut with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated stream accepted"
+
+let test_unknown_opcode () =
+  match Encode.of_words [| 999; 0; 0; 0 |] with
+  | Error msg ->
+      Alcotest.(check bool) "mentions opcode" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "unknown opcode accepted"
+
+let test_empty_program () =
+  Alcotest.(check int) "no words" 0 (Array.length (Encode.to_words [||]));
+  match Encode.of_words [||] with
+  | Ok [||] -> ()
+  | Ok _ -> Alcotest.fail "expected empty program"
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    ( "encode",
+      [
+        QCheck_alcotest.to_alcotest prop_roundtrip;
+        Alcotest.test_case "truncated stream rejected" `Quick
+          test_truncated_stream;
+        Alcotest.test_case "unknown opcode rejected" `Quick test_unknown_opcode;
+        Alcotest.test_case "empty program" `Quick test_empty_program;
+      ] );
+  ]

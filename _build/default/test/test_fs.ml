@@ -1,0 +1,512 @@
+(* Tests for the file-system substrate: disk model, LRU cache, prefetch
+   daemon, open files and the compute-ra graft point. *)
+
+module Engine = Vino_sim.Engine
+module Kernel = Vino_core.Kernel
+module Graft_point = Vino_core.Graft_point
+module Cred = Vino_core.Cred
+module Rlimit = Vino_txn.Rlimit
+module Disk = Vino_fs.Disk
+module Cache = Vino_fs.Cache
+module Prefetch = Vino_fs.Prefetch
+module File = Vino_fs.File
+module Readahead = Vino_fs.Readahead
+
+let app = Cred.user "fs-test" ~limits:(Rlimit.unlimited ())
+
+(* ------------------------------- disk -------------------------------- *)
+
+let test_disk_sequential_faster () =
+  let e = Engine.create () in
+  let disk = Disk.create e () in
+  let sequential = ref 0 and random = ref 0 in
+  ignore
+    (Engine.spawn e (fun () ->
+         let t0 = Engine.now e in
+         for b = 1 to 10 do
+           Disk.read disk ~block:b
+         done;
+         sequential := Engine.now e - t0;
+         let t1 = Engine.now e in
+         List.iter
+           (fun b -> Disk.read disk ~block:b)
+           [ 5000; 100; 90_000; 12; 40_000; 7; 66_000; 3; 9_000; 1 ];
+         random := Engine.now e - t1));
+  Engine.run e;
+  Alcotest.(check bool) "sequential much faster" true
+    (!random > 5 * !sequential);
+  Alcotest.(check int) "20 requests served" 20 (Disk.requests_served disk);
+  Alcotest.(check bool) "sequential hits counted" true
+    (Disk.sequential_hits disk >= 10)
+
+let test_disk_random_service_time_magnitude () =
+  let e = Engine.create () in
+  let disk = Disk.create e () in
+  let us = Vino_vm.Costs.us_of_cycles (Disk.service_time disk ~block:100_000) in
+  Alcotest.(check bool) "random access ~10-25 ms" true
+    (us > 10_000. && us < 25_000.)
+
+let test_disk_fifo_order () =
+  let e = Engine.create () in
+  let disk = Disk.create e () in
+  let order = ref [] in
+  ignore
+    (Engine.spawn e (fun () ->
+         List.iter
+           (fun b ->
+             Disk.submit disk Disk.Read ~block:b ~on_complete:(fun () ->
+                 order := b :: !order))
+           [ 500; 10; 300 ]));
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO completion" [ 500; 10; 300 ]
+    (List.rev !order)
+
+let test_disk_elevator_reorders () =
+  let e = Engine.create () in
+  let disk = Disk.create e ~scheduling:Disk.Elevator () in
+  let order = ref [] in
+  ignore
+    (Engine.spawn e (fun () ->
+         (* submitted while the disk is idle at block 0; elevator should
+            sweep upward: 10, 300, 500 *)
+         List.iter
+           (fun b ->
+             Disk.submit disk Disk.Read ~block:b ~on_complete:(fun () ->
+                 order := b :: !order))
+           [ 500; 10; 300 ]));
+  Engine.run e;
+  match List.rev !order with
+  | [ first; _; _ ] when first <> 500 -> ()
+  | o ->
+      Alcotest.failf "elevator served head-first request first: %s"
+        (String.concat "," (List.map string_of_int o))
+
+let test_disk_bad_block_rejected () =
+  let e = Engine.create () in
+  let disk = Disk.create e () in
+  Alcotest.check_raises "negative block"
+    (Invalid_argument "Disk.submit: block out of range") (fun () ->
+      Disk.submit disk Disk.Read ~block:(-1) ~on_complete:ignore)
+
+(* ------------------------------- cache ------------------------------- *)
+
+let evicted_block = function
+  | Some e -> Some e.Cache.block
+  | None -> None
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:3 () in
+  Alcotest.(check (option int)) "no eviction yet" None
+    (evicted_block (Cache.insert c 1));
+  ignore (Cache.insert c 2);
+  ignore (Cache.insert c 3);
+  Alcotest.(check (option int)) "LRU (1) evicted" (Some 1)
+    (evicted_block (Cache.insert c 4));
+  (* touch 2 so 3 becomes LRU *)
+  Alcotest.(check bool) "hit refreshes" true (Cache.lookup c 2);
+  Alcotest.(check (option int)) "3 evicted after refresh" (Some 3)
+    (evicted_block (Cache.insert c 5));
+  Alcotest.(check (list int)) "order LRU..MRU" [ 4; 2; 5 ] (Cache.lru_order c)
+
+let test_cache_dirty_tracking () =
+  let c = Cache.create ~capacity:2 () in
+  ignore (Cache.insert c ~dirty:true 1);
+  ignore (Cache.insert c 2);
+  Alcotest.(check bool) "1 dirty" true (Cache.is_dirty c 1);
+  Alcotest.(check bool) "2 clean" false (Cache.is_dirty c 2);
+  Cache.mark_dirty c 2;
+  Alcotest.(check (list int)) "both dirty (dirtied order)" [ 1; 2 ]
+    (Cache.dirty_blocks c);
+  Cache.clean c 1;
+  Alcotest.(check (list int)) "one dirty" [ 2 ] (Cache.dirty_blocks c);
+  (* evicting a dirty block reports it for write-back *)
+  Cache.mark_dirty c 1;
+  match Cache.insert c 3 with
+  | Some { Cache.block = 1; dirty = true } -> ()
+  | _ -> Alcotest.fail "dirty eviction not reported"
+
+
+let test_cache_counters () =
+  let c = Cache.create ~capacity:2 () in
+  ignore (Cache.insert c 7);
+  ignore (Cache.lookup c 7);
+  ignore (Cache.lookup c 8);
+  Alcotest.(check int) "hits" 1 (Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Cache.misses c)
+
+let prop_cache_never_exceeds_capacity =
+  QCheck2.Test.make ~name:"cache never exceeds capacity" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 16) (list_size (int_range 0 100) (int_range 0 40)))
+    (fun (cap, blocks) ->
+      let c = Cache.create ~capacity:cap () in
+      List.iter (fun b -> ignore (Cache.insert c b)) blocks;
+      Cache.length c <= cap
+      && List.length (Cache.lru_order c) = Cache.length c)
+
+(* ----------------------------- prefetch ------------------------------ *)
+
+let test_prefetch_fills_cache () =
+  let e = Engine.create () in
+  let disk = Disk.create e () in
+  let cache = Cache.create ~capacity:64 () in
+  let p = Prefetch.create e ~cache ~disk () in
+  Prefetch.push p [ 10; 11; 12 ];
+  Engine.run e;
+  Alcotest.(check int) "three issued" 3 (Prefetch.issued p);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) (Printf.sprintf "block %d cached" b) true
+        (Cache.mem cache b))
+    [ 10; 11; 12 ]
+
+let test_prefetch_drops_resident () =
+  let e = Engine.create () in
+  let disk = Disk.create e () in
+  let cache = Cache.create ~capacity:64 () in
+  let p = Prefetch.create e ~cache ~disk () in
+  ignore (Cache.insert cache 5);
+  Prefetch.push p [ 5; 5 ];
+  Engine.run e;
+  Alcotest.(check int) "nothing issued" 0 (Prefetch.issued p);
+  Alcotest.(check int) "both dropped" 2 (Prefetch.dropped p)
+
+let test_prefetch_budget_throttles () =
+  (* a graft asking for everything must not flood memory: the budget stalls
+     issue until the application consumes *)
+  let e = Engine.create () in
+  let disk = Disk.create e () in
+  let cache = Cache.create ~capacity:256 () in
+  let p = Prefetch.create e ~cache ~disk ~buffer_budget:4 () in
+  Prefetch.push p (List.init 20 (fun k -> 100 + k));
+  Engine.run e;
+  Alcotest.(check int) "issue stops at the budget" 4 (Prefetch.issued p);
+  Alcotest.(check int) "rest still queued" 16 (Prefetch.pending p);
+  (* application consumes two: two more may issue *)
+  Prefetch.note_consumed p 100;
+  Prefetch.note_consumed p 101;
+  Engine.run e;
+  Alcotest.(check int) "issue resumes" 6 (Prefetch.issued p)
+
+(* ------------------------------- file -------------------------------- *)
+
+type fx = { kernel : Kernel.t; cache : Cache.t; file : File.t }
+
+let file_fixture ?ra_window () =
+  let kernel = Kernel.create ~mem_words:(1 lsl 16) () in
+  let disk = Disk.create kernel.Kernel.engine () in
+  let cache = Cache.create ~capacity:128 () in
+  let file =
+    File.openf ~kernel ~cache ~disk ~name:"t" ~first_block:100 ~blocks:64
+      ?ra_window ()
+  in
+  { kernel; cache; file }
+
+let in_kernel fx f =
+  ignore (Engine.spawn fx.kernel.Kernel.engine ~name:"body" f);
+  Kernel.run fx.kernel;
+  match Engine.failures fx.kernel.Kernel.engine with
+  | [] -> ()
+  | (name, exn) :: _ ->
+      Alcotest.failf "process %s: %s" name (Printexc.to_string exn)
+
+let test_file_sequential_readahead () =
+  let fx = file_fixture ~ra_window:2 () in
+  in_kernel fx (fun () ->
+      ignore (File.read fx.file ~cred:app ~block:0);
+      ignore (File.read fx.file ~cred:app ~block:1));
+  (* sequential detection on block 1 should have prefetched blocks 2,3 *)
+  Alcotest.(check bool) "block 3 prefetched (disk block 103)" true
+    (Cache.mem fx.cache 103);
+  let fx2 = file_fixture ~ra_window:2 () in
+  in_kernel fx2 (fun () ->
+      ignore (File.read fx2.file ~cred:app ~block:0);
+      ignore (File.read fx2.file ~cred:app ~block:9));
+  Alcotest.(check bool) "random access: no prefetch" false
+    (Cache.mem fx2.cache 110)
+
+let test_file_cache_hit_after_prefetch () =
+  let fx = file_fixture ~ra_window:1 () in
+  in_kernel fx (fun () ->
+      ignore (File.read fx.file ~cred:app ~block:0);
+      ignore (File.read fx.file ~cred:app ~block:1);
+      (* allow the prefetch daemon to complete I/O *)
+      Engine.delay (Vino_txn.Tcosts.us 50_000.);
+      match File.read fx.file ~cred:app ~block:2 with
+      | `Hit -> ()
+      | `Miss -> Alcotest.fail "prefetched block should hit");
+  Alcotest.(check bool) "stall time recorded" true
+    (File.stall_cycles fx.file > 0)
+
+let test_file_app_directed_graft_end_to_end () =
+  let fx = file_fixture () in
+  let source =
+    Readahead.app_directed_source ~lock_kcall:(File.ra_lock_name fx.file)
+  in
+  let image =
+    match Kernel.seal fx.kernel (Vino_vm.Asm.assemble_exn source) with
+    | Ok i -> i
+    | Error e -> Alcotest.fail e
+  in
+  (match
+     Graft_point.replace (File.ra_point fx.file) fx.kernel ~cred:app
+       ~shared_words:16 image
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  in_kernel fx (fun () ->
+      (* announce 40, read 7: 40 is non-sequential but gets prefetched *)
+      Readahead.announce fx.kernel (File.ra_point fx.file) 40;
+      ignore (File.read fx.file ~cred:app ~block:7);
+      Engine.delay (Vino_txn.Tcosts.us 50_000.);
+      match File.read fx.file ~cred:app ~block:40 with
+      | `Hit -> ()
+      | `Miss -> Alcotest.fail "announced block was not prefetched");
+  Alcotest.(check bool) "graft survived" true
+    (Graft_point.grafted (File.ra_point fx.file))
+
+let test_file_malicious_ra_rejected () =
+  (* a graft that asks to prefetch block 9999 (outside the file) must be
+     caught by result validation and removed *)
+  let fx = file_fixture () in
+  let source : Vino_vm.Asm.item list =
+    [
+      Alui (Vino_vm.Insn.Add, Vino_vm.Asm.r8, Vino_vm.Asm.r4, 8);
+      Li (Vino_vm.Asm.r6, 9999);
+      St (Vino_vm.Asm.r6, Vino_vm.Asm.r8, 0);
+      Li (Vino_vm.Asm.r0, 1);
+      Mov (Vino_vm.Asm.r1, Vino_vm.Asm.r8);
+      Ret;
+    ]
+  in
+  let image =
+    match Kernel.seal fx.kernel (Vino_vm.Asm.assemble_exn source) with
+    | Ok i -> i
+    | Error e -> Alcotest.fail e
+  in
+  (match
+     Graft_point.replace (File.ra_point fx.file) fx.kernel ~cred:app
+       ~shared_words:16 image
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  in_kernel fx (fun () -> ignore (File.read fx.file ~cred:app ~block:3));
+  Alcotest.(check bool) "graft removed after invalid extent" false
+    (Graft_point.grafted (File.ra_point fx.file));
+  Alcotest.(check int) "nothing bogus queued" 0
+    (Prefetch.pending (File.prefetcher fx.file))
+
+module Syncer = Vino_fs.Syncer
+
+let test_file_write_path () =
+  let fx = file_fixture () in
+  let syncer =
+    Syncer.create fx.kernel ~cache:fx.cache
+      ~disk:(Disk.create fx.kernel.Kernel.engine ())
+      ()
+  in
+  ignore syncer;
+  in_kernel fx (fun () ->
+      File.write fx.file ~cred:app ~block:5;
+      File.write fx.file ~cred:app ~block:6;
+      (* written blocks are resident and dirty; reading them hits *)
+      match File.read fx.file ~cred:app ~block:5 with
+      | `Hit -> ()
+      | `Miss -> Alcotest.fail "written block should be cached");
+  Alcotest.(check int) "two writes" 2 (File.writes fx.file);
+  Alcotest.(check bool) "block 6 still dirty" true
+    (Cache.is_dirty fx.cache 106)
+
+let test_syncer_flushes () =
+  let kernel = Kernel.create ~mem_words:(1 lsl 16) () in
+  let disk = Disk.create kernel.Kernel.engine () in
+  let cache = Cache.create ~capacity:64 () in
+  let file =
+    File.openf ~kernel ~cache ~disk ~name:"w" ~first_block:0 ~blocks:64 ()
+  in
+  let syncer = Syncer.create kernel ~cache ~disk () in
+  File.attach_syncer file syncer;
+  ignore
+    (Engine.spawn kernel.Kernel.engine (fun () ->
+         for b = 0 to 9 do
+           File.write file ~cred:app ~block:b
+         done;
+         Syncer.sync syncer));
+  Kernel.run kernel;
+  Alcotest.(check int) "ten blocks flushed" 10 (Syncer.flushed syncer);
+  Alcotest.(check (list int)) "nothing left dirty" []
+    (Cache.dirty_blocks cache);
+  Alcotest.(check int) "disk saw the writes" 10 (Disk.writes_served disk);
+  Syncer.stop syncer;
+  Kernel.run kernel
+
+let test_syncer_threshold_kicks () =
+  let kernel = Kernel.create ~mem_words:(1 lsl 16) () in
+  let disk = Disk.create kernel.Kernel.engine () in
+  let cache = Cache.create ~capacity:64 () in
+  let file =
+    File.openf ~kernel ~cache ~disk ~name:"w" ~first_block:0 ~blocks:64 ()
+  in
+  let syncer = Syncer.create kernel ~cache ~disk ~threshold:4 () in
+  File.attach_syncer file syncer;
+  ignore
+    (Engine.spawn kernel.Kernel.engine (fun () ->
+         for b = 0 to 5 do
+           File.write file ~cred:app ~block:b
+         done));
+  Kernel.run kernel;
+  Alcotest.(check bool) "daemon flushed past the threshold" true
+    (Syncer.flushed syncer >= 4);
+  Syncer.stop syncer;
+  Kernel.run kernel
+
+let test_graftable_flush_order () =
+  (* the paper's "a buffer to flush" prioritization graft: nearest-first
+     write-back instead of ascending order *)
+  let kernel = Kernel.create ~mem_words:(1 lsl 16) () in
+  let disk = Disk.create kernel.Kernel.engine () in
+  let cache = Cache.create ~capacity:64 () in
+  let file =
+    File.openf ~kernel ~cache ~disk ~name:"w" ~first_block:0 ~blocks:64 ()
+  in
+  let syncer = Syncer.create kernel ~cache ~disk () in
+  let image =
+    match
+      Kernel.seal kernel (Vino_vm.Asm.assemble_exn Syncer.nearest_first_source)
+    with
+    | Ok i -> i
+    | Error e -> Alcotest.fail e
+  in
+  (match
+     Graft_point.replace (Syncer.flush_point syncer) kernel ~cred:app
+       ~heap_words:1024 image
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  ignore
+    (Engine.spawn kernel.Kernel.engine (fun () ->
+         List.iter
+           (fun b -> File.write file ~cred:app ~block:b)
+           [ 50; 3; 48; 7; 49 ];
+         Syncer.sync syncer));
+  Kernel.run kernel;
+  (* starting from -1 the nearest dirty block is 3, then 7, then the 48s *)
+  Alcotest.(check (list int)) "nearest-first order" [ 3; 7; 48; 49; 50 ]
+    (Syncer.flush_order syncer);
+  Alcotest.(check bool) "flush graft survived" true
+    (Graft_point.grafted (Syncer.flush_point syncer));
+  Syncer.stop syncer;
+  Kernel.run kernel
+
+let test_flush_graft_bad_choice_verified () =
+  (* a policy that returns a non-dirty block: the kernel ignores it and
+     flushes in default order *)
+  let kernel = Kernel.create ~mem_words:(1 lsl 16) () in
+  let disk = Disk.create kernel.Kernel.engine () in
+  let cache = Cache.create ~capacity:64 () in
+  let file =
+    File.openf ~kernel ~cache ~disk ~name:"w" ~first_block:0 ~blocks:64 ()
+  in
+  let syncer = Syncer.create kernel ~cache ~disk () in
+  let image =
+    match
+      Kernel.seal kernel
+        (Vino_vm.Asm.assemble_exn [ Li (Vino_vm.Asm.r0, 999); Ret ])
+    with
+    | Ok i -> i
+    | Error e -> Alcotest.fail e
+  in
+  (match
+     Graft_point.replace (Syncer.flush_point syncer) kernel ~cred:app image
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  ignore
+    (Engine.spawn kernel.Kernel.engine (fun () ->
+         List.iter
+           (fun b -> File.write file ~cred:app ~block:b)
+           [ 9; 2; 5 ];
+         Syncer.sync syncer));
+  Kernel.run kernel;
+  Alcotest.(check (list int)) "fell back to aging (dirtied) order"
+    [ 9; 2; 5 ]
+    (Syncer.flush_order syncer)
+
+let test_dirty_eviction_writes_back () =
+  let kernel = Kernel.create ~mem_words:(1 lsl 16) () in
+  let disk = Disk.create kernel.Kernel.engine () in
+  let cache = Cache.create ~capacity:4 () in
+  let file =
+    File.openf ~kernel ~cache ~disk ~name:"w" ~first_block:0 ~blocks:64 ()
+  in
+  ignore
+    (Engine.spawn kernel.Kernel.engine (fun () ->
+         (* dirty the whole tiny cache, then read fresh blocks to force
+            dirty evictions *)
+         for b = 0 to 3 do
+           File.write file ~cred:app ~block:b
+         done;
+         for b = 10 to 13 do
+           ignore (File.read file ~cred:app ~block:b)
+         done));
+  Kernel.run kernel;
+  Alcotest.(check int) "four dirty blocks written back" 4
+    (File.writebacks file);
+  Alcotest.(check bool) "disk performed the write-backs" true
+    (Disk.writes_served disk >= 4)
+
+let test_file_bad_block_rejected () =
+  let fx = file_fixture () in
+  in_kernel fx (fun () ->
+      match File.read fx.file ~cred:app ~block:64 with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "out-of-file read accepted")
+
+let suite =
+  [
+    ( "fs",
+      [
+        Alcotest.test_case "sequential I/O beats random" `Quick
+          test_disk_sequential_faster;
+        Alcotest.test_case "random access ~16 ms" `Quick
+          test_disk_random_service_time_magnitude;
+        Alcotest.test_case "FIFO completion order" `Quick test_disk_fifo_order;
+        Alcotest.test_case "elevator reorders" `Quick
+          test_disk_elevator_reorders;
+        Alcotest.test_case "bad block rejected" `Quick
+          test_disk_bad_block_rejected;
+        Alcotest.test_case "LRU eviction order" `Quick test_cache_lru_eviction;
+        Alcotest.test_case "hit/miss counters" `Quick test_cache_counters;
+        Alcotest.test_case "dirty tracking and write-back reporting" `Quick
+          test_cache_dirty_tracking;
+        QCheck_alcotest.to_alcotest prop_cache_never_exceeds_capacity;
+        Alcotest.test_case "prefetch fills the cache" `Quick
+          test_prefetch_fills_cache;
+        Alcotest.test_case "prefetch drops resident blocks" `Quick
+          test_prefetch_drops_resident;
+        Alcotest.test_case "prefetch budget throttles (100MB rule)" `Quick
+          test_prefetch_budget_throttles;
+        Alcotest.test_case "default sequential read-ahead" `Quick
+          test_file_sequential_readahead;
+        Alcotest.test_case "prefetched block hits" `Quick
+          test_file_cache_hit_after_prefetch;
+        Alcotest.test_case "app-directed graft end to end" `Quick
+          test_file_app_directed_graft_end_to_end;
+        Alcotest.test_case "malicious extent rejected, graft removed" `Quick
+          test_file_malicious_ra_rejected;
+        Alcotest.test_case "out-of-file read rejected" `Quick
+          test_file_bad_block_rejected;
+        Alcotest.test_case "write path marks blocks dirty" `Quick
+          test_file_write_path;
+        Alcotest.test_case "syncer flushes on demand" `Quick
+          test_syncer_flushes;
+        Alcotest.test_case "syncer threshold kicks the daemon" `Quick
+          test_syncer_threshold_kicks;
+        Alcotest.test_case "dirty eviction writes back" `Quick
+          test_dirty_eviction_writes_back;
+        Alcotest.test_case "graftable flush order (buffer-to-flush)" `Quick
+          test_graftable_flush_order;
+        Alcotest.test_case "bad flush choice verified and ignored" `Quick
+          test_flush_graft_bad_choice_verified;
+      ] );
+  ]

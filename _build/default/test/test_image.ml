@@ -1,0 +1,162 @@
+(* Tests for graft images: sealing, signing, tampering, serialisation. *)
+
+module Asm = Vino_vm.Asm
+module Insn = Vino_vm.Insn
+module Image = Vino_misfit.Image
+module Sign = Vino_misfit.Sign
+
+let key = "vino-toolchain-key"
+
+let sample_obj () =
+  Asm.assemble_exn
+    [
+      Li (Asm.r1, 10);
+      Kcall "mem.alloc";
+      St (Asm.r0, Asm.r1, 0);
+      Kcall "mem.free";
+      Halt;
+    ]
+
+let seal_exn obj =
+  match Image.seal ~key obj with
+  | Ok image -> image
+  | Error e -> Alcotest.fail e
+
+let test_seal_verifies () =
+  let image = seal_exn (sample_obj ()) in
+  Alcotest.(check bool) "verifies with right key" true
+    (Image.verify ~key image);
+  Alcotest.(check bool) "fails with wrong key" false
+    (Image.verify ~key:"evil" image)
+
+let test_sealed_code_is_rewritten () =
+  let image = seal_exn (sample_obj ()) in
+  let has_sandbox =
+    Array.exists
+      (function Insn.Sandbox _ -> true | _ -> false)
+      image.Image.code
+  in
+  Alcotest.(check bool) "sandbox instructions present" true has_sandbox
+
+let test_relocations_track_rewritten_indices () =
+  let image = seal_exn (sample_obj ()) in
+  Alcotest.(check int) "two relocs" 2 (List.length image.Image.relocs);
+  List.iter
+    (fun { Asm.index; name = _ } ->
+      match image.Image.code.(index) with
+      | Insn.Kcall -1 -> ()
+      | i ->
+          Alcotest.failf "reloc %d points at %a, not a placeholder" index
+            Insn.pp i)
+    image.Image.relocs
+
+let test_tampering_detected () =
+  let image = seal_exn (sample_obj ()) in
+  let tampered = Image.tamper image in
+  Alcotest.(check bool) "tampered image fails verification" false
+    (Image.verify ~key tampered)
+
+let test_unsafe_seal_skips_sfi () =
+  let image = Image.seal_unsafe ~key (sample_obj ()) in
+  let has_sandbox =
+    Array.exists
+      (function Insn.Sandbox _ -> true | _ -> false)
+      image.Image.code
+  in
+  Alcotest.(check bool) "no sandbox instructions" false has_sandbox;
+  Alcotest.(check bool) "still signed" true (Image.verify ~key image)
+
+let test_serialise_roundtrip () =
+  let image = seal_exn (sample_obj ()) in
+  match Image.deserialise (Image.serialise image) with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+      Alcotest.(check bool) "code equal" true
+        (back.Image.code = image.Image.code);
+      Alcotest.(check bool) "relocs equal" true
+        (back.Image.relocs = image.Image.relocs);
+      Alcotest.(check bool) "still verifies" true (Image.verify ~key back)
+
+let test_deserialise_garbage () =
+  (match Image.deserialise [| 1; 2 |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short image accepted");
+  match Image.deserialise [| 4; 4; 999; 0; 0; 0; 42 |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad opcode accepted"
+
+let test_save_load_roundtrip () =
+  let image = seal_exn (sample_obj ()) in
+  let path = Filename.temp_file "vino" ".gimg" in
+  Image.save image ~path;
+  (match Image.load ~path with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+      Alcotest.(check bool) "code equal" true
+        (back.Image.code = image.Image.code);
+      Alcotest.(check bool) "verifies after disk round trip" true
+        (Image.verify ~key back));
+  (* corrupt a word on disk: load must reject or verification must fail *)
+  let lines =
+    In_channel.with_open_text path In_channel.input_lines
+  in
+  let corrupted =
+    List.mapi (fun k l -> if k = 3 then "424242" else l) lines
+  in
+  Out_channel.with_open_text path (fun oc ->
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) corrupted);
+  (match Image.load ~path with
+  | Error _ -> ()
+  | Ok tampered ->
+      Alcotest.(check bool) "tampering caught by verification" false
+        (Image.verify ~key tampered));
+  Sys.remove path;
+  (* garbage files are rejected cleanly *)
+  let garbage = Filename.temp_file "vino" ".gimg" in
+  Out_channel.with_open_text garbage (fun oc ->
+      Out_channel.output_string oc "not an image\n");
+  (match Image.load ~path:garbage with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  Sys.remove garbage;
+  match Image.load ~path:"/nonexistent/x.gimg" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file accepted"
+
+let test_signature_sensitivity () =
+  (* Any single-word change to the stream must change the digest. *)
+  let words = [| 1; 2; 3; 4; 5 |] in
+  let base = Sign.digest ~key words in
+  Array.iteri
+    (fun k _ ->
+      let mutated = Array.copy words in
+      mutated.(k) <- mutated.(k) + 1;
+      Alcotest.(check bool)
+        (Printf.sprintf "word %d change detected" k)
+        false
+        (Sign.equal base (Sign.digest ~key mutated)))
+    words
+
+let suite =
+  [
+    ( "image",
+      [
+        Alcotest.test_case "seal then verify" `Quick test_seal_verifies;
+        Alcotest.test_case "sealed code is SFI-rewritten" `Quick
+          test_sealed_code_is_rewritten;
+        Alcotest.test_case "relocations track rewritten indices" `Quick
+          test_relocations_track_rewritten_indices;
+        Alcotest.test_case "tampering detected at verification" `Quick
+          test_tampering_detected;
+        Alcotest.test_case "unsafe seal skips SFI (bench only)" `Quick
+          test_unsafe_seal_skips_sfi;
+        Alcotest.test_case "serialise/deserialise round trip" `Quick
+          test_serialise_roundtrip;
+        Alcotest.test_case "deserialise rejects garbage" `Quick
+          test_deserialise_garbage;
+        Alcotest.test_case "save/load .gimg round trip" `Quick
+          test_save_load_roundtrip;
+        Alcotest.test_case "digest is sensitive to every word" `Quick
+          test_signature_sensitivity;
+      ] );
+  ]

@@ -1,0 +1,118 @@
+(* Unit and property tests for the graft instruction set. *)
+
+module Insn = Vino_vm.Insn
+
+let check = Alcotest.(check bool)
+
+let test_eval_cond () =
+  check "eq true" true (Insn.eval_cond Eq 3 3);
+  check "eq false" false (Insn.eval_cond Eq 3 4);
+  check "ne" true (Insn.eval_cond Ne 3 4);
+  check "lt" true (Insn.eval_cond Lt (-1) 0);
+  check "le eq" true (Insn.eval_cond Le 5 5);
+  check "gt" true (Insn.eval_cond Gt 7 2);
+  check "ge" false (Insn.eval_cond Ge 1 2)
+
+let test_eval_alu () =
+  Alcotest.(check int) "add" 7 (Insn.eval_alu Add 3 4);
+  Alcotest.(check int) "sub" (-1) (Insn.eval_alu Sub 3 4);
+  Alcotest.(check int) "mul" 12 (Insn.eval_alu Mul 3 4);
+  Alcotest.(check int) "div" 3 (Insn.eval_alu Div 13 4);
+  Alcotest.(check int) "rem" 1 (Insn.eval_alu Rem 13 4);
+  Alcotest.(check int) "and" 0b100 (Insn.eval_alu And 0b110 0b101);
+  Alcotest.(check int) "or" 0b111 (Insn.eval_alu Or 0b110 0b101);
+  Alcotest.(check int) "xor" 0b011 (Insn.eval_alu Xor 0b110 0b101);
+  Alcotest.(check int) "shl" 16 (Insn.eval_alu Shl 1 4);
+  Alcotest.(check int) "shr" 2 (Insn.eval_alu Shr 16 3);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Insn.eval_alu Div 1 0));
+  Alcotest.check_raises "rem by zero" Division_by_zero (fun () ->
+      ignore (Insn.eval_alu Rem 1 0))
+
+let test_memory_access_classification () =
+  check "ld" true (Insn.is_memory_access (Ld (0, 1, 0)));
+  check "st" true (Insn.is_memory_access (St (0, 1, 0)));
+  check "push" true (Insn.is_memory_access (Push 3));
+  check "pop" true (Insn.is_memory_access (Pop 3));
+  check "alu" false (Insn.is_memory_access (Alu (Add, 0, 1, 2)));
+  check "sandbox" false (Insn.is_memory_access (Sandbox 3));
+  check "kcall" false (Insn.is_memory_access (Kcall 1))
+
+let test_map_targets () =
+  let f t = t + 100 in
+  (match Insn.map_targets f (Br (Eq, 1, 2, 5)) with
+  | Br (Eq, 1, 2, 105) -> ()
+  | _ -> Alcotest.fail "Br target not remapped");
+  (match Insn.map_targets f (Jmp 7) with
+  | Jmp 107 -> ()
+  | _ -> Alcotest.fail "Jmp target not remapped");
+  (match Insn.map_targets f (Call 0) with
+  | Call 100 -> ()
+  | _ -> Alcotest.fail "Call target not remapped");
+  match Insn.map_targets f (Ld (1, 2, 3)) with
+  | Ld (1, 2, 3) -> ()
+  | _ -> Alcotest.fail "Ld should be unchanged"
+
+let test_registers_used () =
+  Alcotest.(check (list int)) "alu" [ 1; 2; 3 ]
+    (Insn.registers_used (Alu (Add, 1, 2, 3)));
+  Alcotest.(check (list int)) "halt" [] (Insn.registers_used Halt);
+  Alcotest.(check (list int)) "push" [ 9 ] (Insn.registers_used (Push 9))
+
+let test_validate () =
+  let ok i =
+    match Insn.validate ~program_length:10 i with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  check "valid alu" true (ok (Alu (Add, 0, 1, 2)));
+  check "register too big" false (ok (Mov (16, 0)));
+  check "register negative" false (ok (Mov (-1, 0)));
+  check "branch in range" true (ok (Br (Eq, 0, 0, 9)));
+  check "branch out of range" false (ok (Br (Eq, 0, 0, 10)));
+  check "negative target" false (ok (Jmp (-1)))
+
+let test_pp_total () =
+  (* Printing must not raise for any constructor. *)
+  let all =
+    [
+      Insn.Li (0, 1);
+      Mov (0, 1);
+      Alu (Add, 0, 1, 2);
+      Alui (Sub, 0, 1, 2);
+      Ld (0, 1, 2);
+      St (0, 1, 2);
+      Br (Ne, 0, 1, 2);
+      Jmp 0;
+      Call 0;
+      Callr 0;
+      Ret;
+      Kcall 0;
+      Kcallr 0;
+      Push 0;
+      Pop 0;
+      Sandbox 0;
+      Checkcall 0;
+      Halt;
+    ]
+  in
+  List.iter (fun i -> ignore (Format.asprintf "%a" Insn.pp i)) all;
+  ignore (Format.asprintf "%a" Insn.pp_program (Array.of_list all))
+
+let suite =
+  [
+    ( "insn",
+      [
+        Alcotest.test_case "eval_cond covers all comparisons" `Quick
+          test_eval_cond;
+        Alcotest.test_case "eval_alu covers all operators" `Quick test_eval_alu;
+        Alcotest.test_case "memory-access classification" `Quick
+          test_memory_access_classification;
+        Alcotest.test_case "map_targets touches only control flow" `Quick
+          test_map_targets;
+        Alcotest.test_case "registers_used" `Quick test_registers_used;
+        Alcotest.test_case "validate rejects bad registers/targets" `Quick
+          test_validate;
+        Alcotest.test_case "pretty-printer is total" `Quick test_pp_total;
+      ] );
+  ]

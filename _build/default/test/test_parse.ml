@@ -1,0 +1,142 @@
+(* Tests for the .gasm text format. *)
+
+module Parse = Vino_vm.Parse
+module Asm = Vino_vm.Asm
+module Insn = Vino_vm.Insn
+
+let parse_exn source =
+  match Parse.parse source with
+  | Ok items -> items
+  | Error e -> Alcotest.fail e
+
+let test_basic_program () =
+  let items =
+    parse_exn
+      {|
+      ; double the argument and call the kernel
+          li    r2, 2
+          mul   r0, r1, r2
+          kcall counter.incr
+      loop:
+          addi  r3, r3, 1
+          blt   r3, r2, loop
+          ret
+      |}
+  in
+  Alcotest.(check int) "seven items" 7 (List.length items);
+  match items with
+  | [
+   Asm.Li (2, 2);
+   Asm.Alu (Insn.Mul, 0, 1, 2);
+   Asm.Kcall "counter.incr";
+   Asm.Label "loop";
+   Asm.Alui (Insn.Add, 3, 3, 1);
+   Asm.Br (Insn.Lt, 3, 2, "loop");
+   Asm.Ret;
+  ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_memory_and_stack () =
+  match parse_exn "ld r1, r2, 4\nst r1, sp, -1\npush r3\npop r4\nhalt" with
+  | [
+   Asm.Ld (1, 2, 4);
+   Asm.St (1, 15, -1);
+   Asm.Push 3;
+   Asm.Pop 4;
+   Asm.Halt;
+  ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_errors_carry_line_numbers () =
+  (match Parse.parse "li r0, 1\nbogus r1" with
+  | Error e ->
+      Alcotest.(check bool) "line 2 reported" true
+        (String.length e >= 6 && String.sub e 0 6 = "line 2")
+  | Ok _ -> Alcotest.fail "bogus mnemonic accepted");
+  (match Parse.parse "li r99, 1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad register accepted");
+  (match Parse.parse "li r0, banana" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad immediate accepted");
+  match Parse.parse "add r0, r1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong arity accepted"
+
+let test_parse_assembles_and_runs () =
+  (* the text program must execute like its eDSL equivalent *)
+  let items = parse_exn "li r1, 6\nli r2, 7\nmul r0, r1, r2\nhalt" in
+  let obj = Asm.assemble_exn items in
+  let mem = Vino_vm.Mem.create 512 in
+  let seg = Vino_vm.Mem.segment ~base:256 ~size:256 in
+  let cpu = Vino_vm.Cpu.make ~mem ~seg () in
+  (match Vino_vm.Cpu.run Vino_vm.Cpu.env_trusted cpu obj.Asm.code with
+  | Vino_vm.Cpu.Halted -> ()
+  | o -> Alcotest.failf "unexpected %a" Vino_vm.Cpu.pp_outcome o);
+  Alcotest.(check int) "computed" 42 (Vino_vm.Cpu.reg cpu 0)
+
+let test_print_parse_roundtrip () =
+  (* every builtin graft source must round-trip through the text format *)
+  let sources =
+    [
+      Vino_fs.Readahead.app_directed_source ~lock_kcall:"ra.lock:f";
+      Vino_vmem.Grafts.protect_hot_pages_source ~lock_kcall:"evict.lock:v" ();
+      Vino_sched.Grafts.scan_and_return_self_source ~lock_kcall:"s.lock" ();
+      Vino_stream.Grafts.xor_encrypt_source ~key:123;
+      Vino_net.Httpd.server_source;
+      Vino_net.Nfsd.server_source;
+    ]
+  in
+  List.iter
+    (fun source ->
+      let text = Parse.to_string source in
+      match Parse.parse text with
+      | Ok reparsed ->
+          Alcotest.(check bool) "round trip" true (reparsed = source)
+      | Error e -> Alcotest.fail e)
+    sources
+
+(* Property: printing any well-formed item list reparses to itself. *)
+let prop_roundtrip =
+  let open QCheck2 in
+  let item_gen =
+    Gen.(
+      let reg = int_range 0 13 in
+      oneof
+        [
+          map2 (fun r v -> Asm.Li (r, v)) reg (int_range (-1000) 1000);
+          map2 (fun a b -> Asm.Mov (a, b)) reg reg;
+          map3 (fun d a b -> Asm.Alu (Insn.Xor, d, a, b)) reg reg reg;
+          map3 (fun d a v -> Asm.Alui (Insn.Add, d, a, v)) reg reg
+            (int_range (-99) 99);
+          map3 (fun d b o -> Asm.Ld (d, b, o)) reg reg (int_range 0 64);
+          map (fun r -> Asm.Push r) reg;
+          return Asm.Ret;
+          return (Asm.Kcall "some.fn");
+        ])
+  in
+  Test.make ~name:"print/parse round trip" ~count:200
+    Gen.(list_size (int_range 0 30) item_gen)
+    (fun items ->
+      match Parse.parse (Parse.to_string items) with
+      | Ok reparsed -> reparsed = items
+      | Error _ -> false)
+
+let suite =
+  [
+    ( "parse",
+      [
+        Alcotest.test_case "basic program" `Quick test_basic_program;
+        Alcotest.test_case "memory and stack forms" `Quick
+          test_memory_and_stack;
+        Alcotest.test_case "errors carry line numbers" `Quick
+          test_errors_carry_line_numbers;
+        Alcotest.test_case "parsed text assembles and runs" `Quick
+          test_parse_assembles_and_runs;
+        Alcotest.test_case "builtin grafts round-trip" `Quick
+          test_print_parse_roundtrip;
+        QCheck_alcotest.to_alcotest prop_roundtrip;
+      ] );
+  ]

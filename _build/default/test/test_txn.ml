@@ -1,0 +1,469 @@
+(* Tests for the kernel transaction system: begin/commit/abort, nesting,
+   two-phase locking, asynchronous abort, deadlock breaking. *)
+
+module Engine = Vino_sim.Engine
+module Tick = Vino_sim.Tick
+module Lock = Vino_txn.Lock
+module Lock_policy = Vino_txn.Lock_policy
+module Txn = Vino_txn.Txn
+
+let fixture ?(tick = 1000) () =
+  let e = Engine.create () in
+  let wheel = Tick.create e ~tick () in
+  let mgr = Txn.create_mgr e ~wheel () in
+  (e, wheel, mgr)
+
+(* Run [body] inside one engine process, draining the engine, and assert no
+   process crashed. *)
+let in_process (e : Engine.t) body =
+  ignore (Engine.spawn e ~name:"test-body" body);
+  Engine.run e;
+  match Engine.failures e with
+  | [] -> ()
+  | (name, exn) :: _ ->
+      Alcotest.failf "process %s crashed: %s" name (Printexc.to_string exn)
+
+let test_commit_discards_undo () =
+  let e, _, mgr = fixture () in
+  let cell = ref 0 in
+  in_process e (fun () ->
+      let t = Txn.begin_ mgr ~name:"t" () in
+      Txn.push_undo t ~label:"restore" (fun () -> cell := -1);
+      cell := 42;
+      (match Txn.commit t with
+      | Ok () -> ()
+      | Error r -> Alcotest.failf "commit failed: %s" r);
+      Alcotest.(check int) "committed state kept" 42 !cell;
+      Alcotest.(check bool) "state" true (Txn.state t = Txn.Committed))
+
+let test_abort_replays_undo () =
+  let e, _, mgr = fixture () in
+  let cell = ref 7 in
+  in_process e (fun () ->
+      let t = Txn.begin_ mgr ~name:"t" () in
+      let old = !cell in
+      Txn.push_undo t ~label:"restore" (fun () -> cell := old);
+      cell := 99;
+      Txn.abort t ~reason:"test abort";
+      Alcotest.(check int) "state restored" 7 !cell;
+      match Txn.state t with
+      | Txn.Aborted "test abort" -> ()
+      | _ -> Alcotest.fail "wrong state")
+
+let test_request_abort_wins_at_commit () =
+  let e, _, mgr = fixture () in
+  let cell = ref 0 in
+  in_process e (fun () ->
+      let t = Txn.begin_ mgr ~name:"t" () in
+      Txn.push_undo t ~label:"restore" (fun () -> cell := 0);
+      cell := 5;
+      Txn.request_abort t "resource hog";
+      Txn.request_abort t "second request loses";
+      match Txn.commit t with
+      | Ok () -> Alcotest.fail "commit should have aborted"
+      | Error reason ->
+          Alcotest.(check string) "first reason wins" "resource hog" reason;
+          Alcotest.(check int) "undone" 0 !cell)
+
+let test_nested_commit_merges () =
+  let e, _, mgr = fixture () in
+  let cell = ref 1 in
+  in_process e (fun () ->
+      let p = Txn.begin_ mgr ~name:"parent" () in
+      let old_p = !cell in
+      Txn.push_undo p ~label:"parent-write" (fun () -> cell := old_p);
+      cell := 2;
+      let c = Txn.begin_ mgr ~parent:p ~name:"child" () in
+      let old_c = !cell in
+      Txn.push_undo c ~label:"child-write" (fun () -> cell := old_c);
+      cell := 3;
+      (match Txn.commit c with
+      | Ok () -> ()
+      | Error r -> Alcotest.failf "child commit failed: %s" r);
+      Alcotest.(check int) "parent inherited child undo" 2 (Txn.undo_depth p);
+      (* parent aborts after child committed: child's work must roll back *)
+      Txn.abort p ~reason:"parent abort";
+      Alcotest.(check int) "everything undone" 1 !cell)
+
+let test_nested_abort_spares_parent () =
+  let e, _, mgr = fixture () in
+  let cell = ref 1 in
+  in_process e (fun () ->
+      let p = Txn.begin_ mgr ~name:"parent" () in
+      let old_p = !cell in
+      Txn.push_undo p ~label:"parent-write" (fun () -> cell := old_p);
+      cell := 2;
+      let c = Txn.begin_ mgr ~parent:p ~name:"child" () in
+      let old_c = !cell in
+      Txn.push_undo c ~label:"child-write" (fun () -> cell := old_c);
+      cell := 3;
+      Txn.abort c ~reason:"child failed";
+      Alcotest.(check int) "child undone, parent intact" 2 !cell;
+      Alcotest.(check bool) "parent still active" true (Txn.is_active p);
+      (match Txn.commit p with
+      | Ok () -> ()
+      | Error r -> Alcotest.failf "parent commit failed: %s" r);
+      Alcotest.(check int) "parent result survives" 2 !cell)
+
+let test_two_phase_locking () =
+  (* A lock acquired under a transaction is not released until commit. *)
+  let e, wheel, mgr = fixture () in
+  let lock = Lock.create e ~wheel ~name:"res" () in
+  let observed_during = ref (-1) in
+  in_process e (fun () ->
+      let t = Txn.begin_ mgr ~name:"t" () in
+      (match Txn.with_lock t lock Exclusive (fun () -> ()) with
+      | Ok () -> ()
+      | Error r -> Alcotest.fail r);
+      (* body done, but 2PL must still hold the lock *)
+      observed_during := List.length (Lock.holders lock);
+      (match Txn.commit t with Ok () -> () | Error r -> Alcotest.fail r);
+      Alcotest.(check int) "held after body" 1 !observed_during;
+      Alcotest.(check int) "released at commit" 0
+        (List.length (Lock.holders lock)))
+
+let test_abort_releases_locks () =
+  let e, wheel, mgr = fixture () in
+  let lock = Lock.create e ~wheel ~name:"res" () in
+  in_process e (fun () ->
+      let t = Txn.begin_ mgr ~name:"t" () in
+      (match Txn.acquire_lock t lock Exclusive with
+      | Ok () -> ()
+      | Error r -> Alcotest.fail r);
+      Txn.abort t ~reason:"die";
+      Alcotest.(check int) "released at abort" 0
+        (List.length (Lock.holders lock)))
+
+let test_nested_locks_move_to_parent () =
+  let e, wheel, mgr = fixture () in
+  let lock = Lock.create e ~wheel ~name:"res" () in
+  in_process e (fun () ->
+      let p = Txn.begin_ mgr ~name:"p" () in
+      let c = Txn.begin_ mgr ~parent:p ~name:"c" () in
+      (match Txn.acquire_lock c lock Exclusive with
+      | Ok () -> ()
+      | Error r -> Alcotest.fail r);
+      (match Txn.commit c with Ok () -> () | Error r -> Alcotest.fail r);
+      Alcotest.(check int) "parent now holds the lock" 1 (Txn.locks_held p);
+      Alcotest.(check int) "still held" 1 (List.length (Lock.holders lock));
+      (match Txn.commit p with Ok () -> () | Error r -> Alcotest.fail r);
+      Alcotest.(check int) "released at top-level commit" 0
+        (List.length (Lock.holders lock)))
+
+let test_lock_timeout_aborts_holding_txn () =
+  (* Full paper scenario: a graft transaction holds a contested lock and
+     spins; the waiter's timeout flags the transaction; the hog notices at
+     its next poll point, aborts, and the waiter proceeds. *)
+  let e, wheel, mgr = fixture ~tick:100 () in
+  let lock = Lock.create e ~wheel ~timeout:1_000 ~name:"resourceA" () in
+  let cell = ref 0 in
+  let hog_aborted = ref false in
+  let victim_ran = ref false in
+  ignore
+    (Engine.spawn e ~name:"hog" (fun () ->
+         let t = Txn.begin_ mgr ~name:"hog-txn" () in
+         (match Txn.acquire_lock t lock Exclusive with
+         | Ok () -> ()
+         | Error r -> Alcotest.fail r);
+         Txn.push_undo t ~label:"undo-write" (fun () -> cell := 0);
+         cell := 666;
+         (* lock(resourceA); while (1); — §2.2's malicious fragment,
+            modelled as polling compute slices *)
+         let rec spin () =
+           match Txn.poll t () with
+           | Some reason ->
+               Txn.abort t ~reason;
+               hog_aborted := true
+           | None ->
+               Engine.delay 200;
+               spin ()
+         in
+         spin ()));
+  ignore
+    (Engine.spawn e ~name:"victim" (fun () ->
+         Engine.delay 50;
+         let t = Txn.begin_ mgr ~name:"victim-txn" () in
+         (match Txn.acquire_lock t lock Exclusive with
+         | Ok () -> ()
+         | Error r -> Alcotest.failf "victim gave up: %s" r);
+         victim_ran := true;
+         match Txn.commit t with
+         | Ok () -> ()
+         | Error r -> Alcotest.fail r));
+  Engine.run e;
+  Alcotest.(check (list string)) "no crashes" []
+    (List.map fst (Engine.failures e));
+  Alcotest.(check bool) "hog aborted" true !hog_aborted;
+  Alcotest.(check bool) "victim made progress (Rule 9)" true !victim_ran;
+  Alcotest.(check int) "hog's write undone" 0 !cell
+
+let test_deadlock_broken_by_timeout () =
+  (* A-B deadlock: both in transactions; a lock timeout aborts one and the
+     other completes. "Time-out based locking also provides an implicit
+     mechanism for breaking deadlocks." *)
+  let e, wheel, mgr = fixture ~tick:100 () in
+  let l1 = Lock.create e ~wheel ~timeout:1_000 ~name:"L1" () in
+  let l2 = Lock.create e ~wheel ~timeout:1_000 ~name:"L2" () in
+  let completed = ref [] in
+  let contender name first second start =
+    ignore
+      (Engine.spawn e ~name (fun () ->
+           Engine.delay start;
+           let t = Txn.begin_ mgr ~name () in
+           let finish = function
+             | Ok () -> (
+                 match Txn.commit t with
+                 | Ok () -> completed := name :: !completed
+                 | Error _ -> ())
+             | Error reason -> Txn.abort t ~reason
+           in
+           match Txn.acquire_lock t first Exclusive with
+           | Error reason -> Txn.abort t ~reason
+           | Ok () ->
+               Engine.delay 300;
+               finish (Txn.acquire_lock t second Exclusive)))
+  in
+  contender "A" l1 l2 0;
+  contender "B" l2 l1 10;
+  Engine.run e;
+  Alcotest.(check (list string)) "no crashes" []
+    (List.map fst (Engine.failures e));
+  Alcotest.(check bool) "at least one completed" true
+    (List.length !completed >= 1);
+  Alcotest.(check int) "no lock leaked (L1)" 0
+    (List.length (Lock.holders l1));
+  Alcotest.(check int) "no lock leaked (L2)" 0
+    (List.length (Lock.holders l2));
+  Alcotest.(check (list string)) "nothing left blocked" [] (Engine.blocked e)
+
+let test_poll_sees_ancestor_abort () =
+  let e, _, mgr = fixture () in
+  in_process e (fun () ->
+      let p = Txn.begin_ mgr ~name:"p" () in
+      let c = Txn.begin_ mgr ~parent:p ~name:"c" () in
+      Alcotest.(check bool) "clean poll" true (Txn.poll c () = None);
+      Txn.request_abort p "parent doomed";
+      (match Txn.poll c () with
+      | Some "parent doomed" -> ()
+      | _ -> Alcotest.fail "child poll must see ancestor abort request");
+      (* child commit is forced into abort *)
+      (match Txn.commit c with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "child commit should fail");
+      match Txn.commit p with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "parent commit should fail")
+
+let test_manager_counters () =
+  let e, _, mgr = fixture () in
+  in_process e (fun () ->
+      let a = Txn.begin_ mgr ~name:"a" () in
+      let b = Txn.begin_ mgr ~name:"b" () in
+      ignore (Txn.commit a);
+      Txn.abort b ~reason:"x";
+      Alcotest.(check int) "begins" 2 (Txn.begins mgr);
+      Alcotest.(check int) "commits" 1 (Txn.commits mgr);
+      Alcotest.(check int) "aborts" 1 (Txn.aborts mgr);
+      Alcotest.(check int) "live" 0 (Txn.live mgr))
+
+let test_deferred_deletes () =
+  (* §6: deletes are delayed until the transaction's fate is known — run at
+     top-level commit, dropped on abort, merged through nested commits. *)
+  let e, _, mgr = fixture () in
+  in_process e (fun () ->
+      let deleted = ref [] in
+      let t1 = Txn.begin_ mgr ~name:"t1" () in
+      Txn.defer t1 (fun () -> deleted := "obj1" :: !deleted);
+      Alcotest.(check (list string)) "not yet deleted" [] !deleted;
+      (match Txn.commit t1 with Ok () -> () | Error r -> Alcotest.fail r);
+      Alcotest.(check (list string)) "deleted at commit" [ "obj1" ] !deleted;
+      let t2 = Txn.begin_ mgr ~name:"t2" () in
+      Txn.defer t2 (fun () -> deleted := "obj2" :: !deleted);
+      Txn.abort t2 ~reason:"x";
+      Alcotest.(check (list string)) "abort drops the delete" [ "obj1" ]
+        !deleted;
+      let p = Txn.begin_ mgr ~name:"p" () in
+      let c = Txn.begin_ mgr ~parent:p ~name:"c" () in
+      Txn.defer c (fun () -> deleted := "obj3" :: !deleted);
+      (match Txn.commit c with Ok () -> () | Error r -> Alcotest.fail r);
+      Alcotest.(check (list string)) "nested commit defers to parent"
+        [ "obj1" ] !deleted;
+      (match Txn.commit p with Ok () -> () | Error r -> Alcotest.fail r);
+      Alcotest.(check (list string)) "runs at top-level commit"
+        [ "obj3"; "obj1" ] !deleted)
+
+let test_abort_costs_scale_with_locks () =
+  (* §4.5: abort time = abort overhead + 10us per lock + undo cost. *)
+  let cost_with_locks n =
+    let e, wheel, mgr = fixture () in
+    let locks =
+      List.init n (fun k ->
+          Lock.create e ~wheel ~name:(Printf.sprintf "l%d" k) ())
+    in
+    let measured = ref 0 in
+    in_process e (fun () ->
+        let t = Txn.begin_ mgr ~name:"t" () in
+        List.iter
+          (fun l ->
+            match Txn.acquire_lock t l Exclusive with
+            | Ok () -> ()
+            | Error r -> Alcotest.fail r)
+          locks;
+        let before = Engine.now e in
+        Txn.abort t ~reason:"measure";
+        measured := Engine.now e - before);
+    !measured
+  in
+  let c0 = cost_with_locks 0 in
+  let c4 = cost_with_locks 4 in
+  let c8 = cost_with_locks 8 in
+  let per_lock_4 = (c4 - c0) / 4 and per_lock_8 = (c8 - c0) / 8 in
+  Alcotest.(check int) "linear in lock count" per_lock_4 per_lock_8;
+  Alcotest.(check int) "10us per lock"
+    (Vino_vm.Costs.cycles_of_us 10.)
+    per_lock_4
+
+(* Model-based property: a random program of nested begins, guarded
+   writes, commits and aborts over a register file must leave exactly the
+   state a snapshot-stack model predicts. *)
+let prop_nested_txn_model =
+  let open QCheck2 in
+  let op_gen =
+    Gen.(
+      frequency
+        [
+          (4, map2 (fun s v -> `Write (s, v)) (int_range 0 5) (int_range 0 99));
+          (2, return `Begin);
+          (2, return `Commit);
+          (1, return `Abort);
+        ])
+  in
+  Test.make ~name:"nested transactions match the snapshot model" ~count:150
+    Gen.(list_size (int_range 0 40) op_gen)
+    (fun ops ->
+      let e, _, mgr = fixture () in
+      let regs = Array.make 6 0 in
+      (* model: stack of snapshots, innermost last *)
+      let model = Array.make 6 0 in
+      let snapshots = ref [] in
+      let result = ref true in
+      ignore
+        (Engine.spawn e (fun () ->
+             let root = Txn.begin_ mgr ~name:"root" () in
+             snapshots := [ Array.copy model ];
+             let stack = ref [ root ] in
+             let current () = List.hd !stack in
+             List.iter
+               (fun op ->
+                 match op with
+                 | `Write (slot, v) ->
+                     let old = regs.(slot) in
+                     Txn.push_undo (current ()) ~label:"w" (fun () ->
+                         regs.(slot) <- old);
+                     regs.(slot) <- v;
+                     model.(slot) <- v
+                 | `Begin ->
+                     let child =
+                       Txn.begin_ mgr ~parent:(current ()) ~name:"c" ()
+                     in
+                     stack := child :: !stack;
+                     snapshots := Array.copy model :: !snapshots
+                 | `Commit -> (
+                     match (!stack, !snapshots) with
+                     | t :: (_ :: _ as rest), _ :: srest ->
+                         (match Txn.commit t with
+                         | Ok () -> ()
+                         | Error _ -> result := false);
+                         stack := rest;
+                         (* committed into parent: keep current model *)
+                         snapshots := srest
+                     | _ -> () (* never commit the root mid-run *))
+                 | `Abort -> (
+                     match (!stack, !snapshots) with
+                     | t :: (_ :: _ as rest), snap :: srest ->
+                         Txn.abort t ~reason:"model";
+                         stack := rest;
+                         Array.blit snap 0 model 0 6;
+                         snapshots := srest
+                     | _ -> ()))
+               ops;
+             (* close every remaining level by committing *)
+             List.iter
+               (fun t ->
+                 match Txn.commit t with
+                 | Ok () -> ()
+                 | Error _ -> result := false)
+               !stack));
+      Engine.run e;
+      Engine.failures e = [] && !result && regs = model)
+
+(* Property: with the fifo-fair policy, exclusive locks are granted in
+   request-arrival order. *)
+let prop_fifo_grant_order =
+  QCheck2.Test.make ~name:"fifo-fair grants exclusive in arrival order"
+    ~count:60
+    QCheck2.Gen.(list_size (int_range 1 10) (int_range 0 300))
+    (fun starts ->
+      let e, wheel, _ = fixture () in
+      let lock =
+        Lock.create e ~wheel ~policy:Lock_policy.fifo_fair ~timeout:100_000
+          ~name:"fifo" ()
+      in
+      (* distinct, increasing start times preserve arrival order *)
+      let starts = List.sort compare starts in
+      let starts =
+        List.mapi (fun k s -> s + (k * 400) (* strictly separated *)) starts
+      in
+      let grants = ref [] in
+      List.iteri
+        (fun k start ->
+          ignore
+            (Engine.spawn e (fun () ->
+                 Engine.delay start;
+                 match
+                   Lock.acquire lock Exclusive
+                     (Lock.plain_owner (string_of_int k))
+                     ()
+                 with
+                 | Lock.Granted held ->
+                     grants := k :: !grants;
+                     Engine.delay 350;
+                     Lock.release held
+                 | Lock.Gave_up _ -> ())))
+        starts;
+      Engine.run e;
+      List.rev !grants = List.init (List.length starts) (fun k -> k))
+
+let suite =
+  [
+    ( "txn",
+      [
+        Alcotest.test_case "commit keeps state" `Quick test_commit_discards_undo;
+        Alcotest.test_case "abort replays undo" `Quick test_abort_replays_undo;
+        Alcotest.test_case "async abort request honoured at commit" `Quick
+          test_request_abort_wins_at_commit;
+        Alcotest.test_case "nested commit merges into parent" `Quick
+          test_nested_commit_merges;
+        Alcotest.test_case "nested abort spares parent" `Quick
+          test_nested_abort_spares_parent;
+        Alcotest.test_case "two-phase locking holds to commit" `Quick
+          test_two_phase_locking;
+        Alcotest.test_case "abort releases locks" `Quick
+          test_abort_releases_locks;
+        Alcotest.test_case "nested commit moves locks to parent" `Quick
+          test_nested_locks_move_to_parent;
+        Alcotest.test_case "lock timeout aborts holding txn (Rule 2/9)"
+          `Quick test_lock_timeout_aborts_holding_txn;
+        Alcotest.test_case "deadlock broken by lock timeout" `Quick
+          test_deadlock_broken_by_timeout;
+        Alcotest.test_case "poll sees ancestor abort requests" `Quick
+          test_poll_sees_ancestor_abort;
+        Alcotest.test_case "manager counters" `Quick test_manager_counters;
+        Alcotest.test_case "deferred deletes (§6)" `Quick
+          test_deferred_deletes;
+        Alcotest.test_case "abort cost = base + 10us/lock (§4.5)" `Quick
+          test_abort_costs_scale_with_locks;
+        QCheck_alcotest.to_alcotest prop_nested_txn_model;
+        QCheck_alcotest.to_alcotest prop_fifo_grant_order;
+      ] );
+  ]

@@ -1,0 +1,101 @@
+(* Tests for the undo call stack. *)
+
+module Undo_log = Vino_txn.Undo_log
+
+let test_lifo_replay () =
+  let log = Undo_log.create () in
+  let order = ref [] in
+  let record label = Undo_log.push log ~label (fun () -> order := label :: !order) in
+  record "first";
+  record "second";
+  record "third";
+  Alcotest.(check int) "depth" 3 (Undo_log.length log);
+  ignore (Undo_log.replay log);
+  Alcotest.(check (list string))
+    "most recent first"
+    [ "third"; "second"; "first" ]
+    (List.rev !order);
+  Alcotest.(check bool) "emptied" true (Undo_log.is_empty log)
+
+let test_replay_cost () =
+  let log = Undo_log.create () in
+  Undo_log.push log ~cost:100 ~label:"a" ignore;
+  Undo_log.push log ~cost:25 ~label:"b" ignore;
+  Alcotest.(check int) "total cost" 125 (Undo_log.replay log)
+
+let test_merge_preserves_order () =
+  let parent = Undo_log.create () in
+  let child = Undo_log.create () in
+  let order = ref [] in
+  let record log label =
+    Undo_log.push log ~label (fun () -> order := label :: !order)
+  in
+  record parent "p1";
+  record child "c1";
+  record child "c2";
+  Undo_log.merge_into ~parent child;
+  Alcotest.(check bool) "child emptied" true (Undo_log.is_empty child);
+  Alcotest.(check (list string))
+    "child entries are more recent"
+    [ "c2"; "c1"; "p1" ]
+    (Undo_log.labels parent);
+  ignore (Undo_log.replay parent);
+  Alcotest.(check (list string))
+    "replay order" [ "c2"; "c1"; "p1" ] (List.rev !order)
+
+let test_state_restoration () =
+  (* The canonical use: accessor mutates, undo restores. *)
+  let cell = ref 1 in
+  let log = Undo_log.create () in
+  let set v =
+    let old = !cell in
+    Undo_log.push log ~label:"set" (fun () -> cell := old);
+    cell := v
+  in
+  set 2;
+  set 3;
+  set 4;
+  ignore (Undo_log.replay log);
+  Alcotest.(check int) "restored" 1 !cell
+
+(* Property: a parent transaction works, then a nested child works (a child
+   runs on the same thread, so its pushes strictly follow the parent's),
+   then the child merges and the parent replays — the initial state comes
+   back exactly. *)
+let prop_merge_replay_restores =
+  let write_gen =
+    QCheck2.Gen.(
+      list_size (int_range 0 30) (pair (int_range 0 7) (int_range (-100) 100)))
+  in
+  QCheck2.Test.make ~name:"nested merge + replay restores state" ~count:200
+    (QCheck2.Gen.pair write_gen write_gen)
+    (fun (parent_writes, child_writes) ->
+      let regs = Array.make 8 0 in
+      Array.iteri (fun k _ -> regs.(k) <- k * 11) regs;
+      let initial = Array.copy regs in
+      let parent = Undo_log.create () in
+      let child = Undo_log.create () in
+      let apply log (slot, v) =
+        let old = regs.(slot) in
+        Undo_log.push log ~label:"w" (fun () -> regs.(slot) <- old);
+        regs.(slot) <- v
+      in
+      List.iter (apply parent) parent_writes;
+      List.iter (apply child) child_writes;
+      Undo_log.merge_into ~parent child;
+      ignore (Undo_log.replay parent);
+      regs = initial)
+
+let suite =
+  [
+    ( "undo_log",
+      [
+        Alcotest.test_case "LIFO replay" `Quick test_lifo_replay;
+        Alcotest.test_case "replay returns total cost" `Quick test_replay_cost;
+        Alcotest.test_case "merge keeps child entries most-recent" `Quick
+          test_merge_preserves_order;
+        Alcotest.test_case "accessor-style state restoration" `Quick
+          test_state_restoration;
+        QCheck_alcotest.to_alcotest prop_merge_replay_restores;
+      ] );
+  ]

@@ -1,0 +1,344 @@
+(* Tests for the virtual memory substrate: frames, VAS, two-level eviction
+   with graft verification, Cao's swap, the page daemon. *)
+
+module Engine = Vino_sim.Engine
+module Kernel = Vino_core.Kernel
+module Graft_point = Vino_core.Graft_point
+module Cred = Vino_core.Cred
+module Rlimit = Vino_txn.Rlimit
+module Frame = Vino_vmem.Frame
+module Vas = Vino_vmem.Vas
+module Evict = Vino_vmem.Evict
+module Grafts = Vino_vmem.Grafts
+module Pagedaemon = Vino_vmem.Pagedaemon
+
+let app = Cred.user "vm-test" ~limits:(Rlimit.unlimited ())
+
+type fx = { kernel : Kernel.t; vas : Vas.t; evictor : Evict.t }
+
+let fixture ?(frames = 16) () =
+  let kernel = Kernel.create ~mem_words:(1 lsl 16) ~tick:1_000 () in
+  let table = Frame.create_table ~frames in
+  let evictor = Evict.create kernel ~frames:table () in
+  let vas = Vas.create kernel ~name:"test-vas" in
+  Evict.register_vas evictor vas;
+  { kernel; vas; evictor }
+
+let in_kernel fx f =
+  ignore (Engine.spawn fx.kernel.Kernel.engine ~name:"body" f);
+  Kernel.run fx.kernel;
+  match Engine.failures fx.kernel.Kernel.engine with
+  | [] -> ()
+  | (name, exn) :: _ ->
+      Alcotest.failf "process %s: %s" name (Printexc.to_string exn)
+
+let touch_all fx pages =
+  List.iter (fun p -> ignore (Evict.touch fx.evictor fx.vas ~vpage:p)) pages
+
+let install_graft fx source =
+  let image =
+    match Kernel.seal fx.kernel (Vino_vm.Asm.assemble_exn source) with
+    | Ok i -> i
+    | Error e -> Alcotest.fail e
+  in
+  match
+    Graft_point.replace (Vas.evict_point fx.vas) fx.kernel ~cred:app
+      ~shared_words:64 ~heap_words:2048 image
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_frame_allocate_release () =
+  let t = Frame.create_table ~frames:4 in
+  Alcotest.(check int) "all free" 4 (Frame.free_count t);
+  let f =
+    match Frame.allocate t with Ok f -> f | Error `None_free -> assert false
+  in
+  Alcotest.(check int) "one used" 1 (Frame.used_count t);
+  Frame.release t f;
+  Alcotest.(check int) "released" 4 (Frame.free_count t);
+  for _ = 1 to 4 do
+    ignore (Frame.allocate t)
+  done;
+  match Frame.allocate t with
+  | Error `None_free -> ()
+  | Ok _ -> Alcotest.fail "overcommitted frames"
+
+let test_touch_faults_then_hits () =
+  let fx = fixture () in
+  in_kernel fx (fun () ->
+      (match Evict.touch fx.evictor fx.vas ~vpage:3 with
+      | `Fault -> ()
+      | `Hit -> Alcotest.fail "first touch must fault");
+      match Evict.touch fx.evictor fx.vas ~vpage:3 with
+      | `Hit -> ()
+      | `Fault -> Alcotest.fail "second touch must hit");
+  Alcotest.(check int) "one fault" 1 (Vas.faults fx.vas);
+  Alcotest.(check bool) "resident" true (Vas.is_resident fx.vas 3)
+
+let test_eviction_under_pressure () =
+  let fx = fixture ~frames:4 () in
+  in_kernel fx (fun () ->
+      touch_all fx [ 0; 1; 2; 3 ];
+      (* a fifth page forces an eviction *)
+      touch_all fx [ 4 ]);
+  Alcotest.(check int) "one eviction" 1 (Evict.evictions fx.evictor);
+  Alcotest.(check bool) "new page resident" true (Vas.is_resident fx.vas 4)
+
+let test_second_chance_respects_reference_bits () =
+  let fx = fixture ~frames:8 () in
+  in_kernel fx (fun () ->
+      touch_all fx [ 0; 1; 2; 3 ];
+      (* clear all reference bits with one pass *)
+      ignore (Evict.select_replacement fx.evictor ~cred:app);
+      (* re-reference page 0 so it gets a second chance *)
+      Vas.reference fx.vas ~vpage:0;
+      match Evict.select_replacement fx.evictor ~cred:app with
+      | Ok frame ->
+          (match frame.Frame.owner with
+          | Some o ->
+              Alcotest.(check bool) "victim is not the referenced page" true
+                (o.Frame.vpage <> 0)
+          | None -> Alcotest.fail "victim has no owner")
+      | Error `Nothing_evictable -> Alcotest.fail "nothing evictable")
+
+let test_wired_pages_never_selected () =
+  let fx = fixture ~frames:8 () in
+  in_kernel fx (fun () ->
+      touch_all fx [ 0; 1; 2 ];
+      ignore (Evict.select_replacement fx.evictor ~cred:app);
+      Vas.wire fx.vas ~vpage:0;
+      Vas.wire fx.vas ~vpage:1;
+      for _ = 1 to 5 do
+        match Evict.select_replacement fx.evictor ~cred:app with
+        | Ok frame ->
+            Alcotest.(check bool) "wired page never chosen" false
+              frame.Frame.wired
+        | Error `Nothing_evictable -> Alcotest.fail "nothing evictable"
+      done)
+
+let test_graft_overrules_and_cao_swap () =
+  let fx = fixture ~frames:8 () in
+  install_graft fx
+    (Grafts.protect_hot_pages_source ~lock_kcall:(Vas.lock_name fx.vas) ());
+  in_kernel fx (fun () ->
+      touch_all fx [ 0; 1; 2; 3 ];
+      ignore (Evict.select_replacement fx.evictor ~cred:app);
+      (* protect the page the clock would pick *)
+      Vas.protect_pages fx.kernel fx.vas [ 0 ];
+      let before = Evict.queue_order fx.evictor in
+      match Evict.select_replacement fx.evictor ~cred:app with
+      | Error `Nothing_evictable -> Alcotest.fail "nothing evictable"
+      | Ok frame -> (
+          match frame.Frame.owner with
+          | Some o ->
+              Alcotest.(check bool) "hot page spared" true (o.Frame.vpage <> 0);
+              Alcotest.(check int) "overrule recorded" 1
+                (Evict.graft_overrules fx.evictor);
+              (* Cao: the victim moved into the replacement's old slot *)
+              let after = Evict.queue_order fx.evictor in
+              Alcotest.(check int) "queue shrank by one"
+                (List.length before - 1) (List.length after)
+          | None -> Alcotest.fail "no owner"));
+  Alcotest.(check bool) "graft survives" true
+    (Graft_point.grafted (Vas.evict_point fx.vas))
+
+let test_invalid_suggestion_ignored () =
+  (* "If either of these checks fails the system ignores the request and
+     evicts the original victim" — and the graft is NOT removed. *)
+  let fx = fixture ~frames:8 () in
+  install_graft fx Grafts.suggest_invalid_source;
+  in_kernel fx (fun () ->
+      touch_all fx [ 0; 1; 2 ];
+      ignore (Evict.select_replacement fx.evictor ~cred:app);
+      match Evict.select_replacement fx.evictor ~cred:app with
+      | Ok frame -> (
+          match frame.Frame.owner with
+          | Some o ->
+              Alcotest.(check int) "original victim evicted" 0 o.Frame.vpage
+          | None -> Alcotest.fail "no owner")
+      | Error `Nothing_evictable -> Alcotest.fail "nothing evictable");
+  (* both the warm-up pass and the checked pass consulted the graft *)
+  Alcotest.(check int) "invalid suggestions counted" 2
+    (Evict.invalid_suggestions fx.evictor);
+  Alcotest.(check bool) "graft NOT removed (unlike a fault)" true
+    (Graft_point.grafted (Vas.evict_point fx.vas))
+
+let test_wired_suggestion_rejected () =
+  let fx = fixture ~frames:8 () in
+  install_graft fx
+    (Grafts.protect_hot_pages_source ~lock_kcall:(Vas.lock_name fx.vas) ());
+  in_kernel fx (fun () ->
+      touch_all fx [ 0; 1; 2 ];
+      ignore (Evict.select_replacement fx.evictor ~cred:app);
+      (* protect the victim so the graft suggests page 1 — but wire 1 *)
+      Vas.protect_pages fx.kernel fx.vas [ 0 ];
+      Vas.wire fx.vas ~vpage:1;
+      match Evict.select_replacement fx.evictor ~cred:app with
+      | Ok frame -> (
+          (* the graft scans candidates; 1 is evictable-looking to it but
+             the kernel's verification sees the wired bit... the graft
+             skips to 2 only if told; here candidates exclude wired pages
+             already, so the suggestion is 2 *)
+          match frame.Frame.owner with
+          | Some o ->
+              Alcotest.(check bool) "wired page never evicted" true
+                (o.Frame.vpage <> 1)
+          | None -> Alcotest.fail "no owner")
+      | Error `Nothing_evictable -> Alcotest.fail "nothing evictable")
+
+let test_crashing_evict_graft_falls_back () =
+  let fx = fixture ~frames:8 () in
+  install_graft fx
+    [
+      Li (Vino_vm.Asm.r5, 0);
+      Li (Vino_vm.Asm.r6, 1);
+      Alu (Vino_vm.Insn.Div, Vino_vm.Asm.r0, Vino_vm.Asm.r6, Vino_vm.Asm.r5);
+      Ret;
+    ];
+  in_kernel fx (fun () ->
+      touch_all fx [ 0; 1; 2 ];
+      ignore (Evict.select_replacement fx.evictor ~cred:app);
+      match Evict.select_replacement fx.evictor ~cred:app with
+      | Ok _ -> ()
+      | Error `Nothing_evictable -> Alcotest.fail "nothing evictable");
+  Alcotest.(check bool) "crashing graft removed" false
+    (Graft_point.grafted (Vas.evict_point fx.vas))
+
+let test_pagedaemon_maintains_watermark () =
+  let fx = fixture ~frames:16 () in
+  let daemon =
+    Pagedaemon.create fx.kernel ~evictor:fx.evictor ~low_watermark:4
+      ~high_watermark:8 ()
+  in
+  in_kernel fx (fun () ->
+      (* consume 14 of 16 frames: free = 2 < low *)
+      touch_all fx (List.init 14 (fun k -> k));
+      ignore (Evict.select_replacement fx.evictor ~cred:app);
+      Pagedaemon.kick daemon;
+      Engine.delay (Vino_txn.Tcosts.us 1_000.));
+  Alcotest.(check bool) "free pool refilled to the high watermark" true
+    (Evict.free_frames fx.evictor >= 8);
+  Alcotest.(check bool) "daemon ran" true (Pagedaemon.passes daemon >= 1);
+  Pagedaemon.stop daemon;
+  Kernel.run fx.kernel
+
+module Memobj = Vino_vmem.Memobj
+
+let test_memobj_anonymous () =
+  let fx = fixture ~frames:8 () in
+  let obj =
+    Memobj.map fx.evictor fx.vas ~vpage_start:100 ~pages:4 Memobj.Anonymous
+  in
+  in_kernel fx (fun () ->
+      (match Memobj.touch obj ~cred:app ~page:2 with
+      | `Fault -> ()
+      | `Hit -> Alcotest.fail "first touch must fault");
+      match Memobj.touch obj ~cred:app ~page:2 with
+      | `Hit -> ()
+      | `Fault -> Alcotest.fail "second touch must hit");
+  Alcotest.(check bool) "page resident at the mapped address" true
+    (Vas.is_resident fx.vas 102);
+  Alcotest.(check int) "one object fault" 1 (Memobj.faults obj)
+
+let test_memobj_file_backed_readahead () =
+  (* a mapped file inherits the file's grafted read-ahead: fault page 0
+     while announcing page 5; page 5's block lands in the cache *)
+  let fx = fixture ~frames:16 () in
+  let disk = Vino_fs.Disk.create fx.kernel.Kernel.engine () in
+  let cache = Vino_fs.Cache.create ~capacity:32 () in
+  let file =
+    Vino_fs.File.openf ~kernel:fx.kernel ~cache ~disk ~name:"mapped"
+      ~first_block:0 ~blocks:16 ()
+  in
+  let image =
+    match
+      Kernel.seal fx.kernel
+        (Vino_vm.Asm.assemble_exn
+           (Vino_fs.Readahead.app_directed_source
+              ~lock_kcall:(Vino_fs.File.ra_lock_name file)))
+    with
+    | Ok i -> i
+    | Error e -> Alcotest.fail e
+  in
+  (match
+     Graft_point.replace (Vino_fs.File.ra_point file) fx.kernel ~cred:app
+       ~shared_words:16 image
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let obj =
+    Memobj.map fx.evictor fx.vas ~vpage_start:0 ~pages:16
+      (Memobj.File_backed { file; start_block = 0 })
+  in
+  in_kernel fx (fun () ->
+      Vino_fs.Readahead.announce fx.kernel (Vino_fs.File.ra_point file) 5;
+      ignore (Memobj.touch obj ~cred:app ~page:0);
+      Engine.delay (Vino_txn.Tcosts.us 50_000.));
+  Alcotest.(check bool) "announced block prefetched via mmap fault" true
+    (Vino_fs.Cache.mem cache 5)
+
+let test_memobj_overlap_rejected () =
+  let fx = fixture () in
+  let (_ : Memobj.t) =
+    Memobj.map fx.evictor fx.vas ~vpage_start:10 ~pages:10 Memobj.Anonymous
+  in
+  (match
+     Memobj.map fx.evictor fx.vas ~vpage_start:15 ~pages:2 Memobj.Anonymous
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "overlapping object accepted");
+  (* adjacent is fine; and unmap frees the range *)
+  let o2 =
+    Memobj.map fx.evictor fx.vas ~vpage_start:20 ~pages:2 Memobj.Anonymous
+  in
+  Memobj.unmap o2;
+  match
+    Memobj.map fx.evictor fx.vas ~vpage_start:20 ~pages:2 Memobj.Anonymous
+  with
+  | (_ : Memobj.t) -> ()
+
+let test_memobj_find () =
+  let fx = fixture () in
+  let obj =
+    Memobj.map fx.evictor fx.vas ~vpage_start:30 ~pages:5 Memobj.Anonymous
+  in
+  (match Memobj.find fx.vas ~vpage:32 with
+  | Some o -> Alcotest.(check bool) "found the object" true (o == obj)
+  | None -> Alcotest.fail "lookup failed");
+  Alcotest.(check bool) "outside range" true
+    (Memobj.find fx.vas ~vpage:35 = None)
+
+let suite =
+  [
+    ( "vmem",
+      [
+        Alcotest.test_case "frame allocate/release" `Quick
+          test_frame_allocate_release;
+        Alcotest.test_case "touch faults then hits" `Quick
+          test_touch_faults_then_hits;
+        Alcotest.test_case "eviction under memory pressure" `Quick
+          test_eviction_under_pressure;
+        Alcotest.test_case "second chance respects reference bits" `Quick
+          test_second_chance_respects_reference_bits;
+        Alcotest.test_case "wired pages never selected" `Quick
+          test_wired_pages_never_selected;
+        Alcotest.test_case "graft overrules victim; Cao swap applied" `Quick
+          test_graft_overrules_and_cao_swap;
+        Alcotest.test_case "invalid suggestion ignored, graft kept (§4.2.1)"
+          `Quick test_invalid_suggestion_ignored;
+        Alcotest.test_case "wired suggestion rejected" `Quick
+          test_wired_suggestion_rejected;
+        Alcotest.test_case "crashing eviction graft falls back" `Quick
+          test_crashing_evict_graft_falls_back;
+        Alcotest.test_case "page daemon maintains watermarks" `Quick
+          test_pagedaemon_maintains_watermark;
+        Alcotest.test_case "anonymous memory objects zero-fill" `Quick
+          test_memobj_anonymous;
+        Alcotest.test_case "mapped files get grafted read-ahead" `Quick
+          test_memobj_file_backed_readahead;
+        Alcotest.test_case "overlapping objects rejected" `Quick
+          test_memobj_overlap_rejected;
+        Alcotest.test_case "object lookup by page" `Quick test_memobj_find;
+      ] );
+  ]

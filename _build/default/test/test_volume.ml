@@ -1,0 +1,182 @@
+(* Tests for the volume layer: bitmap allocation, directory, deletion,
+   fragmentation, and the tight-timeout bitmap lock. *)
+
+module Engine = Vino_sim.Engine
+module Kernel = Vino_core.Kernel
+module Cred = Vino_core.Cred
+module Rlimit = Vino_txn.Rlimit
+module Volume = Vino_fs.Volume
+module File = Vino_fs.File
+module Disk = Vino_fs.Disk
+
+let app = Cred.user "vol-test" ~limits:(Rlimit.unlimited ())
+
+let fixture ?(blocks = 256) () =
+  let kernel = Kernel.create ~mem_words:(1 lsl 15) () in
+  let disk = Disk.create kernel.Kernel.engine () in
+  let volume = Volume.create kernel ~disk ~blocks () in
+  (kernel, volume)
+
+let in_kernel kernel f =
+  let out = ref None in
+  ignore (Engine.spawn kernel.Kernel.engine (fun () -> out := Some (f ())));
+  Kernel.run kernel;
+  (match Engine.failures kernel.Kernel.engine with
+  | [] -> ()
+  | (n, e) :: _ -> Alcotest.failf "%s: %s" n (Printexc.to_string e));
+  Option.get !out
+
+let create_exn kernel volume ~name ~blocks =
+  in_kernel kernel (fun () ->
+      match Volume.create_file volume ~name ~blocks with
+      | Ok file -> file
+      | Error e -> Alcotest.fail e)
+
+let test_create_open_read () =
+  let kernel, volume = fixture () in
+  let file = create_exn kernel volume ~name:"data" ~blocks:16 in
+  Alcotest.(check int) "allocated" 16 (Volume.used_blocks volume);
+  Alcotest.(check (list (pair string int))) "listed" [ ("data", 16) ]
+    (Volume.list_files volume);
+  (* opening again gives an independent open-file object on the same extent *)
+  let file2 =
+    in_kernel kernel (fun () ->
+        match Volume.open_file volume ~name:"data" with
+        | Ok f -> f
+        | Error e -> Alcotest.fail e)
+  in
+  (in_kernel kernel (fun () ->
+       ignore (File.read file ~cred:app ~block:3);
+       (* second handle hits the shared cache *)
+       match File.read file2 ~cred:app ~block:3 with
+       | `Hit -> ()
+       | `Miss -> Alcotest.fail "handles must share the volume cache"));
+  Alcotest.(check bool) "distinct pattern-lock functions" true
+    (File.ra_lock_name file <> File.ra_lock_name file2)
+
+let test_duplicate_and_missing () =
+  let kernel, volume = fixture () in
+  let (_ : File.t) = create_exn kernel volume ~name:"a" ~blocks:4 in
+  (match
+     in_kernel kernel (fun () -> Volume.create_file volume ~name:"a" ~blocks:4)
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate name accepted");
+  match
+    in_kernel kernel (fun () -> Volume.open_file volume ~name:"ghost")
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "opened a ghost"
+
+let test_exhaustion_and_delete () =
+  let kernel, volume = fixture ~blocks:32 () in
+  let (_ : File.t) = create_exn kernel volume ~name:"big" ~blocks:30 in
+  (match
+     in_kernel kernel (fun () ->
+         Volume.create_file volume ~name:"more" ~blocks:4)
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "overcommitted volume");
+  (match
+     in_kernel kernel (fun () -> Volume.delete_file volume ~name:"big")
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "all free again" 32 (Volume.free_blocks volume);
+  let (_ : File.t) = create_exn kernel volume ~name:"more" ~blocks:4 in
+  Alcotest.(check int) "reallocated" 4 (Volume.used_blocks volume)
+
+let test_first_fit_and_fragmentation () =
+  let kernel, volume = fixture ~blocks:64 () in
+  let (_ : File.t) = create_exn kernel volume ~name:"a" ~blocks:16 in
+  let (_ : File.t) = create_exn kernel volume ~name:"b" ~blocks:16 in
+  let (_ : File.t) = create_exn kernel volume ~name:"c" ~blocks:16 in
+  Alcotest.(check (float 0.001)) "contiguous so far" 0.
+    (Volume.fragmentation volume);
+  (* free the middle file: now the free space is split *)
+  (match
+     in_kernel kernel (fun () -> Volume.delete_file volume ~name:"b")
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "fragmented" true (Volume.fragmentation volume > 0.);
+  (* a 20-block file cannot fit in either 16-block hole *)
+  (match
+     in_kernel kernel (fun () ->
+         Volume.create_file volume ~name:"d" ~blocks:20)
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "impossible contiguous allocation succeeded");
+  (* but a 16-block file first-fits into b's old hole *)
+  let (_ : File.t) = create_exn kernel volume ~name:"e" ~blocks:16 in
+  Alcotest.(check (float 0.001)) "hole plugged" 0.
+    (Volume.fragmentation volume)
+
+let test_deleted_blocks_leave_cache () =
+  let kernel, volume = fixture () in
+  let file = create_exn kernel volume ~name:"tmp" ~blocks:8 in
+  in_kernel kernel (fun () ->
+      ignore (File.read file ~cred:app ~block:0);
+      match Volume.delete_file volume ~name:"tmp" with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+  (* the extent's cached blocks are gone: a new file on the same blocks
+     must not see stale residency *)
+  let file2 = create_exn kernel volume ~name:"fresh" ~blocks:8 in
+  in_kernel kernel (fun () ->
+      match File.read file2 ~cred:app ~block:0 with
+      | `Miss -> ()
+      | `Hit -> Alcotest.fail "stale cache entry survived deletion")
+
+(* Property: random create/delete traces keep the bitmap accounting
+   consistent and extents disjoint. *)
+let prop_volume_consistent =
+  QCheck2.Test.make ~name:"volume accounting stays consistent" ~count:40
+    QCheck2.Gen.(list_size (int_range 1 30) (pair bool (int_range 1 20)))
+    (fun ops ->
+      let kernel, volume = fixture ~blocks:128 () in
+      let live = ref [] in
+      let counter = ref 0 in
+      let ok = ref true in
+      ignore
+        (Engine.spawn kernel.Kernel.engine (fun () ->
+             List.iter
+               (fun (create, blocks) ->
+                 if create then begin
+                   incr counter;
+                   let name = Printf.sprintf "f%d" !counter in
+                   match Volume.create_file volume ~name ~blocks with
+                   | Ok _ -> live := (name, blocks) :: !live
+                   | Error _ -> ()
+                 end
+                 else
+                   match !live with
+                   | (name, _) :: rest -> (
+                       match Volume.delete_file volume ~name with
+                       | Ok () -> live := rest
+                       | Error _ -> ok := false)
+                   | [] -> ())
+               ops));
+      Kernel.run kernel;
+      let expected = List.fold_left (fun a (_, b) -> a + b) 0 !live in
+      !ok
+      && Volume.used_blocks volume = expected
+      && List.length (Volume.list_files volume) = List.length !live)
+
+let suite =
+  [
+    ( "volume",
+      [
+        Alcotest.test_case "create/open/read through shared cache" `Quick
+          test_create_open_read;
+        Alcotest.test_case "duplicate and missing names" `Quick
+          test_duplicate_and_missing;
+        Alcotest.test_case "exhaustion, delete, reuse" `Quick
+          test_exhaustion_and_delete;
+        Alcotest.test_case "first fit and fragmentation" `Quick
+          test_first_fit_and_fragmentation;
+        Alcotest.test_case "deletion purges the cache" `Quick
+          test_deleted_blocks_leave_cache;
+        QCheck_alcotest.to_alcotest prop_volume_consistent;
+      ] );
+  ]
