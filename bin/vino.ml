@@ -154,7 +154,7 @@ let seal name output key unsafe =
     (Array.length image.Vino_misfit.Image.code)
     (if unsafe then ", NO SFI" else "")
 
-let verify path key =
+let verify_signature path key =
   let image = read_image path in
   if Vino_misfit.Image.verify ~key image then begin
     Printf.printf "%s: signature OK (%d instructions, imports: %s)\n" path
@@ -168,6 +168,52 @@ let verify path key =
     Printf.printf "%s: SIGNATURE INVALID — the kernel would refuse it\n" path;
     exit 1
   end
+
+let static_verify name words rewritten seg_regs =
+  if words < 1 then begin
+    Printf.eprintf "verify: --words must be at least 1\n";
+    exit 2
+  end;
+  (match
+     List.find_opt
+       (fun r -> r < 0 || r >= Vino_vm.Insn.num_regs)
+       seg_regs
+   with
+  | Some r ->
+      Printf.eprintf "verify: --seg %d is not a register (r0..r%d)\n" r
+        (Vino_vm.Insn.num_regs - 1);
+      exit 2
+  | None -> ());
+  let description, source = source_of name in
+  let obj = Vino_vm.Asm.assemble_exn source in
+  let stage = if rewritten then `Rewritten else `Source in
+  let entry =
+    List.map (fun r -> (r, Vino_verify.Verify.seg_window ())) seg_regs
+  in
+  let conf = Vino_verify.Verify.config ~entry ~words ~stage () in
+  let report = Vino_verify.Verify.analyse conf obj.Vino_vm.Asm.code in
+  Printf.printf "graft %s — %s\nstatic verification, segment >= %d words:\n\n"
+    name description words;
+  Vino_verify.Report.pp_annotated Format.std_formatter obj.Vino_vm.Asm.code
+    report;
+  Format.print_flush ();
+  if Vino_verify.Report.ok report then begin
+    Printf.printf "verdict: OK — %d/%d accesses and %d/%d indirect calls \
+                   need no run-time check\n"
+      (Vino_verify.Report.safe_accesses report)
+      (Vino_verify.Report.total_accesses report)
+      (Vino_verify.Report.safe_calls report)
+      (Vino_verify.Report.total_icalls report);
+    exit 0
+  end
+  else begin
+    Printf.printf "verdict: REJECT — the linker would refuse this graft\n";
+    exit 1
+  end
+
+let verify path key words rewritten seg_regs =
+  if Filename.check_suffix path ".gimg" then verify_signature path key
+  else static_verify path words rewritten seg_regs
 
 (* ------------------------------- run ----------------------------------- *)
 
@@ -415,12 +461,42 @@ let verify_cmd =
   let path =
     Arg.(
       required
-      & pos 0 (some file) None
-      & info [] ~docv:"IMAGE" ~doc:"Image file to verify.")
+      & pos 0 (some string) None
+      & info [] ~docv:"GRAFT"
+          ~doc:
+            "A .gimg image (signature check), or a builtin graft name / \
+             .gasm file (static SFI verification).")
+  in
+  let words =
+    Arg.(
+      value & opt int 4096
+      & info [ "words" ]
+          ~doc:"Minimum segment size the graft will be loaded with.")
+  in
+  let rewritten =
+    Arg.(
+      value & flag
+      & info [ "rewritten" ]
+          ~doc:
+            "Treat the input as MiSFIT output (reserved-register use and \
+             SFI instructions are legitimate).")
+  in
+  let seg_regs =
+    Arg.(
+      value & opt_all int []
+      & info [ "seg" ] ~docv:"REG"
+          ~doc:
+            "Entry fact: register $(docv) holds a pointer to the start of \
+             the graft segment (the graft point's marshalling guarantees \
+             it). Repeatable.")
   in
   Cmd.v
-    (Cmd.info "verify" ~doc:"Check a .gimg image's signature like the linker")
-    Term.(const verify $ path $ key_arg)
+    (Cmd.info "verify"
+       ~doc:
+         "Check a .gimg image's signature like the linker, or run the \
+          static graft verifier over source and print a per-instruction \
+          safety report")
+    Term.(const verify $ path $ key_arg $ words $ rewritten $ seg_regs)
 
 let run_cmd =
   let args =

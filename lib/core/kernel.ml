@@ -43,7 +43,23 @@ let register_kcall t ~name ?callable impl =
   if fn.Kcall.callable then Calltable.add t.calltable fn.Kcall.id;
   fn
 
-let seal ?optimize t obj = Vino_misfit.Image.seal ?optimize ~key:t.key obj
+(* Offline callable predicate from the registry (not {!Calltable.mem},
+   which records run-time probe statistics the benchmarks measure). *)
+let callable_of_registry t id =
+  match Kcall.find t.registry id with
+  | Some fn -> fn.Kcall.callable
+  | None -> false
+
+let seal ?optimize ?verify t obj =
+  let verifier =
+    Option.map
+      (fun (c : Vino_verify.Verify.config) ->
+        match c.callable with
+        | Some _ -> c
+        | None -> { c with callable = Some (callable_of_registry t) })
+      verify
+  in
+  Vino_misfit.Image.seal ?optimize ?verifier ~key:t.key obj
 let seal_unsafe t obj = Vino_misfit.Image.seal_unsafe ~key:t.key obj
 let run ?until t = Engine.run ?until t.engine
 let now_us t = Engine.now_us t.engine

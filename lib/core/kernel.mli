@@ -37,8 +37,18 @@ val register_kcall :
     call table. *)
 
 val seal :
-  ?optimize:bool -> t -> Vino_vm.Asm.obj -> (Vino_misfit.Image.t, string) result
-(** Run the toolchain (MiSFIT + signing) with this kernel's key. *)
+  ?optimize:bool ->
+  ?verify:Vino_verify.Verify.config ->
+  t ->
+  Vino_vm.Asm.obj ->
+  (Vino_misfit.Image.t, string) result
+(** Run the toolchain (MiSFIT + signing) with this kernel's key.
+
+    With [verify], the static graft verifier runs first and proven-safe
+    sites keep their raw instructions ({!Vino_misfit.Rewrite.process}). If
+    the config carries no [callable] predicate, the kernel supplies one
+    from its registry, so constant indirect-call ids can be proven and
+    their [Checkcall] probes elided. *)
 
 val seal_unsafe : t -> Vino_vm.Asm.obj -> Vino_misfit.Image.t
 (** Sign without SFI — measurement configurations only. *)

@@ -28,6 +28,27 @@ let check_direct_ids kernel code =
     code;
   match !bad with None -> Ok () | Some e -> Error e
 
+(* Link-time static check. Runs with no entry facts (the linker cannot know
+   the graft point's register conventions — the signature attests to any
+   seal-time proof), so it can only flag hard errors every execution would
+   hit: provably out-of-bounds accesses, indirect calls through a provably
+   bad id, malformed code, fall-through off the end. *)
+let static_check kernel ~words code =
+  let conf =
+    Vino_verify.Verify.config ~words:(max 1 words)
+      ~callable:(fun id ->
+        match Kcall.find kernel.Kernel.registry id with
+        | Some fn -> fn.Kcall.callable
+        | None -> false)
+      ~stage:`Rewritten ()
+  in
+  let report = Vino_verify.Verify.analyse conf code in
+  if Vino_verify.Report.ok report then Ok ()
+  else
+    Error
+      ("static verification failed: "
+      ^ Vino_verify.Report.error_summary report)
+
 let load kernel ~words (image : Image.t) =
   if not (Image.verify ~key:kernel.Kernel.key image) then
     Error "signature verification failed: code was not processed by MiSFIT"
@@ -44,6 +65,7 @@ let load kernel ~words (image : Image.t) =
     in
     Result.bind (patch image.relocs) @@ fun () ->
     Result.bind (check_direct_ids kernel code) @@ fun () ->
+    Result.bind (static_check kernel ~words code) @@ fun () ->
     match Segalloc.alloc kernel.Kernel.segalloc words with
     | Error `No_memory -> Error "out of graft memory"
     | Ok seg -> Ok { code; seg }

@@ -9,6 +9,10 @@
       reject any target that is missing or not on the graft-callable list
       (Rules 4 and 7) — direct calls are checked here, once, at link time;
     - check any raw function ids embedded in the code the same way;
+    - run the static graft verifier ({!Vino_verify.Verify}) over the code
+      and reject hard errors: provably out-of-bounds memory accesses,
+      indirect calls through a provably unknown id, malformed or
+      fall-through code;
     - allocate the graft's segment (heap + stack + shared window) from
       kernel memory.
 

@@ -1,6 +1,6 @@
-type t = Base | Vino | Null | Unsafe | Safe | Abort
+type t = Base | Vino | Null | Unsafe | Safe | Verified | Abort
 
-let all = [ Base; Vino; Null; Unsafe; Safe; Abort ]
+let all = [ Base; Vino; Null; Unsafe; Safe; Verified; Abort ]
 
 let name = function
   | Base -> "Base path"
@@ -8,6 +8,7 @@ let name = function
   | Null -> "Null path"
   | Unsafe -> "Unsafe path"
   | Safe -> "Safe path"
+  | Verified -> "Verified path"
   | Abort -> "Abort path"
 
 let pp ppf t = Format.pp_print_string ppf (name t)

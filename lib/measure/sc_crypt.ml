@@ -24,22 +24,43 @@ let fixture () =
   let data = Array.init buffer_words (fun k -> (k * 2654435761) land 0xFFFF) in
   { kernel; channel; data; cred = Vino_core.Cred.root }
 
+let segment_words = (2 * buffer_words) + 512
+
+(* Entry facts established by [setup]: r1 = segment base (source buffer),
+   r2 = base + buffer_words (destination), r3 = word count <= buffer_words.
+   The verifier's interval analysis bounds the loop counter by r3 and
+   proves every load and store of the transform loop in-segment — the
+   paper's worst SFI case (per-word load + store) drops to zero sandbox
+   instructions on the Verified path. *)
+let verify_config =
+  Vino_verify.Verify.config
+    ~entry:
+      [
+        (1, Vino_verify.Verify.seg_window ());
+        (2, Vino_verify.Verify.seg_window ~off:buffer_words ());
+        (3, Vino_verify.Verify.arg_at_most buffer_words);
+      ]
+    ~words:segment_words ()
+
 let graft_image fx path =
   let source =
     match path with
     | Path.Null -> [ Vino_vm.Asm.Li (Vino_vm.Asm.r0, 0); Ret ]
-    | Path.Unsafe | Path.Safe | Path.Abort -> Sgrafts.xor_encrypt_source ~key
+    | Path.Unsafe | Path.Safe | Path.Verified | Path.Abort ->
+        Sgrafts.xor_encrypt_source ~key
     | Path.Base | Path.Vino -> invalid_arg "no graft on this path"
   in
   let obj = Vino_vm.Asm.assemble_exn source in
   match path with
   | Path.Unsafe -> Kernel.seal_unsafe fx.kernel obj
+  | Path.Verified -> (
+      match Kernel.seal ~verify:verify_config fx.kernel obj with
+      | Ok image -> image
+      | Error e -> failwith e)
   | _ -> (
       match Kernel.seal fx.kernel obj with
       | Ok image -> image
       | Error e -> failwith e)
-
-let segment_words = (2 * buffer_words) + 512
 
 (* the kernel's copyin of the source buffer, then argument registers *)
 let setup fx cpu =
@@ -62,7 +83,7 @@ let stats ?(iterations = 300) path =
   | Path.Vino ->
       Probe.samples fx.kernel ~iterations (fun _ ->
           ignore (Graft_point.invoke point fx.kernel ~cred:fx.cred fx.data))
-  | Path.Null | Path.Unsafe | Path.Safe | Path.Abort ->
+  | Path.Null | Path.Unsafe | Path.Safe | Path.Verified | Path.Abort ->
       let rig = Rig.load fx.kernel ~words:segment_words (graft_image fx path) in
       let commit = path <> Path.Abort in
       Probe.samples fx.kernel ~iterations (fun _ ->
@@ -114,8 +135,8 @@ let paper_elapsed =
 let table ?iterations () =
   let measured = List.map (fun p -> (p, measure ?iterations p)) Path.all in
   let value p = List.assoc p measured in
-  let paper p = List.assoc p paper_elapsed in
-  let row p = Table.elapsed ~paper:(paper p) (Path.name p) (value p) in
+  let paper p = List.assoc_opt p paper_elapsed in
+  let row p = Table.elapsed ?paper:(paper p) (Path.name p) (value p) in
   let inc label p q paper = Table.overhead ~paper label (value q -. value p) in
   [
     row Path.Base;
@@ -126,6 +147,9 @@ let table ?iterations () =
     row Path.Unsafe;
     inc "MiSFIT overhead" Path.Unsafe Path.Safe 187.;
     row Path.Safe;
+    Table.overhead "MiSFIT recovered by static verifier"
+      (value Path.Verified -. value Path.Safe);
+    row Path.Verified;
     inc "Abort cost (above commit)" Path.Safe Path.Abort 4.;
     row Path.Abort;
   ]

@@ -58,11 +58,27 @@ let probe_victim fx =
    word 0), candidates at Vas.candidate_area, heap above them. *)
 let segment_words = Vas.candidate_area + resident_pages + 512
 
+(* Entry facts established by [setup_regs]: r2 points at the candidate
+   list inside the segment, r4 at the segment base, r3 is the candidate
+   count. protect-hot-pages uses intra-graft [Call]s, after which the
+   analysis havocs its state, so little is provable: the Verified path
+   honestly measures close to Safe here (the verifier helps straight-line
+   and loop code, not call-heavy code). *)
+let verify_config =
+  Vino_verify.Verify.config
+    ~entry:
+      [
+        (2, Vino_verify.Verify.seg_window ~off:Vas.candidate_area ());
+        (3, Vino_verify.Verify.arg_at_most resident_pages);
+        (4, Vino_verify.Verify.seg_window ());
+      ]
+    ~words:segment_words ()
+
 let graft_image fx path =
   let source =
     match path with
     | Path.Null -> Vgrafts.accept_victim_source
-    | Path.Unsafe | Path.Safe | Path.Abort ->
+    | Path.Unsafe | Path.Safe | Path.Verified | Path.Abort ->
         Vgrafts.protect_hot_pages_source
           ~lock_kcall:(Vas.lock_name fx.vas)
           ()
@@ -71,6 +87,10 @@ let graft_image fx path =
   let obj = Vino_vm.Asm.assemble_exn source in
   match path with
   | Path.Unsafe -> Kernel.seal_unsafe fx.kernel obj
+  | Path.Verified -> (
+      match Kernel.seal ~verify:verify_config fx.kernel obj with
+      | Ok image -> image
+      | Error e -> failwith e)
   | _ -> (
       match Kernel.seal fx.kernel obj with
       | Ok image -> image
@@ -124,7 +144,7 @@ let stats ?(iterations = 300) path =
           ignore
             (Graft_point.invoke point fx.kernel ~cred:fx.cred
                { Vas.victim; candidates = [] }))
-  | Path.Null | Path.Unsafe | Path.Safe | Path.Abort ->
+  | Path.Null | Path.Unsafe | Path.Safe | Path.Verified | Path.Abort ->
       let rig = Rig.load fx.kernel ~words:segment_words (graft_image fx path) in
       let commit = path <> Path.Abort in
       let victim = probe_victim fx in
@@ -206,8 +226,8 @@ let paper_elapsed =
 let table ?iterations () =
   let measured = List.map (fun p -> (p, measure ?iterations p)) Path.all in
   let value p = List.assoc p measured in
-  let paper p = List.assoc p paper_elapsed in
-  let row p = Table.elapsed ~paper:(paper p) (Path.name p) (value p) in
+  let paper p = List.assoc_opt p paper_elapsed in
+  let row p = Table.elapsed ?paper:(paper p) (Path.name p) (value p) in
   let inc label p q paper = Table.overhead ~paper label (value q -. value p) in
   [
     row Path.Base;
@@ -219,6 +239,9 @@ let table ?iterations () =
     row Path.Unsafe;
     inc "MiSFIT overhead" Path.Unsafe Path.Safe 26.;
     row Path.Safe;
+    Table.overhead "MiSFIT recovered by static verifier"
+      (value Path.Verified -. value Path.Safe);
+    row Path.Verified;
     inc "Abort cost (above commit)" Path.Safe Path.Abort (-7.);
     row Path.Abort;
   ]

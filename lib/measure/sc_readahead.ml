@@ -47,11 +47,21 @@ let setup_regs cpu =
   Cpu.set_reg cpu 3 request.File.last_block;
   Cpu.set_reg cpu 4 (Cpu.segment cpu).Mem.base
 
+let segment_words = shared_words + 256
+
+(* What the graft point guarantees at entry (see [setup_regs]): r4 holds
+   the segment base. The verifier proves both of compute-ra's accesses
+   in-segment from this, so the Verified path runs with no sandboxing. *)
+let verify_config =
+  Vino_verify.Verify.config
+    ~entry:[ (4, Vino_verify.Verify.seg_window ()) ]
+    ~words:segment_words ()
+
 let graft_image fx path =
   let source =
     match path with
     | Path.Null -> Readahead.null_source
-    | Path.Unsafe | Path.Safe | Path.Abort ->
+    | Path.Unsafe | Path.Safe | Path.Verified | Path.Abort ->
         Readahead.app_directed_source
           ~lock_kcall:(File.ra_lock_name fx.file)
     | Path.Base | Path.Vino -> invalid_arg "no graft on this path"
@@ -59,13 +69,16 @@ let graft_image fx path =
   let obj = Vino_vm.Asm.assemble_exn source in
   match path with
   | Path.Unsafe -> Kernel.seal_unsafe fx.kernel obj
+  | Path.Verified -> (
+      match Kernel.seal ~verify:verify_config fx.kernel obj with
+      | Ok image -> image
+      | Error e -> failwith e)
   | _ -> (
       match Kernel.seal fx.kernel obj with
       | Ok image -> image
       | Error e -> failwith e)
 
-let rig_for fx path =
-  Rig.load fx.kernel ~words:(shared_words + 256) (graft_image fx path)
+let rig_for fx path = Rig.load fx.kernel ~words:segment_words (graft_image fx path)
 
 let announce rig block =
   Mem.store rig.Rig.kernel.Kernel.mem
@@ -86,7 +99,7 @@ let stats ?(iterations = 300) path =
   | Path.Vino ->
       Probe.samples fx.kernel ~iterations (fun _ ->
           ignore (Graft_point.invoke ra fx.kernel ~cred:fx.cred request))
-  | Path.Null | Path.Unsafe | Path.Safe | Path.Abort ->
+  | Path.Null | Path.Unsafe | Path.Safe | Path.Verified | Path.Abort ->
       let rig = rig_for fx path in
       let commit = path <> Path.Abort in
       Probe.samples fx.kernel ~iterations (fun k ->
@@ -138,8 +151,8 @@ let paper_elapsed =
 let table ?iterations () =
   let measured = List.map (fun p -> (p, measure ?iterations p)) Path.all in
   let value p = List.assoc p measured in
-  let paper p = List.assoc p paper_elapsed in
-  let rows p = Table.elapsed ~paper:(paper p) (Path.name p) (value p) in
+  let paper p = List.assoc_opt p paper_elapsed in
+  let rows p = Table.elapsed ?paper:(paper p) (Path.name p) (value p) in
   let inc label p q paper =
     Table.overhead ~paper label (value q -. value p)
   in
@@ -153,6 +166,9 @@ let table ?iterations () =
     rows Path.Unsafe;
     inc "MiSFIT overhead" Path.Unsafe Path.Safe 3.0;
     rows Path.Safe;
+    Table.overhead "MiSFIT recovered by static verifier"
+      (value Path.Verified -. value Path.Safe);
+    rows Path.Verified;
     inc "Abort cost (above commit)" Path.Safe Path.Abort 1.0;
     rows Path.Abort;
   ]

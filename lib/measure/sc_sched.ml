@@ -35,11 +35,27 @@ let round fx =
   | None -> failwith "sc_sched: empty run queue");
   Engine.delay switch_cost
 
+let segment_words = 256 + 256
+
+(* Entry facts established by [setup_regs]: r2 = segment base (the process
+   list), r3 = process count. scan-and-return-self factors its scan into an
+   intra-graft [Call], which havocs the analysis state, so the Verified
+   path honestly measures close to Safe (see sc_evict for the same
+   effect). *)
+let verify_config =
+  Vino_verify.Verify.config
+    ~entry:
+      [
+        (2, Vino_verify.Verify.seg_window ());
+        (3, Vino_verify.Verify.arg_at_most process_count);
+      ]
+    ~words:segment_words ()
+
 let graft_image fx path =
   let source =
     match path with
     | Path.Null -> [ Vino_vm.Asm.Mov (Vino_vm.Asm.r0, Vino_vm.Asm.r1); Ret ]
-    | Path.Unsafe | Path.Safe | Path.Abort ->
+    | Path.Unsafe | Path.Safe | Path.Verified | Path.Abort ->
         Sgrafts.scan_and_return_self_source
           ~lock_kcall:(Runq.proclist_lock_name fx.runq)
           ()
@@ -48,12 +64,14 @@ let graft_image fx path =
   let obj = Vino_vm.Asm.assemble_exn source in
   match path with
   | Path.Unsafe -> Kernel.seal_unsafe fx.kernel obj
+  | Path.Verified -> (
+      match Kernel.seal ~verify:verify_config fx.kernel obj with
+      | Ok image -> image
+      | Error e -> failwith e)
   | _ -> (
       match Kernel.seal fx.kernel obj with
       | Ok image -> image
       | Error e -> failwith e)
-
-let segment_words = 256 + 256
 
 let prepare_rig_memory fx rig =
   let base = Rig.seg_base rig in
@@ -83,7 +101,7 @@ let stats ?(iterations = 300) path =
   | Path.Vino ->
       let fx = fixture ~graft_support:true () in
       Probe.samples fx.kernel ~iterations (fun _ -> round fx)
-  | Path.Null | Path.Unsafe | Path.Safe | Path.Abort ->
+  | Path.Null | Path.Unsafe | Path.Safe | Path.Verified | Path.Abort ->
       let fx = fixture ~graft_support:false () in
       let rig = Rig.load fx.kernel ~words:segment_words (graft_image fx path) in
       prepare_rig_memory fx rig;
@@ -142,8 +160,8 @@ let paper_elapsed =
 let table ?iterations () =
   let measured = List.map (fun p -> (p, measure ?iterations p)) Path.all in
   let value p = List.assoc p measured in
-  let paper p = List.assoc p paper_elapsed in
-  let row p = Table.elapsed ~paper:(paper p) (Path.name p) (value p) in
+  let paper p = List.assoc_opt p paper_elapsed in
+  let row p = Table.elapsed ?paper:(paper p) (Path.name p) (value p) in
   let inc label p q paper = Table.overhead ~paper label (value q -. value p) in
   [
     row Path.Base;
@@ -155,6 +173,9 @@ let table ?iterations () =
     row Path.Unsafe;
     inc "MiSFIT overhead" Path.Unsafe Path.Safe 5.;
     row Path.Safe;
+    Table.overhead "MiSFIT recovered by static verifier"
+      (value Path.Verified -. value Path.Safe);
+    row Path.Verified;
     inc "Abort cost (above commit)" Path.Safe Path.Abort 3.;
     row Path.Abort;
   ]

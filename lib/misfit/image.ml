@@ -42,8 +42,8 @@ let relocate_on rewritten (relocs : Asm.reloc list) =
 let make ~key code relocs =
   { code; relocs; signature = Sign.digest ~key (signed_words code relocs) }
 
-let seal ?optimize ~key (obj : Asm.obj) =
-  Result.bind (Rewrite.process ?optimize obj.code) @@ fun code ->
+let seal ?optimize ?verifier ~key (obj : Asm.obj) =
+  Result.bind (Rewrite.process ?optimize ?verifier obj.code) @@ fun code ->
   Result.map (make ~key code) (relocate_on code obj.relocs)
 
 let seal_unsafe ~key (obj : Asm.obj) = make ~key obj.code obj.relocs

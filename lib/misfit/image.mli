@@ -14,10 +14,16 @@ type t = private {
 }
 
 val seal :
-  ?optimize:bool -> key:string -> Vino_vm.Asm.obj -> (t, string) result
+  ?optimize:bool ->
+  ?verifier:Vino_verify.Verify.config ->
+  key:string ->
+  Vino_vm.Asm.obj ->
+  (t, string) result
 (** Rewrite with {!Rewrite.process} (optionally with redundant-sandbox
-    elimination), recompute relocation indices on the rewritten code, and
-    sign. Fails if the source uses the reserved sandbox register. *)
+    elimination and/or static verification eliding proven-safe checks),
+    recompute relocation indices on the rewritten code, and sign. Fails if
+    the source uses the reserved sandbox register, or — with [verifier] —
+    if the static analysis finds a hard error. *)
 
 val seal_unsafe : key:string -> Vino_vm.Asm.obj -> t
 (** Sign WITHOUT SFI rewriting. This models the paper's "unsafe path"

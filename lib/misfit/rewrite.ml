@@ -7,8 +7,8 @@ let uses_reserved_register prog =
 
 (* Expand each instruction into a list, then remap every control-flow target
    from its old index to the start of that instruction's expansion. *)
-let expand f prog =
-  let expansions = Array.map f prog in
+let expand_i f prog =
+  let expansions = Array.mapi f prog in
   let n = Array.length prog in
   let new_index = Array.make (n + 1) 0 in
   for k = 0 to n - 1 do
@@ -23,6 +23,8 @@ let expand f prog =
         exp)
     expansions;
   out
+
+let expand f prog = expand_i (fun _ i -> f i) prog
 
 let lower_stack_ops prog =
   let lower : Insn.t -> Insn.t list = function
@@ -61,11 +63,21 @@ let writes_register (i : Insn.t) r =
   | Kcallr _ | Sandbox _ | Checkcall _ | Halt ->
       false
 
-let sandbox_memory ?(optimize = false) prog =
+(* The single SFI insertion pass. [safe_access]/[safe_call] are judged at
+   input-program indices (before expansion): a safe access keeps its raw
+   [Ld]/[St], a safe indirect call keeps its raw [Kcallr]. [guard_calls]
+   folds the [Checkcall] insertion into this pass so both protections see
+   the same index space. *)
+let sandbox_pass ~optimize ~safe_access ~safe_call ~guard_calls prog =
   let s = Insn.scratch in
   let targets = branch_target_set prog in
   (* (base register, offset) whose sandboxed address scratch still holds *)
   let known : (Insn.reg * int) option ref = ref None in
+  let clobber_check i =
+    match !known with
+    | Some (b, _) when writes_register i b -> known := None
+    | Some _ | None -> ()
+  in
   let with_address rb off rest : Insn.t list =
     if optimize && !known = Some (rb, off) then rest
     else begin
@@ -76,38 +88,31 @@ let sandbox_memory ?(optimize = false) prog =
   in
   let protect index (i : Insn.t) : Insn.t list =
     if Hashtbl.mem targets index then known := None;
-    let expansion =
-      match i with
-      | Ld (rd, rb, off) ->
-          let e = with_address rb off [ Insn.Ld (rd, s, 0) ] in
-          if writes_register i rb then known := None;
-          e
-      | St (rv, rb, off) -> with_address rb off [ Insn.St (rv, s, 0) ]
-      | i ->
-          (match !known with
-          | Some (rb, _) when writes_register i rb || is_control_transfer i ->
-              known := None
-          | Some _ | None -> if is_control_transfer i then known := None);
-          [ i ]
-    in
-    expansion
+    match i with
+    | Ld (_, _, _) when safe_access index ->
+        clobber_check i;
+        [ i ]
+    | St (_, _, _) when safe_access index -> [ i ]
+    | Ld (rd, rb, off) ->
+        let e = with_address rb off [ Insn.Ld (rd, s, 0) ] in
+        if writes_register i rb then known := None;
+        e
+    | St (rv, rb, off) -> with_address rb off [ Insn.St (rv, s, 0) ]
+    | Kcallr r when guard_calls ->
+        known := None;
+        if safe_call index then [ i ] else [ Insn.Checkcall r; Kcallr r ]
+    | i ->
+        clobber_check i;
+        if is_control_transfer i then known := None;
+        [ i ]
   in
-  (* expand with index awareness *)
-  let expansions = Array.mapi protect prog in
-  let n = Array.length prog in
-  let new_index = Array.make (n + 1) 0 in
-  for k = 0 to n - 1 do
-    new_index.(k + 1) <- new_index.(k) + List.length expansions.(k)
-  done;
-  let remap t = new_index.(t) in
-  let out = Array.make new_index.(n) Insn.Halt in
-  Array.iteri
-    (fun k exp ->
-      List.iteri
-        (fun j i -> out.(new_index.(k) + j) <- Insn.map_targets remap i)
-        exp)
-    expansions;
-  out
+  expand_i protect prog
+
+let never _ = false
+
+let sandbox_memory ?(optimize = false) ?(safe = never) prog =
+  sandbox_pass ~optimize ~safe_access:safe ~safe_call:never
+    ~guard_calls:false prog
 
 let eliminated_sandboxes prog =
   let count code =
@@ -118,19 +123,40 @@ let eliminated_sandboxes prog =
   count (sandbox_memory ~optimize:false prog)
   - count (sandbox_memory ~optimize:true prog)
 
-let guard_indirect_calls prog =
-  let guard : Insn.t -> Insn.t list = function
-    | Kcallr r -> [ Checkcall r; Kcallr r ]
+let guard_indirect_calls ?(safe = never) prog =
+  let guard k : Insn.t -> Insn.t list = function
+    | Kcallr r when not (safe k) -> [ Checkcall r; Kcallr r ]
     | i -> [ i ]
   in
-  expand guard prog
+  expand_i guard prog
 
-let process ?optimize prog =
+let process ?(optimize = false) ?verifier prog =
   if uses_reserved_register prog then
     Error
       (Printf.sprintf "graft code uses reserved sandbox register r%d"
          Insn.scratch)
   else
-    Ok
-      (guard_indirect_calls
-         (sandbox_memory ?optimize (lower_stack_ops prog)))
+    let lowered = lower_stack_ops prog in
+    match verifier with
+    | None ->
+        Ok
+          (sandbox_pass ~optimize ~safe_access:never ~safe_call:never
+             ~guard_calls:true lowered)
+    | Some conf ->
+        (* The analysis runs on the lowered program so the report's indices
+           line up with the insertion pass's input. *)
+        let report = Vino_verify.Verify.analyse conf lowered in
+        if not (Vino_verify.Report.ok report) then
+          Error (Vino_verify.Report.error_summary report)
+        else
+          let classes = report.Vino_verify.Report.classes in
+          let safe_access k =
+            classes.(k)
+            = Vino_verify.Report.(Access Access_safe)
+          in
+          let safe_call k =
+            classes.(k) = Vino_verify.Report.(Icall Call_safe)
+          in
+          Ok
+            (sandbox_pass ~optimize ~safe_access ~safe_call ~guard_calls:true
+               lowered)

@@ -17,7 +17,10 @@ val lower_stack_ops : Vino_vm.Insn.t array -> Vino_vm.Insn.t array
     store/load, so the generic sandboxing pass covers them. *)
 
 val sandbox_memory :
-  ?optimize:bool -> Vino_vm.Insn.t array -> Vino_vm.Insn.t array
+  ?optimize:bool ->
+  ?safe:(int -> bool) ->
+  Vino_vm.Insn.t array ->
+  Vino_vm.Insn.t array
 (** Insert [Sandbox] sequences before every [Ld]/[St].
 
     With [optimize] (default false), consecutive accesses through the same
@@ -25,20 +28,38 @@ val sandbox_memory :
     address: the scratch register provably still holds it, so the second
     mask+or is elided. The paper notes its MiSFIT "protects each indirect
     memory access" for lack of such optimisation (§4.4); this is the
-    classic Wahbe-style improvement. *)
+    classic Wahbe-style improvement.
+
+    [safe] (judged at input-program indices, default never) marks accesses
+    proven in-segment by the static verifier: they keep their raw [Ld]/[St]
+    with no sandbox sequence at all — strictly stronger than [optimize],
+    which still pays the first mask+or of each run. *)
 
 val eliminated_sandboxes : Vino_vm.Insn.t array -> int
 (** How many sandbox sequences optimisation would remove. *)
 
-val guard_indirect_calls : Vino_vm.Insn.t array -> Vino_vm.Insn.t array
-(** Insert [Checkcall] before every [Kcallr]. *)
+val guard_indirect_calls :
+  ?safe:(int -> bool) -> Vino_vm.Insn.t array -> Vino_vm.Insn.t array
+(** Insert [Checkcall] before every [Kcallr]. [safe] (input-program
+    indices) marks calls whose id the verifier proved graft-callable; they
+    keep their raw [Kcallr]. *)
 
 val process :
   ?optimize:bool ->
+  ?verifier:Vino_verify.Verify.config ->
   Vino_vm.Insn.t array ->
   (Vino_vm.Insn.t array, string) result
 (** Full MiSFIT pipeline: reject reserved-register use, lower stack ops,
-    sandbox memory accesses (optimised if asked), guard indirect calls. *)
+    sandbox memory accesses (optimised if asked), guard indirect calls.
+
+    With [verifier], the static analyser ({!Vino_verify.Verify.analyse})
+    runs over the lowered program first. Accesses and indirect calls it
+    proves safe keep their raw instructions — no [Sandbox], no [Checkcall]
+    — and hard errors (provably out-of-bounds access, provably unknown
+    kernel-call id, malformed code) abort the rewrite with the verifier's
+    diagnostics. The caller is responsible for passing entry facts that the
+    graft point actually establishes; see the soundness contract in
+    {!Vino_verify.Verify}. *)
 
 val expand :
   (Vino_vm.Insn.t -> Vino_vm.Insn.t list) ->

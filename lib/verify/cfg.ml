@@ -1,0 +1,97 @@
+module Insn = Vino_vm.Insn
+
+type block = { id : int; first : int; last : int; succs : int list }
+
+type t = {
+  blocks : block array;
+  owner : int array;  (** instruction index -> block id *)
+  fall_off : bool array;  (** block id -> can fall through past the end *)
+}
+
+(* Instructions that end a basic block. *)
+let ends_block : Insn.t -> bool = function
+  | Br _ | Jmp _ | Call _ | Callr _ | Ret | Halt -> true
+  | Li _ | Mov _ | Alu _ | Alui _ | Ld _ | St _ | Kcall _ | Kcallr _ | Push _
+  | Pop _ | Sandbox _ | Checkcall _ ->
+      false
+
+let targets_of : Insn.t -> int list = function
+  | Br (_, _, _, t) | Jmp t | Call t -> [ t ]
+  | _ -> []
+
+let has_indirect_call prog =
+  Array.exists (function Insn.Callr _ -> true | _ -> false) prog
+
+let build prog =
+  let n = Array.length prog in
+  if n = 0 then invalid_arg "Cfg.build: empty program";
+  let leader = Array.make n false in
+  leader.(0) <- true;
+  Array.iteri
+    (fun k i ->
+      List.iter (fun t -> if t >= 0 && t < n then leader.(t) <- true)
+        (targets_of i);
+      if ends_block i && k + 1 < n then leader.(k + 1) <- true)
+    prog;
+  let firsts = ref [] in
+  for k = n - 1 downto 0 do
+    if leader.(k) then firsts := k :: !firsts
+  done;
+  let firsts = Array.of_list !firsts in
+  let nblocks = Array.length firsts in
+  let owner = Array.make n 0 in
+  let fall_off = Array.make nblocks false in
+  let block_id_of_insn = Array.make n 0 in
+  Array.iteri
+    (fun b first ->
+      let last = if b + 1 < nblocks then firsts.(b + 1) - 1 else n - 1 in
+      for k = first to last do
+        block_id_of_insn.(k) <- b
+      done)
+    firsts;
+  Array.blit block_id_of_insn 0 owner 0 n;
+  let blocks =
+    Array.mapi
+      (fun b first ->
+        let last = if b + 1 < nblocks then firsts.(b + 1) - 1 else n - 1 in
+        let fall_through () =
+          if last + 1 < n then [ owner.(last + 1) ]
+          else begin
+            fall_off.(b) <- true;
+            []
+          end
+        in
+        let succs =
+          match prog.(last) with
+          | Insn.Jmp t -> [ owner.(t) ]
+          | Insn.Br (_, _, _, t) -> owner.(t) :: fall_through ()
+          | Insn.Call t ->
+              (* edge to the callee plus the post-return fall-through *)
+              owner.(t) :: fall_through ()
+          | Insn.Callr _ -> [] (* unresolved; Verify degrades *)
+          | Insn.Ret | Insn.Halt -> []
+          | _ -> fall_through ()
+        in
+        { id = b; first; last; succs })
+      firsts
+  in
+  { blocks; owner; fall_off }
+
+let blocks t = t.blocks
+let block_at t i = t.blocks.(t.owner.(i))
+let entry t = t.blocks.(0)
+
+let reachable t =
+  let seen = Array.make (Array.length t.blocks) false in
+  let rec visit b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter visit t.blocks.(b).succs
+    end
+  in
+  visit 0;
+  seen
+
+let falls_off_end t =
+  let seen = reachable t in
+  Array.exists (fun b -> seen.(b.id) && t.fall_off.(b.id)) t.blocks

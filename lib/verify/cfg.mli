@@ -1,0 +1,38 @@
+(** Control-flow graph over a graft program.
+
+    Instructions are partitioned into basic blocks (maximal straight-line
+    runs). Block boundaries are control-transfer instructions and branch /
+    jump / call targets. An intra-graft [Call] edge goes both to the callee
+    (with the caller's state) and to the fall-through instruction (the
+    callee's return point); {!Verify} havocs the register state on the
+    fall-through edge since the graft IR has no callee-save convention. *)
+
+type block = {
+  id : int;  (** dense block index *)
+  first : int;  (** index of the first instruction *)
+  last : int;  (** index of the last instruction (inclusive) *)
+  succs : int list;  (** successor block ids *)
+}
+
+type t
+
+val build : Vino_vm.Insn.t array -> t
+(** @raise Invalid_argument on an empty program. *)
+
+val blocks : t -> block array
+
+val block_at : t -> int -> block
+(** The block containing instruction index [i]. *)
+
+val entry : t -> block
+
+val reachable : t -> bool array
+(** Per-block flag: reachable from the entry block. *)
+
+val falls_off_end : t -> bool
+(** True when some reachable block's last instruction can fall through past
+    the end of the program (a [Bad_pc] fault at run time). *)
+
+val has_indirect_call : Vino_vm.Insn.t array -> bool
+(** [Callr] present: computed intra-graft control flow the CFG cannot
+    resolve statically. *)

@@ -1,0 +1,67 @@
+(** Static graft verifier: an abstract interpreter over
+    {!Vino_vm.Insn.t} programs that proves SFI safety offline.
+
+    The analyser builds a {!Cfg}, runs a fixpoint over {!Absval} register
+    states (join at merge points, widening on loops, branch refinement on
+    conditional edges) and emits a {!Report}: each load/store classified as
+    provably-in-segment / needs-sandbox / provably-out-of-bounds, each
+    indirect kernel call as provably-callable / needs-checkcall / reject,
+    plus structural lints (unreachable code, reserved-register use,
+    uninitialised reads, division by a provably-zero divisor, fall-through
+    off the end, stack-depth imbalance).
+
+    Soundness contract. A [Access_safe] / [Call_safe] verdict licenses the
+    MiSFIT rewriter to elide the corresponding run-time check, so the
+    verdict must hold for {e every} execution. The facts the analysis
+    builds on are exactly the ones the kernel guarantees at invocation
+    time:
+
+    - the graft segment is at least [words] words long (the linker rounds
+      the requested size {e up});
+    - the stack pointer starts one word past the top of the segment
+      ({!Vino_vm.Cpu.make});
+    - argument registers hold what the [entry] list claims (the graft
+      point's marshalling code establishes this);
+    - kernel calls clobber only register 0 (the {!Vino_core.Kcall.return}
+      convention).
+
+    Anything not derivable from those facts is classified conservatively
+    (keep the run-time check). Programs containing [Callr] — computed
+    intra-graft control flow — degrade to all-conservative verdicts. *)
+
+type config = {
+  entry : (Vino_vm.Insn.reg * Absval.t) list;
+      (** abstract values of argument registers at entry, e.g.
+          [[(4, Absval.Seg (Absval.itv 0 0))]] when the kernel passes the
+          shared-window address in r4 *)
+  words : int;  (** minimum segment size the linker will guarantee *)
+  callable : (int -> bool) option;
+      (** membership in the graft-callable id set, when known offline *)
+  stage : [ `Source | `Rewritten ];
+      (** [`Source] rejects use of the reserved sandbox register;
+          [`Rewritten] expects MiSFIT output (scratch-register use and
+          [Sandbox]/[Checkcall] instructions are legitimate) *)
+}
+
+val config :
+  ?entry:(Vino_vm.Insn.reg * Absval.t) list ->
+  ?callable:(int -> bool) ->
+  ?stage:[ `Source | `Rewritten ] ->
+  words:int ->
+  unit ->
+  config
+(** Defaults: no entry facts beyond the calling convention (r1..r4 unknown
+    arguments, sp at the segment top), no callable set, [`Source] stage.
+    @raise Invalid_argument if [words < 1]. *)
+
+val analyse : config -> Vino_vm.Insn.t array -> Report.t
+(** Run the verifier. Never raises on well-formed programs (register
+    numbers and static targets in range, cf. {!Vino_vm.Insn.validate});
+    ill-formed programs yield error diagnostics rather than exceptions. *)
+
+val seg_window : ?off:int -> unit -> Absval.t
+(** Convenience entry fact: a pointer [off] words into the graft segment
+    (default 0, the shared-window base). *)
+
+val arg_at_most : int -> Absval.t
+(** Convenience entry fact: a count argument in [0..n]. *)

@@ -46,8 +46,14 @@ let eval_alu op a b =
   | And -> a land b
   | Or -> a lor b
   | Xor -> a lxor b
-  | Shl -> a lsl (b land 63)
-  | Shr -> a asr (b land 63)
+  (* OCaml's lsl/asr are unspecified outside [0, Sys.int_size]; the VM
+     clamps so shifts are total and deterministic on every word size
+     (the old [b land 63] mask was still unspecified on 32-bit hosts) *)
+  | Shl -> if b < 0 then a else if b >= Sys.int_size then 0 else a lsl b
+  | Shr ->
+      if b < 0 then a
+      else if b >= Sys.int_size then if a < 0 then -1 else 0
+      else a asr b
 
 let is_memory_access = function
   | Ld _ | St _ | Push _ | Pop _ -> true

@@ -50,7 +50,11 @@ type t =
 val eval_cond : cond -> int -> int -> bool
 
 val eval_alu : alu -> int -> int -> int
-(** @raise Division_by_zero on [Div]/[Rem] with a zero divisor. *)
+(** Shift semantics are total and host-independent: a negative shift
+    amount is a no-op, an amount of at least [Sys.int_size] saturates
+    ([Shl] to 0, [Shr] to the sign word: -1 for negative operands, else
+    0); in-range amounts are the native [lsl]/[asr].
+    @raise Division_by_zero on [Div]/[Rem] with a zero divisor. *)
 
 val is_memory_access : t -> bool
 (** True for [Ld], [St], [Push] and [Pop]. *)

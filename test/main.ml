@@ -11,6 +11,7 @@ let () =
          Test_encode.suite;
          Test_parse.suite;
          Test_rewrite.suite;
+         Test_verify.suite;
          Test_image.suite;
          Test_engine.suite;
          Test_undo.suite;

@@ -165,11 +165,19 @@ let test_linker_rejects_non_callable () =
 
 let test_indirect_call_blocked_at_runtime () =
   in_kernel (fun fx ->
-      (* load the secret function's id into a register and call through it:
-         the linker cannot see this, Checkcall must stop it. *)
+      (* launder the secret function's id through memory so neither the
+         linker nor the static verifier can see it (a constant id would be
+         rejected at link time): Checkcall must stop it at run time. *)
       let image =
         seal_exn fx.kernel
-          [ Li (Asm.r5, fx.secret_id); Kcallr Asm.r5; Ret ]
+          [
+            Li (Asm.r5, fx.secret_id);
+            Li (Asm.r6, 0);
+            St (Asm.r5, Asm.r6, 0);
+            Ld (Asm.r5, Asm.r6, 0);
+            Kcallr Asm.r5;
+            Ret;
+          ]
       in
       install_exn fx image;
       let v = Graft_point.invoke fx.adder fx.kernel ~cred:(user fx) 7 in

@@ -24,6 +24,18 @@ let test_eval_alu () =
   Alcotest.(check int) "xor" 0b011 (Insn.eval_alu Xor 0b110 0b101);
   Alcotest.(check int) "shl" 16 (Insn.eval_alu Shl 1 4);
   Alcotest.(check int) "shr" 2 (Insn.eval_alu Shr 16 3);
+  (* shifts are total: out-of-range amounts saturate, negative amounts are
+     a no-op (host lsl/asr are unspecified there) *)
+  Alcotest.(check int) "shl by word size" 0 (Insn.eval_alu Shl 1 Sys.int_size);
+  Alcotest.(check int) "shl by huge amount" 0 (Insn.eval_alu Shl 123 1000);
+  Alcotest.(check int) "shr negative operand saturates to -1" (-1)
+    (Insn.eval_alu Shr (-8) 100);
+  Alcotest.(check int) "shr positive operand saturates to 0" 0
+    (Insn.eval_alu Shr 8 100);
+  Alcotest.(check int) "negative shl amount is a no-op" 5
+    (Insn.eval_alu Shl 5 (-3));
+  Alcotest.(check int) "negative shr amount is a no-op" 5
+    (Insn.eval_alu Shr 5 (-1));
   Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
       ignore (Insn.eval_alu Div 1 0));
   Alcotest.check_raises "rem by zero" Division_by_zero (fun () ->

@@ -21,6 +21,12 @@ let check_monotone name elapsed =
     (v Path.Null < v Path.Unsafe);
   Alcotest.(check bool) (name ^ ": unsafe <= safe") true
     (v Path.Unsafe <= v Path.Safe);
+  (* the verified path elides a subset of the safe path's checks: it can
+     never cost more than safe, nor less than the unrewritten graft *)
+  Alcotest.(check bool) (name ^ ": unsafe <= verified") true
+    (v Path.Unsafe <= v Path.Verified +. 0.01);
+  Alcotest.(check bool) (name ^ ": verified <= safe") true
+    (v Path.Verified <= v Path.Safe +. 0.01);
   Alcotest.(check bool) (name ^ ": abort > unsafe") true
     (v Path.Abort > v Path.Unsafe)
 
