@@ -6,6 +6,7 @@
      bench/main.exe                 -- everything (default iterations)
      bench/main.exe quick           -- everything, fewer iterations
      bench/main.exe table3|table4|table5|table6|table7
+     bench/main.exe disaster        -- recovery cost by injected fault class
      bench/main.exe abortmodel      -- the §4.5 equation
      bench/main.exe lockfactor      -- Figures 4/5
      bench/main.exe costbenefit     -- §4.1/§4.2/§4.3 cost-benefit analyses
@@ -53,6 +54,15 @@ let table6 ~iterations () =
 let table7 ~iterations () =
   Table.print ~title:"Table 7: Graft abort costs (null vs full abort; §4.5)"
     (Abort_model.table7 ~iterations ())
+
+let disaster () =
+  Table.print
+    ~title:"Disaster rig: recovery cost by fault class (stream site; seeded)"
+    ~notes:
+      "Delta over the healthy row is detection + abort + removal. Lock-hog\n\
+       and nested-fault rows include the contender whose time-out triggers\n\
+       the abort; loop rows are budget-bound (200k cycles)."
+    (Sc_disaster.table ())
 
 let abortmodel ~iterations () =
   Table.print
@@ -342,6 +352,7 @@ let all ~iterations () =
   table5 ~iterations ();
   table6 ~iterations ();
   table7 ~iterations ();
+  disaster ();
   abortmodel ~iterations ();
   lockfactor ~iterations ();
   costbenefit ~iterations ();
@@ -358,6 +369,7 @@ let () =
   | [ _; "table5" ] -> table5 ~iterations ()
   | [ _; "table6" ] -> table6 ~iterations ()
   | [ _; "table7" ] -> table7 ~iterations ()
+  | [ _; "disaster" ] -> disaster ()
   | [ _; "abortmodel" ] -> abortmodel ~iterations ()
   | [ _; "lockfactor" ] -> lockfactor ~iterations ()
   | [ _; "costbenefit" ] -> costbenefit ~iterations ()
@@ -368,5 +380,5 @@ let () =
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [quick|table3|table4|table5|table6|table7|abortmodel|lockfactor|costbenefit|ablations|calibrate|bechamel]";
+         [quick|table3|table4|table5|table6|table7|disaster|abortmodel|lockfactor|costbenefit|ablations|calibrate|bechamel]";
       exit 1

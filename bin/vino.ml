@@ -4,6 +4,8 @@
                         its signature, and a cycle estimate
    vino tables [TABLE]  regenerate the paper's tables (3..7, abortmodel,
                         lockfactor)
+   vino disaster        seeded fault-injection campaign with post-recovery
+                        invariant checks
    vino rules           Table 1 with the enforcing mechanism for each rule
    vino points          list the graft points a demo kernel publishes *)
 
@@ -318,6 +320,23 @@ let all_tables =
   [ "table3"; "table4"; "table5"; "table6"; "table7"; "abortmodel";
     "lockfactor" ]
 
+(* ------------------------------ disaster ------------------------------ *)
+
+let disaster seed count costs =
+  let report = Vino_disaster.Campaign.run ~seed ~count () in
+  Format.printf "%a@." Vino_disaster.Campaign.pp report;
+  if costs then
+    Vino_measure.Table.print
+      ~title:"Disaster rig: recovery cost by fault class (stream site)"
+      ~notes:"Delta over the healthy row is detection + abort + removal."
+      (Vino_measure.Sc_disaster.table ());
+  if not (Vino_disaster.Campaign.ok report) then begin
+    List.iter
+      (Printf.eprintf "violation: %s\n")
+      (Vino_disaster.Campaign.violations report);
+    exit 1
+  end
+
 (* -------------------------------- rules ------------------------------- *)
 
 let rules () =
@@ -371,7 +390,7 @@ let points () =
     Vino_fs.File.openf ~kernel ~cache ~disk ~name:"demo" ~first_block:0
       ~blocks:64 ()
   in
-  let vas = Vino_vmem.Vas.create kernel ~name:"demo-vas" in
+  let vas = Vino_vmem.Vas.create kernel ~name:"demo-vas" () in
   let runq = Vino_sched.Runq.create kernel () in
   let task = Vino_sched.Runq.spawn_task runq ~name:"demo-task" in
   let channel = Vino_stream.Channel.create kernel ~name:"demo-chan" () in
@@ -552,6 +571,32 @@ let tables_cmd =
     (Cmd.info "tables" ~doc:"Regenerate the paper's evaluation tables")
     Term.(const run $ iterations $ which)
 
+let disaster_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed.")
+  in
+  let count =
+    Arg.(
+      value & opt int 35
+      & info [ "count"; "n" ]
+          ~doc:
+            "Number of injections. 35 covers every (family, injector) \
+             combination.")
+  in
+  let costs =
+    Arg.(
+      value & flag
+      & info [ "costs" ]
+          ~doc:"Also print the per-fault-class recovery cost table.")
+  in
+  Cmd.v
+    (Cmd.info "disaster"
+       ~doc:
+         "Run a seeded fault-injection campaign — misbehaving grafts across \
+          every graft-point family — and check the post-recovery invariants \
+          (exit 1 on any violation)")
+    Term.(const disaster $ seed $ count $ costs)
+
 let rules_cmd =
   Cmd.v
     (Cmd.info "rules" ~doc:"Print Table 1 and what enforces each rule")
@@ -568,7 +613,7 @@ let main_cmd =
   Cmd.group info
     [
       inspect_cmd; dump_cmd; seal_cmd; verify_cmd; run_cmd; tables_cmd;
-      rules_cmd; points_cmd;
+      disaster_cmd; rules_cmd; points_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

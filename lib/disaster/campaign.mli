@@ -1,0 +1,42 @@
+(** Seeded fault-injection campaigns (the disaster rig's driver).
+
+    A campaign of [count] injections walks the (family x injector) product
+    — index [i] hits family [i mod 5] with injector [(i / 5) mod 7], so any
+    count >= 35 covers every combination — building a fresh {!Site} per
+    injection, deriving its misbehaving graft from the campaign seed,
+    running the workload, and checking every post-recovery invariant.
+
+    Each injection is run twice with the same derived seed; differing
+    fingerprints are reported as a determinism violation. *)
+
+type record = {
+  index : int;
+  family : Site.family;
+  kind : Injector.kind;
+  note : string;  (** the injector's seeded parameters *)
+  expect : Injector.expectation;
+  observed : Injector.expectation;
+  violations : string list;  (** empty iff every invariant held *)
+  fingerprint : string;
+      (** seeded variant parameters + outcome + virtual time +
+          txn/lock/audit counters; otherwise name-free so process-global
+          counters don't alias as nondeterminism *)
+}
+
+type report = { seed : int; count : int; records : record list }
+
+val combo : int -> Site.family * Injector.kind
+(** The (family, injector) pair campaign index [i] hits. *)
+
+val run_injection : seed:int -> index:int -> record
+(** One injection of campaign [seed] (fresh site, no determinism re-run). *)
+
+val run : ?check_determinism:bool -> seed:int -> count:int -> unit -> report
+
+val ok : report -> bool
+val violations : report -> string list
+(** All violations, each prefixed with its injection's index/family/kind. *)
+
+val families_covered : report -> int
+val injectors_covered : report -> int
+val pp : Format.formatter -> report -> unit

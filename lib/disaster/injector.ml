@@ -1,0 +1,177 @@
+module Asm = Vino_vm.Asm
+module Insn = Vino_vm.Insn
+module Mutate = Vino_vm.Mutate
+
+type kind =
+  | Wild_store
+  | Bad_call
+  | Infinite_loop
+  | Lock_hog
+  | Resource_hog
+  | Undo_bomb
+  | Nested_fault
+
+let all =
+  [
+    Wild_store;
+    Bad_call;
+    Infinite_loop;
+    Lock_hog;
+    Resource_hog;
+    Undo_bomb;
+    Nested_fault;
+  ]
+
+let name = function
+  | Wild_store -> "wild-store"
+  | Bad_call -> "bad-call"
+  | Infinite_loop -> "infinite-loop"
+  | Lock_hog -> "lock-hog"
+  | Resource_hog -> "resource-hog"
+  | Undo_bomb -> "undo-bomb"
+  | Nested_fault -> "nested-fault"
+
+type rig = {
+  lock_kcall : string;
+  alloc_kcall : string;
+  state_kcall : string;
+  bad_undo_kcall : string;
+  nest_kcall : string;
+  secret_id : int;
+  kernel_words : int;
+}
+
+type expectation = Rejected | Contained | Recovered
+
+let expectation_name = function
+  | Rejected -> "rejected"
+  | Contained -> "contained"
+  | Recovered -> "recovered"
+
+type post = Word_untouched of int
+
+type variant = {
+  kind : kind;
+  source : Asm.item list;
+  expect : expectation;
+  posts : post list;
+  wants_contender : bool;
+  note : string;
+}
+
+(* An unmistakable arithmetic fault: the VM kills the graft, the wrapper
+   aborts its transaction. *)
+let div0 : Asm.item list =
+  [ Li (Asm.r12, 1); Li (Asm.r13, 0); Alu (Insn.Div, Asm.r12, Asm.r12, Asm.r13) ]
+
+let plain kind source expect note =
+  { kind; source; expect; posts = []; wants_contender = false; note }
+
+let apply kind ~rng ~rig source =
+  match kind with
+  | Wild_store ->
+      (* A store aimed into kernel-reserved memory. MiSFIT's sandbox
+         sequence forces the address into the graft's own segment, so the
+         kernel word must come through untouched — and the graft is allowed
+         to survive (a confined store is not detected, only defanged). *)
+      let addr = Seed.range rng ~lo:64 ~hi:(rig.kernel_words / 2) in
+      let value = 0x0BAD + Seed.int rng 0x1000 in
+      {
+        kind;
+        source =
+          Mutate.splice_prelude
+            ~prelude:
+              [ Li (Asm.r13, addr); Li (Asm.r12, value); St (Asm.r12, Asm.r13, 0) ]
+            source;
+        expect = Contained;
+        posts = [ Word_untouched addr ];
+        wants_contender = false;
+        note = Printf.sprintf "store to kernel word %d" addr;
+      }
+  | Bad_call ->
+      let bad_id =
+        if Seed.bool rng then rig.secret_id else 7_000 + Seed.int rng 1_000
+      in
+      if Seed.bool rng then
+        (* The id is a visible constant: the static verifier proves the
+           indirect call can only reach a non-callable id, so the linker
+           must refuse the load outright. *)
+        plain kind
+          (Mutate.splice_prelude
+             ~prelude:[ Li (Asm.r13, bad_id); Asm.Kcallr Asm.r13 ]
+             source)
+          Rejected
+          (Printf.sprintf "provable indirect call to id %d" bad_id)
+      else
+        (* Laundered through memory: statically opaque, so the runtime
+           Checkcall probe is what catches it. *)
+        plain kind
+          (Mutate.splice_prelude
+             ~prelude:
+               [
+                 Li (Asm.r12, bad_id);
+                 Asm.Push Asm.r12;
+                 Asm.Pop Asm.r13;
+                 Asm.Kcallr Asm.r13;
+               ]
+             source)
+          Recovered
+          (Printf.sprintf "opaque indirect call to id %d" bad_id)
+  | Infinite_loop ->
+      let source' =
+        if Seed.bool rng then Mutate.splice_prelude ~prelude:Mutate.diverge source
+        else Mutate.before_returns ~payload:Mutate.diverge source
+      in
+      plain kind source' Recovered "spin past the cycle budget"
+  | Lock_hog ->
+      {
+        kind;
+        source =
+          Mutate.splice_prelude
+            ~prelude:(Asm.Kcall rig.lock_kcall :: Mutate.diverge)
+            source;
+        expect = Recovered;
+        posts = [];
+        wants_contender = true;
+        note = "take the rig lock, then spin";
+      }
+  | Resource_hog ->
+      let words = Seed.range rng ~lo:(1 lsl 14) ~hi:(1 lsl 20) in
+      plain kind
+        (Mutate.splice_prelude
+           ~prelude:[ Li (Asm.r1, words); Asm.Kcall rig.alloc_kcall ]
+           source)
+        Recovered
+        (Printf.sprintf "allocate %d words against a zero limit" words)
+  | Undo_bomb ->
+      let d1 = 1 + Seed.int rng 5 and d2 = 1 + Seed.int rng 5 in
+      plain kind
+        (Mutate.splice_prelude
+           ~prelude:
+             ([
+                Asm.Li (Asm.r1, d1);
+                Asm.Kcall rig.state_kcall;
+                Asm.Kcall rig.bad_undo_kcall;
+                Asm.Li (Asm.r1, d2);
+                Asm.Kcall rig.state_kcall;
+              ]
+             @ div0)
+           source)
+        Recovered "fault with a raising entry planted mid-undo-log"
+  | Nested_fault ->
+      let spin = Seed.bool rng in
+      let crash = if spin then Mutate.diverge else div0 in
+      {
+        kind;
+        source =
+          Mutate.splice_prelude
+            ~prelude:(Asm.Kcall rig.nest_kcall :: crash)
+            source;
+        expect = Recovered;
+        posts = [];
+        wants_contender = spin;
+        note =
+          (if spin then
+             "commit a nested txn (lock + undo merge into parent), then spin"
+           else "commit a nested txn (lock + undo merge into parent), then fault");
+      }

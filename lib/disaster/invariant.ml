@@ -1,0 +1,74 @@
+(* Post-recovery invariant checks (the ISSUE's "did the kernel actually
+   survive" list). Each check returns violation strings; an empty list
+   means the invariant holds. *)
+
+module Engine = Vino_sim.Engine
+module Txn = Vino_txn.Txn
+module Lock = Vino_txn.Lock
+module Kernel = Vino_core.Kernel
+module Segalloc = Vino_core.Segalloc
+
+let check_universal (site : Site.t) =
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let engine = site.kernel.Kernel.engine in
+  let mgr = site.kernel.Kernel.txn_mgr in
+  (match Engine.failures engine with
+  | [] -> ()
+  | fs ->
+      List.iter
+        (fun (name, exn) ->
+          add "process %S died: %s" name (Printexc.to_string exn))
+        fs);
+  List.iter
+    (fun name ->
+      if not (List.mem name site.daemons) then
+        add "process %S still blocked after the queue drained" name)
+    (Engine.blocked engine);
+  (match Txn.live mgr with
+  | 0 -> ()
+  | n -> add "%d transaction(s) still unresolved" n);
+  (match Txn.undo_live mgr with
+  | 0 -> ()
+  | n -> add "%d undo entr(ies) still live (logs not empty)" n);
+  List.iter
+    (fun (label, lock) ->
+      (match Lock.holders lock with
+      | [] -> ()
+      | hs ->
+          add "lock %S leaked %d holder(s): %s" label (List.length hs)
+            (String.concat ", " (List.map fst hs)));
+      match Lock.waiters lock with
+      | [] -> ()
+      | ws ->
+          add "lock %S leaked %d waiter(s): %s" label (List.length ws)
+            (String.concat ", " (List.map fst ws)))
+    site.locks;
+  if !(site.state_cell) <> site.state_initial then
+    add "rig state cell not rolled back: %d, expected %d" !(site.state_cell)
+      site.state_initial;
+  List.rev !violations
+
+let check_segments_restored (site : Site.t) =
+  let used = Segalloc.used_words site.kernel.Kernel.segalloc in
+  if used = site.baseline_used_words then []
+  else
+    [
+      Printf.sprintf
+        "graft segments leaked: %d words allocated, baseline was %d" used
+        site.baseline_used_words;
+    ]
+
+let check_posts (site : Site.t) posts =
+  List.concat_map
+    (function
+      | Injector.Word_untouched addr ->
+          let v = Vino_vm.Mem.load site.kernel.Kernel.mem addr in
+          if v = 0 then []
+          else
+            [
+              Printf.sprintf
+                "kernel word %d corrupted: holds %d (SFI containment failed)"
+                addr v;
+            ])
+    posts

@@ -1,0 +1,17 @@
+(** Post-recovery invariants: what must be true of a disaster site after an
+    injected graft has been dealt with. Every check returns a list of
+    human-readable violations; empty means the invariant holds. *)
+
+val check_universal : Site.t -> string list
+(** The invariants every injection must leave intact: no process died of an
+    uncaught exception, nothing non-daemon is blocked, [Txn.live = 0], undo
+    logs empty ([Txn.undo_live = 0]), no lock holds a leaked holder or
+    waiter, and the rig state cell is back at its initial value. *)
+
+val check_segments_restored : Site.t -> string list
+(** After forcible removal the graft-segment allocator must be back at the
+    site's pre-graft baseline (no leaked segments). *)
+
+val check_posts : Site.t -> Injector.post list -> string list
+(** Injector-specific postconditions (e.g. a wild store's target word must
+    be untouched). *)

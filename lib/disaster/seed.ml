@@ -1,0 +1,44 @@
+(* Deterministic splitmix64-style generator. The disaster rig's whole
+   contract is "identical outcomes on re-run with the same seed", so it
+   cannot use [Random] (global state, version-dependent algorithm): every
+   draw comes from this self-contained stream. *)
+
+type t = { mutable state : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let make seed = { state = Int64.of_int seed }
+
+let next64 t =
+  t.state <- Int64.add t.state gamma;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits t = Int64.to_int (next64 t) land max_int
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Seed.int: bound must be positive";
+  bits t mod bound
+
+let range t ~lo ~hi =
+  if hi <= lo then invalid_arg "Seed.range: empty range";
+  lo + int t (hi - lo)
+
+let pick t = function
+  | [] -> invalid_arg "Seed.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let bool t = int t 2 = 1
+
+(* An independent stream for injection [index] of campaign [seed]: mixing
+   through the generator itself decorrelates neighbouring indices. *)
+let derive ~seed index =
+  let t = make seed in
+  t.state <- Int64.add t.state (Int64.mul (Int64.of_int (index + 1)) gamma);
+  make (bits t)

@@ -1,0 +1,20 @@
+(** Self-contained deterministic PRNG (splitmix64) for fault-injection
+    campaigns: same seed, same draws, on every run and every platform. *)
+
+type t
+
+val make : int -> t
+val bits : t -> int
+(** A non-negative pseudo-random int. *)
+
+val int : t -> int -> int
+(** [int t bound] in [\[0, bound)]. @raise Invalid_argument if bound <= 0. *)
+
+val range : t -> lo:int -> hi:int -> int
+(** In [\[lo, hi)]. *)
+
+val pick : t -> 'a list -> 'a
+val bool : t -> bool
+
+val derive : seed:int -> int -> t
+(** An independent stream for injection [index] of campaign [seed]. *)

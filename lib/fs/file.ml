@@ -24,6 +24,7 @@ type t = {
   disk : Disk.t;
   prefetch : Prefetch.t;
   ra : (ra_request, int list) Graft_point.t;
+  lock : Vino_txn.Lock.t;
   lock_name : string;
   mutable last_block : int;
   mutable syncer : Syncer.t option;
@@ -79,7 +80,8 @@ let read_result kernel cpu req =
 
 let open_counter = ref 0
 
-let openf ~kernel ~cache ~disk ~name ~first_block ~blocks ?(ra_window = 1) () =
+let openf ~kernel ~cache ~disk ~name ~first_block ~blocks ?(ra_window = 1)
+    ?ra_budget () =
   if blocks <= 0 || first_block < 0 then invalid_arg "File.openf: bad extent";
   (* each open-file object is independent (descriptors are handles for
      kernel open-file objects), so its pattern-buffer lock function gets a
@@ -105,6 +107,7 @@ let openf ~kernel ~cache ~disk ~name ~first_block ~blocks ?(ra_window = 1) () =
   let ra =
     Graft_point.create
       ~name:(Printf.sprintf "%s.compute-ra" name)
+      ?budget:ra_budget
       ~default:(default_policy ~window:ra_window)
       ~setup
       ~read_result:(fun cpu req -> read_result kernel cpu req)
@@ -119,6 +122,7 @@ let openf ~kernel ~cache ~disk ~name ~first_block ~blocks ?(ra_window = 1) () =
     disk;
     prefetch = Prefetch.create kernel.Kernel.engine ~cache ~disk ();
     ra;
+    lock;
     lock_name;
     last_block = -1;
     syncer = None;
@@ -133,6 +137,7 @@ let attach_syncer t syncer = t.syncer <- Some syncer
 let name t = t.fname
 let blocks t = t.fblocks
 let ra_point t = t.ra
+let ra_lock t = t.lock
 let ra_lock_name t = t.lock_name
 let prefetcher t = t.prefetch
 let reads t = t.n_reads

@@ -28,16 +28,24 @@ val openf :
   first_block:int ->
   blocks:int ->
   ?ra_window:int ->
+  ?ra_budget:int ->
   unit ->
   t
 (** [first_block]/[blocks] place the file contiguously on disk.
     [ra_window] is the default sequential-read-ahead depth (default 1).
+    [ra_budget] bounds one [compute-ra] invocation's cycles (the
+    disaster-rig campaigns use a small budget so runaway grafts die fast).
     Registers the graft-callable function ["ra.lock:<name>"] that grafts
     use to lock the shared pattern buffer. *)
 
 val name : t -> string
 val blocks : t -> int
 val ra_point : t -> (ra_request, int list) Vino_core.Graft_point.t
+
+val ra_lock : t -> Vino_txn.Lock.t
+(** The pattern-buffer lock itself — the disaster rig checks it for leaked
+    holders after recovery. *)
+
 val ra_lock_name : t -> string
 val prefetcher : t -> Prefetch.t
 

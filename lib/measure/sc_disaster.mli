@@ -1,0 +1,6 @@
+(** Recovery cost by fault class: virtual elapsed time for one graft
+    invocation on the stream site, healthy vs. each injected misbehaviour
+    (the delta is detection + abort + removal). Deterministic — no
+    [~iterations]; every run replays the same seeded variants. *)
+
+val table : unit -> Table.row list

@@ -24,7 +24,7 @@ let fixture () =
   let kernel = Kernel.create ~mem_words:(1 lsl 16) () in
   let frames = Frame.create_table ~frames:(resident_pages + 64) in
   let evictor = Evict.create kernel ~frames ~graft_support:false () in
-  let vas = Vas.create kernel ~name:"bench-vas" in
+  let vas = Vas.create kernel ~name:"bench-vas" () in
   Evict.register_vas evictor vas;
   let fx = { kernel; vas; evictor; cred = Vino_core.Cred.root } in
   (* populate the footprint and run one clearing pass of the clock *)

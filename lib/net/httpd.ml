@@ -12,11 +12,11 @@ type t = {
 
 let method_get = 1
 
-let create kernel ?(port = 80) () =
+let create kernel ?(port = 80) ?budget () =
   let t =
     {
       kernel;
-      port = Port.create kernel Tcp ~number:port;
+      port = Port.create ?budget kernel Tcp ~number:port;
       docs = Hashtbl.create 16;
       resp = [];
     }

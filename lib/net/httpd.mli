@@ -8,10 +8,11 @@
 
 type t
 
-val create : Vino_core.Kernel.t -> ?port:int -> unit -> t
+val create : Vino_core.Kernel.t -> ?port:int -> ?budget:int -> unit -> t
 (** Registers the graft-callable functions ["http.lookup"] and
     ["http.respond"] (once per kernel) and claims the TCP port
-    (default 80). *)
+    (default 80). [budget] bounds one handler invocation's cycles (passed
+    to the port's event point). *)
 
 val port : t -> Port.t
 

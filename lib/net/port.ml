@@ -9,14 +9,16 @@ type t = {
   point : Event_point.t;
 }
 
-let create kernel protocol ~number =
+let create ?budget kernel protocol ~number =
   let prefix = match protocol with Tcp -> "tcp" | Udp -> "udp" in
   {
     kernel;
     protocol;
     number;
     point =
-      Event_point.create ~name:(Printf.sprintf "%s.port-%d" prefix number) ();
+      Event_point.create
+        ~name:(Printf.sprintf "%s.port-%d" prefix number)
+        ?budget ();
   }
 
 let number t = t.number

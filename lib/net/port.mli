@@ -8,7 +8,9 @@ type protocol = Tcp | Udp
 
 type t
 
-val create : Vino_core.Kernel.t -> protocol -> number:int -> t
+val create : ?budget:int -> Vino_core.Kernel.t -> protocol -> number:int -> t
+(** [budget] bounds one event-handler invocation's cycles. *)
+
 val number : t -> int
 val protocol : t -> protocol
 val event_point : t -> Vino_core.Event_point.t

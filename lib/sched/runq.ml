@@ -21,6 +21,8 @@ type t = {
   tslice : int;
   switch_cost : int;
   graft_support : bool;
+  delegate_budget : int option;
+  lock : Vino_txn.Lock.t;
   lock_name : string;
   tasks : (int, task) Hashtbl.t;
   valid_tids : Calltable.t;
@@ -40,7 +42,8 @@ let max_listed = 64
 let instances = ref 0
 
 let create kernel ?(timeslice = Vino_txn.Tcosts.us 10_000.)
-    ?(switch_cost = Vino_txn.Tcosts.us 27.) ?(graft_support = true) () =
+    ?(switch_cost = Vino_txn.Tcosts.us 27.) ?(graft_support = true)
+    ?delegate_budget () =
   incr instances;
   let lock =
     Kernel.make_lock kernel
@@ -63,6 +66,8 @@ let create kernel ?(timeslice = Vino_txn.Tcosts.us 10_000.)
     tslice = timeslice;
     switch_cost;
     graft_support;
+    delegate_budget;
+    lock;
     lock_name;
     tasks = Hashtbl.create 64;
     valid_tids = Calltable.create ();
@@ -90,6 +95,7 @@ let spawn_task t ~name =
   let delegate =
     Graft_point.create
       ~name:(Printf.sprintf "%s.schedule-delegate" name)
+      ?budget:t.delegate_budget
       ~default:(fun req -> req.self)
       ~setup:(setup t.kernel)
       ~read_result:(fun cpu _ -> Ok (Cpu.reg cpu 0))
@@ -165,4 +171,5 @@ let switches t = t.n_switches
 let delegate_redirects t = t.n_redirects
 let invalid_delegations t = t.n_invalid
 let timeslice t = t.tslice
+let proclist_lock t = t.lock
 let proclist_lock_name t = t.lock_name

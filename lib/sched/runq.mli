@@ -26,14 +26,20 @@ val create :
   ?timeslice:int ->
   ?switch_cost:int ->
   ?graft_support:bool ->
+  ?delegate_budget:int ->
   unit ->
   t
 (** [switch_cost] is one context switch — choose + switch kernel threads +
     switch VM context, 27 us so a switch-and-back pair costs the paper's
     54 us. [timeslice] defaults to 10 ms. [graft_support:false] removes the
-    delegate indirection entirely (the measurement "base path"). Also
+    delegate indirection entirely (the measurement "base path").
+    [delegate_budget] bounds one delegate invocation's cycles. Also
     registers a graft-callable function that locks the process list for
     delegate grafts (see {!proclist_lock_name}). *)
+
+val proclist_lock : t -> Vino_txn.Lock.t
+(** The process-list lock itself — the disaster rig checks it for leaked
+    holders after recovery. *)
 
 val proclist_lock_name : t -> string
 

@@ -39,11 +39,11 @@ let read_result kernel ~buffer_words cpu (data : int array) =
     (Array.init words (fun k ->
          Mem.load kernel.Kernel.mem (Mem.sandbox seg (buffer_words + k))))
 
-let create kernel ~name ?(buffer_words = buffer_words_8kb) () =
+let create kernel ~name ?(buffer_words = buffer_words_8kb) ?budget () =
   let point =
     Graft_point.create
       ~name:(Printf.sprintf "%s.copyout" name)
-      ~indirection_cost:0 ~check_cost:0
+      ~indirection_cost:0 ~check_cost:0 ?budget
       ~default:(fun data ->
         Engine.delay (bcopy_cost (Array.length data));
         Array.copy data)

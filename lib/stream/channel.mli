@@ -18,8 +18,14 @@ val bcopy_cycles_per_word : int
 (** Calibrated so an 8 KB bcopy costs the paper's ~105 us. *)
 
 val create :
-  Vino_core.Kernel.t -> name:string -> ?buffer_words:int -> unit -> t
-(** [buffer_words] bounds one transfer (default 8 KB). *)
+  Vino_core.Kernel.t ->
+  name:string ->
+  ?buffer_words:int ->
+  ?budget:int ->
+  unit ->
+  t
+(** [buffer_words] bounds one transfer (default 8 KB); [budget] bounds one
+    graft invocation's cycles. *)
 
 val point : t -> (int array, int array) Vino_core.Graft_point.t
 val grafted : t -> bool

@@ -28,11 +28,12 @@ type t = {
   mutable n_timeouts : int;
   mutable n_holder_aborts : int;
   mutable n_hold_cycles : int;
+  mutable n_fruitless_giveups : int;
 }
 
 and held = {
   lock : t;
-  howner : owner;
+  mutable howner : owner;
   hmode : Lock_policy.mode;
   acquired_at : int;
   mutable released : bool;
@@ -41,6 +42,13 @@ and held = {
 type outcome = Granted of held | Gave_up of string
 
 let default_timeout = Tcosts.us 1000.
+
+(* How many consecutive time-outs finding no abortable holder a waiter
+   tolerates before giving up. An unabortable holder usually releases soon
+   (plain kernel threads hold locks briefly), so a little patience is right;
+   but if nothing we can abort ever shows up, waiting forever is a livelock:
+   nothing will ever wake us. *)
+let fruitless_timeout_bound = 25
 
 let create engine ~wheel ?(costs = Tcosts.default)
     ?(policy = Lock_policy.reader_priority) ?(timeout = default_timeout)
@@ -59,6 +67,7 @@ let create engine ~wheel ?(costs = Tcosts.default)
     n_timeouts = 0;
     n_holder_aborts = 0;
     n_hold_cycles = 0;
+    n_fruitless_giveups = 0;
   }
 
 let name t = t.lname
@@ -73,6 +82,9 @@ let contentions t = t.n_contentions
 let timeouts_fired t = t.n_timeouts
 let holder_aborts_requested t = t.n_holder_aborts
 let total_hold_cycles t = t.n_hold_cycles
+let fruitless_giveups t = t.n_fruitless_giveups
+
+let reassign h owner = h.howner <- owner
 
 let charge_policy t = t.lpolicy.indirections * t.costs.policy_indirection
 
@@ -120,16 +132,18 @@ let grant t mode owner =
   h
 
 (* Ask every abortable holder's transaction to abort: the paper's
-   time-constrained-resource recovery (§3.2). *)
+   time-constrained-resource recovery (§3.2). Returns how many holders could
+   be asked — zero means nothing this waiter does can free the lock. *)
 let abort_holders t =
-  List.iter
-    (fun h ->
+  List.fold_left
+    (fun asked h ->
       match h.howner.request_abort with
       | Some f ->
           t.n_holder_aborts <- t.n_holder_aborts + 1;
-          f (Printf.sprintf "lock %S held past its time-out" t.lname)
-      | None -> ())
-    t.holders
+          f (Printf.sprintf "lock %S held past its time-out" t.lname);
+          asked + 1
+      | None -> asked)
+    0 t.holders
 
 (* One blocking episode for waiter [w]: returns the signal that ended it. *)
 let sleep t w =
@@ -174,7 +188,12 @@ let acquire t mode owner ?(poll = fun () -> None) () =
           { wowner = owner; wmode = mode; pending_wake = false; waker = None }
         in
         enqueue t w;
-        let rec wait_loop () =
+        (* [fruitless] counts consecutive time-outs on which no holder was
+           abortable. Any wake (a release happened: progress) resets it; so
+           does a time-out that found someone to abort. Giving up after the
+           bound keeps a waiter from re-arming the timer forever against
+           holders nothing can abort. *)
+        let rec wait_loop fruitless =
           let signal = sleep t w in
           match poll () with
           | Some reason ->
@@ -189,15 +208,23 @@ let acquire t mode owner ?(poll = fun () -> None) () =
                 Granted (grant t mode owner)
               end
               else begin
-                (match signal with
+                match signal with
                 | Timeout_fired ->
                     t.n_timeouts <- t.n_timeouts + 1;
-                    abort_holders t
-                | Wake -> ());
-                wait_loop ()
+                    if abort_holders t > 0 then wait_loop 0
+                    else if fruitless + 1 >= fruitless_timeout_bound then begin
+                      t.n_fruitless_giveups <- t.n_fruitless_giveups + 1;
+                      dequeue t w;
+                      Gave_up
+                        (Printf.sprintf
+                           "lock %S: no abortable holder after %d time-outs"
+                           t.lname (fruitless + 1))
+                    end
+                    else wait_loop (fruitless + 1)
+                | Wake -> wait_loop 0
               end
         in
-        wait_loop ()
+        wait_loop 0
       end
 
 let release ?(during_abort = false) h =

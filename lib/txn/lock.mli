@@ -30,7 +30,14 @@ type held
 type outcome =
   | Granted of held
   | Gave_up of string
-      (** the caller's own transaction was asked to abort while waiting *)
+      (** the caller's own transaction was asked to abort while waiting, or
+          {!fruitless_timeout_bound} consecutive time-outs found no
+          abortable holder (waiting longer could never succeed) *)
+
+val fruitless_timeout_bound : int
+(** How many consecutive time-outs finding no abortable holder a waiter
+    tolerates before {!acquire} returns [Gave_up]. A wake (some holder
+    released) resets the count. *)
 
 val create :
   Vino_sim.Engine.t ->
@@ -52,12 +59,20 @@ val acquire :
   unit ->
   outcome
 (** Block until granted. While blocked, each expiry of the lock's time-out
-    asks every abortable holder's transaction to abort, then keeps waiting.
-    [poll] is consulted at every wake-up so a waiter whose own transaction
-    has been aborted gives up promptly. Must run inside an engine process. *)
+    asks every abortable holder's transaction to abort, then keeps waiting;
+    after {!fruitless_timeout_bound} consecutive expiries with no abortable
+    holder it returns [Gave_up] instead of livelocking. [poll] is consulted
+    at every wake-up so a waiter whose own transaction has been aborted
+    gives up promptly. Must run inside an engine process. *)
 
 val release : ?during_abort:bool -> held -> unit
 (** [during_abort] selects the abort-path cost (~10 us per lock, §4.5). *)
+
+val reassign : held -> owner -> unit
+(** Re-point a held lock at a new owner. Used when a nested transaction
+    commits and its locks merge into the parent: the lock is then held by
+    the parent, and a time-out must ask the {e parent} to abort — the
+    committed child's [request_abort] is a no-op (§3.1, §3.2). *)
 
 val name : t -> string
 val timeout : t -> int
@@ -76,3 +91,6 @@ val contentions : t -> int
 val timeouts_fired : t -> int
 val holder_aborts_requested : t -> int
 val total_hold_cycles : t -> int
+
+val fruitless_giveups : t -> int
+(** How many waiters gave up because no holder was ever abortable. *)

@@ -12,6 +12,9 @@ type mgr = {
   mutable n_commits : int;
   mutable n_aborts : int;
   mutable n_live : int;
+  mutable n_undo_live : int; (* undo entries of unresolved transactions *)
+  mutable n_undo_failures : int; (* undo entries that raised during replay *)
+  mutable n_deferred_failures : int; (* deferred actions that raised *)
   current : (int, tref) Hashtbl.t; (* engine proc id -> innermost txn *)
 }
 and tref = T : t -> tref
@@ -39,6 +42,9 @@ let create_mgr engine ~wheel ?(costs = Tcosts.default) () =
     n_commits = 0;
     n_aborts = 0;
     n_live = 0;
+    n_undo_live = 0;
+    n_undo_failures = 0;
+    n_deferred_failures = 0;
     current = Hashtbl.create 16;
   }
 
@@ -49,6 +55,9 @@ let begins m = m.n_begins
 let commits m = m.n_commits
 let aborts m = m.n_aborts
 let live m = m.n_live
+let undo_live m = m.n_undo_live
+let undo_failures m = m.n_undo_failures
+let deferred_failures m = m.n_deferred_failures
 
 let id t = t.tid
 let name t = t.tname
@@ -95,6 +104,7 @@ let push_undo t ?cost ~label undo =
   if not (is_active t) then
     invalid_arg "Txn.push_undo: transaction is not active";
   Undo_log.push t.undo ?cost ~label undo;
+  t.mgr.n_undo_live <- t.mgr.n_undo_live + 1;
   Engine.delay t.mgr.costs.undo_push
 
 let request_abort t reason =
@@ -127,7 +137,14 @@ let abort t ~reason =
   | Active ->
       if t.active_children > 0 then
         invalid_arg "Txn.abort: children still active";
-      let replay_cost = Undo_log.replay t.undo in
+      let pending = Undo_log.length t.undo in
+      let replay_cost =
+        Undo_log.replay
+          ~on_error:(fun ~label:_ _exn ->
+            t.mgr.n_undo_failures <- t.mgr.n_undo_failures + 1)
+          t.undo
+      in
+      t.mgr.n_undo_live <- t.mgr.n_undo_live - pending;
       List.iter (fun h -> Lock.release ~during_abort:true h) t.locks;
       t.locks <- [];
       t.deferred <- [];
@@ -151,27 +168,48 @@ let commit t =
           abort t ~reason;
           Error reason
       | None ->
-          (match t.tparent with
-          | Some p ->
-              (* merge undo stack, locks and deferred work into the parent
-                 (§3.1) *)
-              Undo_log.merge_into ~parent:p.undo t.undo;
-              p.locks <- t.locks @ p.locks;
-              t.locks <- [];
-              p.deferred <- t.deferred @ p.deferred;
-              t.deferred <- [];
-              Engine.delay t.mgr.costs.nested_commit
-          | None ->
-              List.iter (fun h -> Lock.release h) t.locks;
-              t.locks <- [];
-              let deferred = List.rev t.deferred in
-              t.deferred <- [];
-              List.iter (fun action -> action ()) deferred;
-              Engine.delay t.mgr.costs.txn_commit);
+          let deferred =
+            match t.tparent with
+            | Some p ->
+                (* merge undo stack, locks and deferred work into the parent
+                   (§3.1): the locks are now held by the parent, so a
+                   time-out must be able to abort the parent — re-point each
+                   one before handing it over *)
+                Undo_log.merge_into ~parent:p.undo t.undo;
+                let powner = owner p in
+                List.iter (fun h -> Lock.reassign h powner) t.locks;
+                p.locks <- t.locks @ p.locks;
+                t.locks <- [];
+                p.deferred <- t.deferred @ p.deferred;
+                t.deferred <- [];
+                Engine.delay t.mgr.costs.nested_commit;
+                []
+            | None ->
+                List.iter (fun h -> Lock.release h) t.locks;
+                t.locks <- [];
+                t.mgr.n_undo_live <-
+                  t.mgr.n_undo_live - Undo_log.length t.undo;
+                Undo_log.clear t.undo;
+                let d = List.rev t.deferred in
+                t.deferred <- [];
+                Engine.delay t.mgr.costs.txn_commit;
+                d
+          in
           t.tstate <- Committed;
           t.mgr.n_commits <- t.mgr.n_commits + 1;
           resolve t;
           finish_child t;
+          (* Deferred actions run only now, with the transaction already
+             Committed and the counters balanced: the decision to commit is
+             final, so a raising action cannot be allowed to wedge the
+             transaction half-resolved — it is recorded and skipped. *)
+          List.iter
+            (fun action ->
+              try action () with
+              | Engine.Stopped as stop -> raise stop
+              | _exn ->
+                  t.mgr.n_deferred_failures <- t.mgr.n_deferred_failures + 1)
+            deferred;
           Ok ())
 
 (* The transaction the calling engine process is currently executing

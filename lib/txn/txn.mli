@@ -57,13 +57,21 @@ val push_undo : t -> ?cost:int -> label:string -> (unit -> unit) -> unit
 val commit : t -> (unit, string) result
 (** If an abort was requested, performs the abort instead and returns
     [Error reason]. A top-level commit releases all locks and discards the
-    undo stack; a nested commit merges both into the parent. Fails
-    (raises [Invalid_argument]) if children are still active. *)
+    undo stack; a nested commit merges both into the parent and re-points
+    the merged locks at the parent's {!owner} (so a later time-out aborts
+    the transaction that actually holds them). Deferred actions run last,
+    after the transaction is marked [Committed] and the counters are
+    balanced; an action that raises is recorded ({!deferred_failures}) and
+    skipped — the commit still returns [Ok ()], because the transaction's
+    own effects are already permanent. Fails (raises [Invalid_argument]) if
+    children are still active. *)
 
 val abort : t -> reason:string -> unit
 (** Replay the undo stack (most recent first), release held locks at
-    abort-path cost, and mark the transaction aborted. Idempotent on an
-    already-aborted transaction. *)
+    abort-path cost, and mark the transaction aborted. Total: an undo entry
+    that raises is recorded ({!undo_failures}) and the remaining entries
+    still run, so the locks are always released and the transaction always
+    resolves. Idempotent on an already-aborted transaction. *)
 
 val request_abort : t -> string -> unit
 (** Asynchronous abort request; honoured at the next poll point. The first
@@ -109,3 +117,17 @@ val begins : mgr -> int
 val commits : mgr -> int
 val aborts : mgr -> int
 val live : mgr -> int
+
+val undo_live : mgr -> int
+(** Undo entries currently held by unresolved transactions. Zero whenever
+    [live = 0]: every abort replayed its log and every top-level commit
+    discarded its merged log — the disaster-rig "undo logs empty"
+    invariant. *)
+
+val undo_failures : mgr -> int
+(** Undo entries that raised during an abort's replay (the fault-mid-undo
+    disaster: recorded, skipped, and the abort still completed). *)
+
+val deferred_failures : mgr -> int
+(** Deferred actions that raised at top-level commit (recorded and skipped;
+    the commit still succeeded). *)

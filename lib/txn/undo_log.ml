@@ -8,16 +8,20 @@ let is_empty t = t.entries = []
 let push t ?(cost = 0) ~label undo =
   t.entries <- { label; undo; cost } :: t.entries
 
-let replay t =
+let replay ?(on_error = fun ~label:_ _exn -> ()) t =
   let rec go total =
     match t.entries with
     | [] -> total
     | e :: rest ->
         t.entries <- rest;
-        e.undo ();
+        (try e.undo () with
+        | Vino_sim.Engine.Stopped as stop -> raise stop
+        | exn -> on_error ~label:e.label exn);
         go (total + e.cost)
   in
   go 0
+
+let clear t = t.entries <- []
 
 let merge_into ~parent t =
   parent.entries <- t.entries @ parent.entries;

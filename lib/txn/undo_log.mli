@@ -16,11 +16,19 @@ val push : t -> ?cost:int -> label:string -> (unit -> unit) -> unit
 (** [cost] (cycles) is what replaying this entry will charge; it defaults to
     0 (the inverse of a cheap accessor). *)
 
-val replay : t -> int
+val replay : ?on_error:(label:string -> exn -> unit) -> t -> int
 (** Run every undo operation, most recent first; empties the log and returns
-    the total replay cost in cycles. An undo operation must not raise; if
-    one does, the exception propagates after the log is left consistent
-    (entries already run are removed). *)
+    the total replay cost in cycles. Replay is total: an undo operation that
+    raises does not stop the replay — the exception is reported to
+    [on_error] (default: ignored) and the remaining entries still run, so an
+    abort always finishes cleaning up. The only exception allowed through is
+    {!Vino_sim.Engine.Stopped} (a process kill), and then entries already
+    run are removed. *)
+
+val clear : t -> unit
+(** Drop every entry without running it (top-level commit: the changes are
+    now permanent, so their inverses — and any closures they captured — must
+    be released). *)
 
 val merge_into : parent:t -> t -> unit
 (** Move all entries onto [parent] such that replaying [parent] runs the

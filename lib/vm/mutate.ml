@@ -1,0 +1,52 @@
+(* IR surgery over graft source: splice fragments into an [Asm.item] list
+   without capturing or colliding with its labels. The disaster rig uses
+   this to derive misbehaving variants of healthy grafts; the combinators
+   are generic so other passes can reuse them. *)
+
+let defined_labels items =
+  List.filter_map (function Asm.Label l -> Some l | _ -> None) items
+
+let rename_labels ~prefix items =
+  let map l = prefix ^ l in
+  List.map
+    (function
+      | Asm.Label l -> Asm.Label (map l)
+      | Asm.Br (c, a, b, l) -> Asm.Br (c, a, b, map l)
+      | Asm.Jmp l -> Asm.Jmp (map l)
+      | Asm.Call l -> Asm.Call (map l)
+      | other -> other)
+    items
+
+(* A prefix such that no renamed fragment label collides with (or shadows)
+   a label of [source]. *)
+let fresh_prefix ?(base = "__mut") ~fragment source =
+  let slabels = defined_labels source in
+  let flabels = defined_labels fragment in
+  let rec pick k =
+    let prefix = Printf.sprintf "%s%d_" base k in
+    if List.exists (fun l -> List.mem (prefix ^ l) slabels) flabels then
+      pick (k + 1)
+    else prefix
+  in
+  pick 0
+
+let splice_prelude ?base ~prelude source =
+  let prefix = fresh_prefix ?base ~fragment:prelude source in
+  rename_labels ~prefix prelude @ source
+
+let before_returns ?(base = "__mut") ~payload source =
+  let n = ref 0 in
+  List.concat_map
+    (function
+      | (Asm.Ret | Asm.Halt) as exit_item ->
+          let prefix =
+            fresh_prefix
+              ~base:(Printf.sprintf "%s_r%d_" base !n)
+              ~fragment:payload source
+          in
+          incr n;
+          rename_labels ~prefix payload @ [ exit_item ]
+      | other -> [ other ])
+    source
+
+let diverge = [ Asm.Label "spin"; Asm.Jmp "spin" ]

@@ -1,0 +1,33 @@
+(** IR surgery over graft source.
+
+    Fault injectors (and other source-to-source passes) derive variants of
+    a graft by splicing instruction fragments into its [Asm.item] list.
+    These combinators keep the result assemblable: every fragment label is
+    renamed with a prefix proven fresh against the host source, so splicing
+    never captures a branch or collides with an existing label. Fragments
+    must be label-closed (branch only to labels they define). *)
+
+val defined_labels : Asm.item list -> string list
+
+val rename_labels : prefix:string -> Asm.item list -> Asm.item list
+(** Prefix every [Label] definition and every [Br]/[Jmp]/[Call] target. *)
+
+val fresh_prefix :
+  ?base:string -> fragment:Asm.item list -> Asm.item list -> string
+(** A prefix (["<base><k>_"], default base ["__mut"]) such that renaming
+    [fragment] with it collides with none of [source]'s labels. *)
+
+val splice_prelude :
+  ?base:string -> prelude:Asm.item list -> Asm.item list -> Asm.item list
+(** Run [prelude] before the graft's first instruction (label-renamed to
+    freshness). The graft's own code is untouched, so if the prelude falls
+    through, the original behaviour follows. *)
+
+val before_returns :
+  ?base:string -> payload:Asm.item list -> Asm.item list -> Asm.item list
+(** Insert a fresh-labelled copy of [payload] before every [Ret] and
+    [Halt], i.e. on every exit path. *)
+
+val diverge : Asm.item list
+(** A label-closed fragment that spins forever — splice it where execution
+    must never come back (cycle-bound and time-out injections). *)

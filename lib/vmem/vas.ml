@@ -15,6 +15,7 @@ type t = {
   vname : string;
   resident : (int, Frame.t) Hashtbl.t;
   evict : (evict_request, int) Graft_point.t;
+  lock : Vino_txn.Lock.t;
   lock_name : string;
   mutable n_faults : int;
 }
@@ -40,12 +41,13 @@ let setup kernel cpu req =
   Cpu.set_reg cpu 3 (List.length candidates);
   Cpu.set_reg cpu 4 seg.Mem.base
 
-let create kernel ~name =
+let create kernel ?evict_budget ~name () =
   let vid = !next_id in
   incr next_id;
   let evict =
     Graft_point.create
       ~name:(Printf.sprintf "%s.page-eviction" name)
+      ?budget:evict_budget
       ~default:(fun req -> req.victim)
       ~setup:(setup kernel)
       (* any integer is accepted here; the global algorithm performs the
@@ -78,11 +80,13 @@ let create kernel ~name =
     vname = name;
     resident = Hashtbl.create 256;
     evict;
+    lock;
     lock_name;
     n_faults = 0;
   }
 
 let id t = t.vid
+let hot_lock t = t.lock
 let lock_name t = t.lock_name
 let name t = t.vname
 

@@ -20,11 +20,17 @@ type evict_request = {
 
 type t
 
-val create : Vino_core.Kernel.t -> name:string -> t
+val create : Vino_core.Kernel.t -> ?evict_budget:int -> name:string -> unit -> t
 (** Also registers the graft-callable function ["evict.lock:<name>"] that
-    eviction grafts use to lock the shared hot-page window. *)
+    eviction grafts use to lock the shared hot-page window. [evict_budget]
+    bounds one eviction-graft invocation's cycles. *)
 
 val id : t -> int
+
+val hot_lock : t -> Vino_txn.Lock.t
+(** The hot-page-window lock itself — the disaster rig checks it for leaked
+    holders after recovery. *)
+
 val lock_name : t -> string
 val name : t -> string
 val resident_pages : t -> int list

@@ -29,5 +29,6 @@ let () =
          Test_net.suite;
          Test_wrapper.suite;
          Test_measure.suite;
+         Test_disaster.suite;
          Test_soak.suite;
        ])

@@ -156,6 +156,33 @@ let test_unabortable_holder_waiter_keeps_waiting () =
   Alcotest.(check int) "no aborts possible" 0
     (Lock.holder_aborts_requested lock)
 
+let test_fruitless_timeouts_bounded () =
+  (* Regression: when *no* holder is abortable and none ever releases, the
+     waiter used to re-arm its time-out forever — a livelock that also kept
+     the engine's queue non-empty for good. After
+     [fruitless_timeout_bound] consecutive fruitless expiries the waiter
+     must give up. *)
+  let e, lock = fixture ~tick:100 ~timeout:500 () in
+  let outcome = ref None in
+  ignore
+    (Engine.spawn e ~name:"immortal-hog" (fun () ->
+         (* Acquires and never releases: a plain (unabortable) owner. *)
+         ignore (acquire_exn lock Exclusive (Lock.plain_owner "immortal"))));
+  ignore
+    (Engine.spawn e ~name:"waiter" (fun () ->
+         Engine.delay 10;
+         outcome :=
+           Some (Lock.acquire lock Exclusive (Lock.plain_owner "waiter") ())));
+  Engine.run e;
+  (match !outcome with
+  | Some (Lock.Gave_up _) -> ()
+  | Some (Lock.Granted _) -> Alcotest.fail "granted a lock nobody released"
+  | None -> Alcotest.fail "waiter still waiting: livelock not bounded");
+  Alcotest.(check int) "give-up counted" 1 (Lock.fruitless_giveups lock);
+  Alcotest.(check int) "waiter dequeued" 0 (List.length (Lock.waiters lock));
+  Alcotest.(check bool) "tolerated the full bound first" true
+    (Lock.timeouts_fired lock >= Lock.fruitless_timeout_bound)
+
 let test_poll_gives_up () =
   let e, lock = fixture ~tick:100 ~timeout:1_000 () in
   ignore
@@ -319,6 +346,8 @@ let suite =
           test_timeout_aborts_holder;
         Alcotest.test_case "unabortable holder: waiter persists" `Quick
           test_unabortable_holder_waiter_keeps_waiting;
+        Alcotest.test_case "fruitless time-outs are bounded" `Quick
+          test_fruitless_timeouts_bounded;
         Alcotest.test_case "waiter gives up when its txn dies" `Quick
           test_poll_gives_up;
         Alcotest.test_case "fifo-fair grants in arrival order" `Quick

@@ -51,7 +51,7 @@ let test_full_system_soak () =
   (* virtual memory under pressure with a grafted eviction policy *)
   let frames = Frame.create_table ~frames:24 in
   let evictor = Evict.create kernel ~frames () in
-  let vas = Vas.create kernel ~name:"soak-vas" in
+  let vas = Vas.create kernel ~name:"soak-vas" () in
   Evict.register_vas evictor vas;
   (match
      Graft_point.replace (Vas.evict_point vas) kernel ~cred:app

@@ -292,6 +292,141 @@ let test_deferred_deletes () =
       Alcotest.(check (list string)) "runs at top-level commit"
         [ "obj3"; "obj1" ] !deleted)
 
+let test_merged_lock_timeout_aborts_parent () =
+  (* Regression: a nested commit merges its locks into the parent, but the
+     lock manager's held record used to keep the *child's* owner — whose
+     [request_abort] is a no-op once the child is resolved. A waiter's
+     time-out then aborted nobody and the waiter starved behind a holder it
+     believed abortable. The merged lock must be re-pointed at the parent
+     so the time-out aborts the transaction that actually holds it. *)
+  let e, wheel, mgr = fixture ~tick:100 () in
+  let lock = Lock.create e ~wheel ~timeout:1_000 ~name:"merged" () in
+  let parent_aborted = ref false and victim_ran = ref false in
+  ignore
+    (Engine.spawn e ~name:"nester" (fun () ->
+         let p = Txn.begin_ mgr ~name:"p" () in
+         let c = Txn.begin_ mgr ~parent:p ~name:"c" () in
+         (match Txn.acquire_lock c lock Exclusive with
+         | Ok () -> ()
+         | Error r -> Alcotest.fail r);
+         (match Txn.commit c with Ok () -> () | Error r -> Alcotest.fail r);
+         (* p now holds the lock; spin at poll points like a graft. *)
+         let rec spin () =
+           match Txn.poll p () with
+           | Some reason ->
+               Txn.abort p ~reason;
+               parent_aborted := true
+           | None ->
+               Engine.delay 200;
+               spin ()
+         in
+         spin ()));
+  ignore
+    (Engine.spawn e ~name:"victim" (fun () ->
+         (* Long enough for both begins and the nested commit to finish:
+            the parent must already hold the merged lock when we contend. *)
+         Engine.delay 15_000;
+         let t = Txn.begin_ mgr ~name:"victim" () in
+         match Txn.acquire_lock t lock Exclusive with
+         | Ok () ->
+             victim_ran := true;
+             ignore (Txn.commit t)
+         | Error r -> Alcotest.failf "victim gave up: %s" r));
+  Engine.run e;
+  Alcotest.(check (list string)) "no crashes" []
+    (List.map fst (Engine.failures e));
+  Alcotest.(check bool) "time-out aborted the parent" true !parent_aborted;
+  Alcotest.(check bool) "victim made progress" true !victim_ran;
+  Alcotest.(check int) "lock free" 0 (List.length (Lock.holders lock))
+
+let test_abort_survives_raising_undo_entry () =
+  (* Regression (fault mid-undo): an undo entry that raises must not stop
+     the replay — later entries still run, the lock still gets released,
+     the failure is counted, and the transaction resolves. *)
+  let e, wheel, mgr = fixture () in
+  let lock = Lock.create e ~wheel ~name:"res" () in
+  in_process e (fun () ->
+      let cell = ref 0 in
+      let t = Txn.begin_ mgr ~name:"t" () in
+      (match Txn.acquire_lock t lock Exclusive with
+      | Ok () -> ()
+      | Error r -> Alcotest.fail r);
+      Txn.push_undo t ~label:"restore" (fun () -> cell := 0);
+      cell := 1;
+      Txn.push_undo t ~label:"bomb" (fun () -> failwith "undo bomb");
+      Txn.push_undo t ~label:"later" (fun () -> cell := !cell + 10);
+      Txn.abort t ~reason:"die";
+      Alcotest.(check int) "non-raising entries replayed around the bomb" 0
+        !cell;
+      Alcotest.(check int) "failure recorded" 1 (Txn.undo_failures mgr);
+      Alcotest.(check int) "undo logs empty" 0 (Txn.undo_live mgr);
+      Alcotest.(check int) "lock released despite the bomb" 0
+        (List.length (Lock.holders lock));
+      match Txn.state t with
+      | Txn.Aborted _ -> ()
+      | _ -> Alcotest.fail "transaction did not resolve")
+
+let test_deferred_failure_still_commits () =
+  (* Regression: deferred actions used to run *before* the transaction was
+     marked committed and without exception protection — one raising
+     action left the transaction permanently Active (leaking it from the
+     manager's live count) and skipped the rest. *)
+  let e, _, mgr = fixture () in
+  in_process e (fun () ->
+      let ran = ref false in
+      let t = Txn.begin_ mgr ~name:"t" () in
+      Txn.defer t (fun () -> failwith "deferred bomb");
+      Txn.defer t (fun () -> ran := true);
+      (match Txn.commit t with Ok () -> () | Error r -> Alcotest.fail r);
+      (match Txn.state t with
+      | Txn.Committed -> ()
+      | _ -> Alcotest.fail "not committed");
+      Alcotest.(check int) "failure recorded" 1 (Txn.deferred_failures mgr);
+      Alcotest.(check bool) "later deferred actions still ran" true !ran;
+      Alcotest.(check int) "nothing live" 0 (Txn.live mgr))
+
+let test_lock_timeout_through_nested_txn_chain () =
+  (* Coverage: the waiter times out while the lock is held by a *child*
+     that is still active — the child's own owner must be the abort target
+     and the parent must survive the child's abort. *)
+  let e, wheel, mgr = fixture ~tick:100 () in
+  let lock = Lock.create e ~wheel ~timeout:1_000 ~name:"chain" () in
+  let child_aborted = ref false and parent_committed = ref false in
+  ignore
+    (Engine.spawn e ~name:"nester" (fun () ->
+         let p = Txn.begin_ mgr ~name:"p" () in
+         let c = Txn.begin_ mgr ~parent:p ~name:"c" () in
+         (match Txn.acquire_lock c lock Exclusive with
+         | Ok () -> ()
+         | Error r -> Alcotest.fail r);
+         let rec spin () =
+           match Txn.poll c () with
+           | Some reason ->
+               Txn.abort c ~reason;
+               child_aborted := true
+           | None ->
+               Engine.delay 200;
+               spin ()
+         in
+         spin ();
+         (match Txn.commit p with
+         | Ok () -> parent_committed := true
+         | Error r -> Alcotest.fail r)));
+  ignore
+    (Engine.spawn e ~name:"victim" (fun () ->
+         (* Contend only once the child certainly holds the lock. *)
+         Engine.delay 15_000;
+         let t = Txn.begin_ mgr ~name:"victim" () in
+         match Txn.acquire_lock t lock Exclusive with
+         | Ok () -> ignore (Txn.commit t)
+         | Error r -> Alcotest.failf "victim gave up: %s" r));
+  Engine.run e;
+  Alcotest.(check (list string)) "no crashes" []
+    (List.map fst (Engine.failures e));
+  Alcotest.(check bool) "child aborted by the time-out" true !child_aborted;
+  Alcotest.(check bool) "parent unharmed" true !parent_committed;
+  Alcotest.(check int) "nothing live" 0 (Txn.live mgr)
+
 let test_abort_costs_scale_with_locks () =
   (* §4.5: abort time = abort overhead + 10us per lock + undo cost. *)
   let cost_with_locks n =
@@ -461,6 +596,14 @@ let suite =
         Alcotest.test_case "manager counters" `Quick test_manager_counters;
         Alcotest.test_case "deferred deletes (§6)" `Quick
           test_deferred_deletes;
+        Alcotest.test_case "merged lock re-pointed at parent (regression)"
+          `Quick test_merged_lock_timeout_aborts_parent;
+        Alcotest.test_case "abort survives raising undo entry (regression)"
+          `Quick test_abort_survives_raising_undo_entry;
+        Alcotest.test_case "deferred failure still commits (regression)"
+          `Quick test_deferred_failure_still_commits;
+        Alcotest.test_case "lock timeout through nested txn chain" `Quick
+          test_lock_timeout_through_nested_txn_chain;
         Alcotest.test_case "abort cost = base + 10us/lock (§4.5)" `Quick
           test_abort_costs_scale_with_locks;
         QCheck_alcotest.to_alcotest prop_nested_txn_model;

@@ -86,12 +86,59 @@ let prop_merge_replay_restores =
       ignore (Undo_log.replay parent);
       regs = initial)
 
+let test_replay_survives_raising_entry () =
+  (* Regression (fault mid-undo): an entry that raises must be reported
+     through [on_error] and skipped — the remaining entries still replay,
+     the log still empties, and the total still counts every entry. *)
+  let log = Undo_log.create () in
+  let order = ref [] and errs = ref [] in
+  Undo_log.push log ~cost:5 ~label:"a" (fun () -> order := "a" :: !order);
+  Undo_log.push log ~cost:7 ~label:"boom" (fun () -> failwith "boom");
+  Undo_log.push log ~cost:9 ~label:"c" (fun () -> order := "c" :: !order);
+  let total =
+    Undo_log.replay
+      ~on_error:(fun ~label exn -> errs := (label, Printexc.to_string exn) :: !errs)
+      log
+  in
+  Alcotest.(check int) "total cost includes the raising entry" 21 total;
+  Alcotest.(check (list string)) "other entries ran, LIFO" [ "c"; "a" ]
+    (List.rev !order);
+  (match !errs with
+  | [ (label, _) ] -> Alcotest.(check string) "label reported" "boom" label
+  | es -> Alcotest.failf "expected one error, got %d" (List.length es));
+  Alcotest.(check bool) "emptied" true (Undo_log.is_empty log)
+
+let test_replay_default_swallows () =
+  (* Without a handler a raising entry is silently skipped — replay never
+     throws into the abort path. *)
+  let log = Undo_log.create () in
+  let ran = ref false in
+  Undo_log.push log ~label:"fine" (fun () -> ran := true);
+  Undo_log.push log ~label:"boom" (fun () -> failwith "boom");
+  ignore (Undo_log.replay log);
+  Alcotest.(check bool) "non-raising entry still ran" true !ran
+
+let test_clear_discards () =
+  let log = Undo_log.create () in
+  let ran = ref false in
+  Undo_log.push log ~cost:3 ~label:"x" (fun () -> ran := true);
+  Undo_log.clear log;
+  Alcotest.(check bool) "emptied" true (Undo_log.is_empty log);
+  Alcotest.(check int) "nothing to replay" 0 (Undo_log.replay log);
+  Alcotest.(check bool) "entry never ran" false !ran
+
 let suite =
   [
     ( "undo_log",
       [
         Alcotest.test_case "LIFO replay" `Quick test_lifo_replay;
         Alcotest.test_case "replay returns total cost" `Quick test_replay_cost;
+        Alcotest.test_case "raising entry reported and skipped" `Quick
+          test_replay_survives_raising_entry;
+        Alcotest.test_case "replay never throws by default" `Quick
+          test_replay_default_swallows;
+        Alcotest.test_case "clear discards without running" `Quick
+          test_clear_discards;
         Alcotest.test_case "merge keeps child entries most-recent" `Quick
           test_merge_preserves_order;
         Alcotest.test_case "accessor-style state restoration" `Quick

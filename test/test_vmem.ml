@@ -20,7 +20,7 @@ let fixture ?(frames = 16) () =
   let kernel = Kernel.create ~mem_words:(1 lsl 16) ~tick:1_000 () in
   let table = Frame.create_table ~frames in
   let evictor = Evict.create kernel ~frames:table () in
-  let vas = Vas.create kernel ~name:"test-vas" in
+  let vas = Vas.create kernel ~name:"test-vas" () in
   Evict.register_vas evictor vas;
   { kernel; vas; evictor }
 
