@@ -1,0 +1,168 @@
+(* CI perf-regression gate over the BENCH_*.json files main.ml --json
+   emits. Cycle counts in the simulator are virtual and deterministic, so
+   any drift is a real code change; the 2% tolerance only forgives
+   intentional small recosting, not noise.
+
+   Usage:
+     gate.exe check <baseline.json> <BENCH_*.json ...>   exit 1 on regression
+     gate.exe write <baseline.json> <BENCH_*.json ...>   (re)write the baseline
+
+   Re-baseline after an intentional cost change:
+     dune exec bench/main.exe -- quick --json && \
+       dune exec bench/gate.exe -- write bench/baseline.json BENCH_*.json *)
+
+module Json = Vino_trace.Json
+
+let tolerance = 0.02
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> contents
+  | exception Sys_error e -> die "gate: cannot read %s: %s" path e
+
+let parse path =
+  match Json.of_string (read_file path) with
+  | Ok j -> j
+  | Error e -> die "gate: %s: %s" path e
+
+let str j name = match Json.member name j with
+  | Some (Json.String s) -> s
+  | _ -> die "gate: missing string field %S" name
+
+(* A bench file as (table name, [(row label, cycles, incremental)]). *)
+let load_bench path =
+  let j = parse path in
+  (match Json.member "schema" j with
+  | Some (Json.String "vino-bench-v1") -> ()
+  | _ -> die "gate: %s: not a vino-bench-v1 file" path);
+  let rows =
+    match Json.member "rows" j with
+    | Some (Json.List rows) ->
+        List.map
+          (fun r ->
+            let cycles =
+              match Json.member "cycles" r with
+              | Some c -> (
+                  match Json.int_value c with
+                  | Some n -> n
+                  | None -> die "gate: %s: non-integer cycles" path)
+              | None -> die "gate: %s: row without cycles" path
+            in
+            let incremental =
+              match Json.member "incremental" r with
+              | Some (Json.Bool b) -> b
+              | _ -> false
+            in
+            (str r "label", cycles, incremental))
+          rows
+    | _ -> die "gate: %s: missing rows" path
+  in
+  (str j "name", rows)
+
+(* Baseline schema: {schema; tables: {<table>: {<label>: cycles}}}.
+   Only elapsed (non-incremental) rows are gated: the incremental lines
+   are successive differences of them, so gating both would double-count
+   and trip on sub-cycle deltas. *)
+let baseline_of_benches benches =
+  Json.Obj
+    [
+      ("schema", Json.String "vino-bench-baseline-v1");
+      ( "tables",
+        Json.Obj
+          (List.map
+             (fun (name, rows) ->
+               ( name,
+                 Json.Obj
+                   (List.filter_map
+                      (fun (label, cycles, incremental) ->
+                        if incremental then None
+                        else Some (label, Json.Int cycles))
+                      rows) ))
+             benches) );
+    ]
+
+let load_baseline path =
+  let j = parse path in
+  (match Json.member "schema" j with
+  | Some (Json.String "vino-bench-baseline-v1") -> ()
+  | _ -> die "gate: %s: not a vino-bench-baseline-v1 file" path);
+  match Json.member "tables" j with
+  | Some (Json.Obj tables) ->
+      List.map
+        (fun (name, rows) ->
+          match rows with
+          | Json.Obj fields ->
+              ( name,
+                List.map
+                  (fun (label, v) ->
+                    match Json.int_value v with
+                    | Some n -> (label, n)
+                    | None -> die "gate: %s: non-integer baseline" path)
+                  fields )
+          | _ -> die "gate: %s: bad table %s" path name)
+        tables
+  | _ -> die "gate: %s: missing tables" path
+
+let check ~baseline benches =
+  let failures = ref 0 in
+  let checked = ref 0 in
+  let report verdict table label base now =
+    Printf.printf "%-6s %-10s %-40s %10d -> %10d (%+.2f%%)\n" verdict table
+      label base now
+      (100. *. (float_of_int now -. float_of_int base) /. float_of_int base)
+  in
+  List.iter
+    (fun (table, rows) ->
+      match List.assoc_opt table baseline with
+      | None -> Printf.printf "NEW    %-10s (no baseline; not gated)\n" table
+      | Some base_rows ->
+          let seen = ref [] in
+          List.iter
+            (fun (label, cycles, incremental) ->
+              if not incremental then begin
+                seen := label :: !seen;
+                match List.assoc_opt label base_rows with
+                | None ->
+                    Printf.printf "NEW    %-10s %-40s (not gated)\n" table label
+                | Some base ->
+                    incr checked;
+                    if
+                      float_of_int cycles
+                      > float_of_int base *. (1. +. tolerance)
+                    then begin
+                      incr failures;
+                      report "FAIL" table label base cycles
+                    end
+                    else if cycles <> base then
+                      report "ok" table label base cycles
+              end)
+            rows;
+          List.iter
+            (fun (label, _) ->
+              if not (List.mem label !seen) then begin
+                incr failures;
+                Printf.printf "FAIL   %-10s %-40s missing from bench output\n"
+                  table label
+              end)
+            base_rows)
+    benches;
+  Printf.printf "bench gate: %d rows checked, %d regressions (tolerance %.0f%%)\n"
+    !checked !failures (100. *. tolerance);
+  if !failures > 0 then exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "check" :: base_path :: bench_paths when bench_paths <> [] ->
+      check ~baseline:(load_baseline base_path)
+        (List.map load_bench bench_paths)
+  | _ :: "write" :: base_path :: bench_paths when bench_paths <> [] ->
+      let j = baseline_of_benches (List.map load_bench bench_paths) in
+      Out_channel.with_open_text base_path (fun oc ->
+          Out_channel.output_string oc (Json.to_string j));
+      Printf.printf "wrote %s\n" base_path
+  | _ ->
+      prerr_endline
+        "usage: gate.exe (check|write) <baseline.json> <BENCH_*.json ...>";
+      exit 2

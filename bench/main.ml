@@ -14,18 +14,37 @@
      bench/main.exe bechamel        -- wall-clock Bechamel suite only *)
 
 open Vino_measure
+module Trace = Vino_trace.Trace
+
+(* --json: besides printing, write each table as BENCH_<name>.json
+   (schema vino-bench-v1, see Table.to_json), computing the rows under a
+   private trace sink so the emitted counters describe exactly that
+   table's run. The sink never changes virtual cycle counts (zero-cost
+   guarantee), so numbers match the plain run bit-for-bit. *)
+let json_mode = ref false
+
+let emit ~name ~title ?notes rows_fn =
+  if !json_mode then begin
+    let sink = Trace.create () in
+    let rows = Trace.with_t sink rows_fn in
+    Table.print ~title ?notes rows;
+    let file = Printf.sprintf "BENCH_%s.json" name in
+    Table.write_json ~file ~name ~title ~counters:(Trace.counters sink) rows;
+    Printf.printf "wrote %s\n%!" file
+  end
+  else Table.print ~title ?notes (rows_fn ())
 
 let table3 ~iterations () =
-  Table.print
+  emit ~name:"table3"
     ~title:"Table 3: Read-ahead graft overhead (Black Box; paper §4.1)"
     ~notes:
       "Note: our MiSFIT delta is smaller than the paper's 3us because the\n\
        IR graft is shorter than their compiled C++; every other component\n\
        matches."
-    (Sc_readahead.table ~iterations ())
+    (fun () -> Sc_readahead.table ~iterations ())
 
 let table4 ~iterations () =
-  Table.print
+  emit ~name:"table4"
     ~title:"Table 4: Page eviction graft overhead (Prioritization; §4.2)"
     ~notes:
       (Printf.sprintf
@@ -33,36 +52,37 @@ let table4 ~iterations () =
           us\n\
           (paper: 39+120=159 us elapsed); overrule >> agreement matches."
          (Sc_evict.measure_agreement ~iterations ()))
-    (Sc_evict.table ~iterations ())
+    (fun () -> Sc_evict.table ~iterations ())
 
 let table5 ~iterations () =
-  Table.print
+  emit ~name:"table5"
     ~title:"Table 5: Scheduling graft overhead (Prioritization; §4.3)"
     ~notes:
       "Largest increase comes from transaction+lock costs, ~2x the process\n\
        switch cost, as in the paper (~2% of a 10 ms timeslice)."
-    (Sc_sched.table ~iterations ())
+    (fun () -> Sc_sched.table ~iterations ())
 
 let table6 ~iterations () =
-  Table.print
+  emit ~name:"table6"
     ~title:"Table 6: Encryption graft overhead (Stream; SFI worst case; §4.4)"
     ~notes:
       "MiSFIT roughly doubles the graft function: the graft is almost\n\
        entirely loads and stores."
-    (Sc_crypt.table ~iterations ())
+    (fun () -> Sc_crypt.table ~iterations ())
 
 let table7 ~iterations () =
-  Table.print ~title:"Table 7: Graft abort costs (null vs full abort; §4.5)"
-    (Abort_model.table7 ~iterations ())
+  emit ~name:"table7"
+    ~title:"Table 7: Graft abort costs (null vs full abort; §4.5)" (fun () ->
+      Abort_model.table7 ~iterations ())
 
 let disaster () =
-  Table.print
+  emit ~name:"disaster"
     ~title:"Disaster rig: recovery cost by fault class (stream site; seeded)"
     ~notes:
       "Delta over the healthy row is detection + abort + removal. Lock-hog\n\
        and nested-fault rows include the contender whose time-out triggers\n\
        the abort; loop rows are budget-bound (200k cycles)."
-    (Sc_disaster.table ())
+    (fun () -> Sc_disaster.table ())
 
 let abortmodel ~iterations () =
   Table.print
@@ -359,11 +379,27 @@ let all ~iterations () =
   ablations ~iterations ();
   bechamel_suite ()
 
+(* The tables the bench gate watches: every paper table plus the
+   disaster recovery-cost table. *)
+let tables ~iterations () =
+  table3 ~iterations ();
+  table4 ~iterations ();
+  table5 ~iterations ();
+  table6 ~iterations ();
+  table7 ~iterations ();
+  disaster ()
+
 let () =
   let iterations = 300 in
-  match Array.to_list Sys.argv with
+  let args = Array.to_list Sys.argv in
+  json_mode := List.mem "--json" args;
+  match List.filter (fun a -> a <> "--json") args with
   | [ _ ] -> all ~iterations ()
-  | [ _; "quick" ] -> all ~iterations:60 ()
+  | [ _; "quick" ] ->
+      (* --json quick only runs the gated tables: the ablations and the
+         wall-clock suite have no JSON form and would dominate the run *)
+      if !json_mode then tables ~iterations:60 () else all ~iterations:60 ()
+  | [ _; "tables" ] -> tables ~iterations ()
   | [ _; "table3" ] -> table3 ~iterations ()
   | [ _; "table4" ] -> table4 ~iterations ()
   | [ _; "table5" ] -> table5 ~iterations ()
@@ -379,6 +415,6 @@ let () =
   | [ _; "bechamel" ] -> bechamel_suite ()
   | _ ->
       prerr_endline
-        "usage: main.exe \
-         [quick|table3|table4|table5|table6|table7|disaster|abortmodel|lockfactor|costbenefit|ablations|calibrate|bechamel]";
+        "usage: main.exe [--json] \
+         [quick|tables|table3|table4|table5|table6|table7|disaster|abortmodel|lockfactor|costbenefit|ablations|calibrate|bechamel]";
       exit 1

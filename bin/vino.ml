@@ -337,6 +337,58 @@ let disaster seed count costs =
     exit 1
   end
 
+(* -------------------------------- trace ------------------------------- *)
+
+module Trace = Vino_trace.Trace
+
+(* Drive a stream channel with the xor graft installed: every transfer
+   goes through the full Graft_point.invoke path (dispatch, txn, SFI,
+   commit), so the profiler sees real sandbox/body/txn buckets. *)
+let trace_stream ~transfers () =
+  let kernel = Vino_core.Kernel.create ~mem_words:(1 lsl 16) () in
+  let chan = Vino_stream.Channel.create kernel ~name:"trace-chan" () in
+  let obj =
+    Vino_vm.Asm.assemble_exn (Vino_stream.Grafts.xor_encrypt_source ~key:0x5E)
+  in
+  (match Vino_core.Kernel.seal kernel obj with
+  | Error e ->
+      Printf.eprintf "seal failed: %s\n" e;
+      exit 1
+  | Ok image -> (
+      match Vino_stream.Channel.install chan ~cred:Vino_core.Cred.root image with
+      | Error e ->
+          Printf.eprintf "install failed: %s\n" e;
+          exit 1
+      | Ok () -> ()));
+  let data = Array.init Vino_stream.Channel.buffer_words_8kb (fun k -> k) in
+  ignore
+    (Vino_sim.Engine.spawn kernel.Vino_core.Kernel.engine ~name:"trace-app"
+       (fun () ->
+         for _ = 1 to transfers do
+           ignore
+             (Vino_stream.Channel.transfer chan ~cred:Vino_core.Cred.root data)
+         done));
+  Vino_core.Kernel.run kernel
+
+let run_trace_scenario ~transfers ~seed ~count = function
+  | "stream" -> trace_stream ~transfers ()
+  | "disaster" -> ignore (Vino_disaster.Campaign.run ~seed ~count ())
+  | "both" ->
+      trace_stream ~transfers ();
+      ignore (Vino_disaster.Campaign.run ~seed ~count ())
+  | other ->
+      Printf.eprintf "unknown scenario %S; try stream, disaster or both\n"
+        other;
+      exit 1
+
+let trace scenario transfers seed count json span_tail =
+  let sink = Trace.create () in
+  Trace.with_t sink (fun () ->
+      run_trace_scenario ~transfers ~seed ~count scenario);
+  if json then
+    print_string (Vino_trace.Json.to_string (Trace.report_json ~scenario sink))
+  else Format.printf "%a" (Trace.pp_report ~span_tail) sink
+
 (* -------------------------------- rules ------------------------------- *)
 
 let rules () =
@@ -597,6 +649,47 @@ let disaster_cmd =
           (exit 1 on any violation)")
     Term.(const disaster $ seed $ count $ costs)
 
+let trace_cmd =
+  let scenario =
+    Arg.(
+      value
+      & pos 0 string "stream"
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "What to trace: $(b,stream) (xor graft on a channel), \
+             $(b,disaster) (seeded fault-injection campaign) or $(b,both).")
+  in
+  let transfers =
+    Arg.(
+      value & opt int 25
+      & info [ "transfers" ] ~doc:"Stream transfers to drive.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Disaster campaign seed.")
+  in
+  let count =
+    Arg.(
+      value & opt int 35
+      & info [ "count" ] ~doc:"Disaster campaign injections.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the vino-trace-v1 JSON report.")
+  in
+  let span_tail =
+    Arg.(
+      value & opt int 20
+      & info [ "spans" ] ~doc:"Trace spans to print (newest last).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a scenario under the observability sink and report the \
+          per-graft cycle profile (sandbox/body/txn/undo buckets), the \
+          kernel counters and the span tail")
+    Term.(const trace $ scenario $ transfers $ seed $ count $ json $ span_tail)
+
 let rules_cmd =
   Cmd.v
     (Cmd.info "rules" ~doc:"Print Table 1 and what enforces each rule")
@@ -613,7 +706,7 @@ let main_cmd =
   Cmd.group info
     [
       inspect_cmd; dump_cmd; seal_cmd; verify_cmd; run_cmd; tables_cmd;
-      disaster_cmd; rules_cmd; points_cmd;
+      disaster_cmd; trace_cmd; rules_cmd; points_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

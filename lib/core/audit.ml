@@ -1,3 +1,6 @@
+module Ring = Vino_trace.Ring
+module Trace = Vino_trace.Trace
+
 type event =
   | Load_rejected of { point : string; reason : string }
   | Graft_installed of { point : string; user : string }
@@ -7,13 +10,29 @@ type event =
   | Handler_failed of { point : string; handler : int; reason : string }
 
 type entry = { at_us : float; event : event }
-type t = { mutable log : entry list (* newest first *) }
+type t = { ring : entry Ring.t }
 
-let create () = { log = [] }
-let record t ~now_us event = t.log <- { at_us = now_us; event } :: t.log
-let entries t = List.rev t.log
-let count t = List.length t.log
-let clear t = t.log <- []
+let default_capacity = 4096
+let create ?(capacity = default_capacity) () = { ring = Ring.create ~capacity }
+
+let counter_name = function
+  | Load_rejected _ -> "audit.load_rejected"
+  | Graft_installed _ -> "audit.graft_installed"
+  | Graft_removed _ -> "audit.graft_removed"
+  | Graft_failed _ -> "audit.graft_failed"
+  | Handler_added _ -> "audit.handler_added"
+  | Handler_failed _ -> "audit.handler_failed"
+
+let record t ~now_us event =
+  Trace.incr (counter_name event);
+  Ring.push t.ring { at_us = now_us; event }
+
+let entries t = Ring.to_list t.ring
+let count t = Ring.length t.ring
+let capacity t = Ring.capacity t.ring
+let total t = Ring.total t.ring
+let dropped t = Ring.dropped t.ring
+let clear t = Ring.clear t.ring
 
 let is_failure = function
   | Load_rejected _ | Graft_failed _ | Handler_failed _ -> true
@@ -35,6 +54,8 @@ let pp_event ppf = function
       Format.fprintf ppf "handler %d on %s failed: %s" handler point reason
 
 let pp ppf t =
+  (if dropped t > 0 then
+     Format.fprintf ppf "[... %d older entries dropped ...]@." (dropped t));
   List.iter
     (fun e -> Format.fprintf ppf "[%10.1f us] %a@." e.at_us pp_event e.event)
     (entries t)

@@ -3,7 +3,13 @@
     Every decision the protection machinery takes — image rejected,
     graft installed, transaction aborted, graft forcibly removed — is
     recorded with its virtual timestamp, so an operator (or a test) can
-    reconstruct exactly how a disaster was survived. *)
+    reconstruct exactly how a disaster was survived.
+
+    The trail is a fixed-capacity ring: a long soak or a disaster
+    campaign cannot grow it without bound. When full, the oldest entry
+    is evicted and counted in {!dropped}. Each recorded event also bumps
+    the matching ["audit.<kind>"] counter in {!Vino_trace.Trace}, so the
+    trail and the observability counters stay unified. *)
 
 type event =
   | Load_rejected of { point : string; reason : string }
@@ -16,14 +22,30 @@ type event =
 type entry = { at_us : float; event : event }
 type t
 
-val create : unit -> t
+val default_capacity : int
+(** 4096 entries. *)
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] must be positive (default {!default_capacity}). *)
+
 val record : t -> now_us:float -> event -> unit
 
 val entries : t -> entry list
-(** Oldest first. *)
+(** Retained entries, oldest first. *)
 
 val count : t -> int
+(** Entries currently retained. *)
+
+val capacity : t -> int
+
+val total : t -> int
+(** Events ever recorded, including evicted ones. *)
+
+val dropped : t -> int
+(** Events evicted to make room. *)
+
 val clear : t -> unit
+(** Drop every entry and reset {!total}/{!dropped}. *)
 
 val failures : t -> entry list
 (** Only rejections/failures. *)

@@ -5,6 +5,10 @@ module Tick = Vino_sim.Tick
 module Txn = Vino_txn.Txn
 module Rlimit = Vino_txn.Rlimit
 module Image = Vino_misfit.Image
+module Trace = Vino_trace.Trace
+module Span = Vino_trace.Span
+
+let trace_ctx () = Engine.proc_id (Engine.self ())
 
 type grafted = {
   loaded : Linker.loaded;
@@ -113,10 +117,32 @@ let fail t kernel reason =
 let invoke t kernel ~cred:_ arg =
   t.n_invocations <- t.n_invocations + 1;
   Engine.delay t.indirection_cost;
+  if Trace.enabled () then begin
+    Trace.incr "graft.invocations";
+    Trace.span Span.Dispatch ~label:t.gname
+      ~start:(Engine.now kernel.Kernel.engine - t.indirection_cost)
+      ~dur:t.indirection_cost
+  end;
   match t.graft with
   | None -> t.default arg
   | Some g ->
       t.n_graft_runs <- t.n_graft_runs + 1;
+      let inv_start = Engine.now kernel.Kernel.engine in
+      if Trace.enabled () then begin
+        Trace.incr "graft.runs";
+        Trace.push_frame ~ctx:(trace_ctx ()) ~point:t.gname ~now:inv_start
+      end;
+      (* Close this invocation's profiler frame. Called exactly once per
+         run, after the transaction is resolved but before any kernel
+         fallback code — the default path is not graft time. *)
+      let finish () =
+        if Trace.enabled () then begin
+          let now = Engine.now kernel.Kernel.engine in
+          Trace.pop_frame ~ctx:(trace_ctx ()) ~now;
+          Trace.span Span.Graft_invoke ~label:t.gname ~start:inv_start
+            ~dur:(now - inv_start)
+        end
+      in
       (* nest under the invoking graft's transaction, if any: "any graft
          can abort without aborting its calling graft" (§3.1) *)
       let parent = Txn.current kernel.Kernel.txn_mgr in
@@ -139,6 +165,7 @@ let invoke t kernel ~cred:_ arg =
       cancel_watchdog ();
       let abandon reason =
         if Txn.is_active txn then Txn.abort txn ~reason;
+        finish ();
         fail t kernel reason;
         t.default arg
       in
@@ -148,8 +175,11 @@ let invoke t kernel ~cred:_ arg =
           match t.read_result cpu arg with
           | Ok result -> (
               match Txn.commit txn with
-              | Ok () -> result
+              | Ok () ->
+                  finish ();
+                  result
               | Error reason ->
+                  finish ();
                   fail t kernel reason;
                   t.default arg)
           | Error why ->

@@ -1,6 +1,9 @@
 module Cpu = Vino_vm.Cpu
 module Engine = Vino_sim.Engine
 module Txn = Vino_txn.Txn
+module Trace = Vino_trace.Trace
+module Span = Vino_trace.Span
+module Profile = Vino_trace.Profile
 
 let env kernel ~txn ~cred ~limits =
   let kcall id cpu =
@@ -50,4 +53,22 @@ let exec kernel ~txn ~cred ~limits ~seg ~code ?(slice = default_slice)
   in
   (* expose this invocation's transaction so graft points reached
      indirectly (through kernel calls) nest under it (§3.1) *)
-  Txn.with_current kernel.Kernel.txn_mgr txn go
+  let ((cpu, _) as result) = Txn.with_current kernel.Kernel.txn_mgr txn go in
+  if Trace.enabled () then begin
+    let now = Engine.now kernel.Kernel.engine in
+    let label = Txn.name txn in
+    let sb = Cpu.sandbox_cycles cpu and cc = Cpu.checkcall_cycles cpu in
+    if sb > 0 then begin
+      Trace.incr ~by:sb "sfi.sandbox_cycles";
+      Trace.span Span.Sfi_sandbox ~label ~start:(now - sb) ~dur:sb
+    end;
+    if cc > 0 then begin
+      Trace.incr ~by:cc "sfi.checkcall_cycles";
+      Trace.span Span.Sfi_checkcall ~label ~start:(now - cc) ~dur:cc
+    end;
+    if sb + cc > 0 then
+      Trace.charge
+        ~ctx:(Engine.proc_id (Engine.self ()))
+        Profile.Sandbox (sb + cc)
+  end;
+  result

@@ -57,11 +57,13 @@ let lookup t block =
   match Hashtbl.find_opt t.index block with
   | Some node ->
       t.n_hits <- t.n_hits + 1;
+      Vino_trace.Trace.incr "fs.cache_hits";
       unlink t node;
       push_mru t node;
       true
   | None ->
       t.n_misses <- t.n_misses + 1;
+      Vino_trace.Trace.incr "fs.cache_misses";
       false
 
 let note_dirtied t block =

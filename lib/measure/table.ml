@@ -41,6 +41,36 @@ let render ppf ~title ?notes rows =
 
 let print ~title ?notes rows = render Format.std_formatter ~title ?notes rows
 
+module Json = Vino_trace.Json
+
+let row_json r =
+  Json.Obj
+    [
+      ("label", Json.String r.label);
+      ( "paper_us",
+        match r.paper_us with Some v -> Json.Float v | None -> Json.Null );
+      ("us", Json.Float r.measured_us);
+      ("cycles", Json.Int (Vino_vm.Costs.cycles_of_us r.measured_us));
+      ("incremental", Json.Bool r.incremental);
+    ]
+
+let to_json ~name ~title ?(counters = []) rows =
+  Json.Obj
+    [
+      ("schema", Json.String "vino-bench-v1");
+      ("name", Json.String name);
+      ("title", Json.String title);
+      ("rows", Json.List (List.map row_json rows));
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters) );
+    ]
+
+let write_json ~file ~name ~title ?counters rows =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string (to_json ~name ~title ?counters rows)))
+
 let diffs labelled =
   let rec go = function
     | (_, a) :: ((l2, b) :: _ as rest) -> (l2, b -. a) :: go rest

@@ -13,6 +13,26 @@ val overhead : ?paper:float -> string -> float -> row
 val render : Format.formatter -> title:string -> ?notes:string -> row list -> unit
 val print : title:string -> ?notes:string -> row list -> unit
 
+val to_json :
+  name:string ->
+  title:string ->
+  ?counters:(string * int) list ->
+  row list ->
+  Vino_trace.Json.t
+(** Schema ["vino-bench-v1"]: [{schema; name; title; rows; counters}],
+    one row object per table line with [label], [paper_us] (null when the
+    paper gives none), measured [us], the equivalent virtual [cycles],
+    and the [incremental] flag. See DESIGN.md §10. *)
+
+val write_json :
+  file:string ->
+  name:string ->
+  title:string ->
+  ?counters:(string * int) list ->
+  row list ->
+  unit
+(** {!to_json} serialised to [file]. *)
+
 val diffs : (string * float) list -> (string * float) list
 (** Successive differences of a list of labelled elapsed values:
     [(l1,a);(l2,b);...] gives [(l2, b-a); ...]. *)

@@ -1,3 +1,5 @@
+module Trace = Vino_trace.Trace
+
 exception Stopped
 
 type proc = {
@@ -132,6 +134,7 @@ let start t p body =
     | Stopped -> p.dead <- true
     | e ->
         p.dead <- true;
+        Trace.incr "sim.proc_failures";
         t.failures <- (p.name, e) :: t.failures
   in
   match_with
@@ -148,6 +151,7 @@ let spawn t ?name body =
     { id; name; dead = false; kill_requested = false; interrupt = None }
   in
   t.procs <- p :: t.procs;
+  Trace.incr "sim.procs_spawned";
   schedule t t.clock (fun () -> start t p body);
   p
 
@@ -164,7 +168,10 @@ let step t =
   | None -> false
   | Some (time, ev) ->
       t.clock <- max t.clock time;
-      if not ev.cancelled then ev.thunk ();
+      if not ev.cancelled then begin
+        Trace.incr "sim.events_executed";
+        ev.thunk ()
+      end;
       true
 
 let run ?until t =

@@ -1,0 +1,18 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let incr t ?(by = 1) name =
+  if by < 0 then invalid_arg "Counters.incr: counters are monotonic";
+  match Hashtbl.find_opt t name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t name (ref by)
+
+let value t name =
+  match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let snapshot t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+  |> List.sort compare
+
+let clear = Hashtbl.reset

@@ -1,0 +1,21 @@
+(** Named monotonic counters, one table per trace sink.
+
+    Counters only ever increase (enforced), so a reader can difference
+    two snapshots taken at any two points of a run and trust the result.
+    Names are dotted [subsystem.event] slugs — see DESIGN.md §10 for the
+    inventory the kernel instrumentation emits. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> ?by:int -> string -> unit
+(** [by] defaults to 1 and must be non-negative. *)
+
+val value : t -> string -> int
+(** 0 for a counter never incremented. *)
+
+val snapshot : t -> (string * int) list
+(** Sorted by name. *)
+
+val clear : t -> unit

@@ -1,0 +1,28 @@
+(** A deliberately tiny JSON layer (the toolchain ships no JSON
+    library): enough to emit the bench/trace reports and to parse them
+    back in the CI regression gate. Numbers are kept as either exact
+    ints (cycle counts — what the gate compares) or floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Multi-line, two-space indent, stable key order as given. *)
+
+val of_string : string -> (t, string) result
+(** Strict enough for round-tripping our own output; errors carry an
+    offset. *)
+
+(** Accessors for the gate; all total. *)
+
+val member : string -> t -> t option
+val to_list : t -> t list
+val string_value : t -> string option
+val int_value : t -> int option
+(** Ints, and floats with no fractional part. *)

@@ -1,0 +1,53 @@
+type 'a t = {
+  cap : int;
+  buf : 'a option array;
+  mutable head : int; (* next write slot *)
+  mutable len : int;
+  mutable n_total : int;
+  mutable n_dropped : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  {
+    cap = capacity;
+    buf = Array.make capacity None;
+    head = 0;
+    len = 0;
+    n_total = 0;
+    n_dropped = 0;
+  }
+
+let capacity t = t.cap
+let length t = t.len
+let total t = t.n_total
+let dropped t = t.n_dropped
+
+let push t x =
+  t.buf.(t.head) <- Some x;
+  t.head <- (t.head + 1) mod t.cap;
+  if t.len = t.cap then t.n_dropped <- t.n_dropped + 1
+  else t.len <- t.len + 1;
+  t.n_total <- t.n_total + 1
+
+let iter f t =
+  let start = (t.head - t.len + t.cap) mod t.cap in
+  for k = 0 to t.len - 1 do
+    match t.buf.((start + k) mod t.cap) with
+    | Some x -> f x
+    | None -> ()
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
+
+let clear t =
+  Array.fill t.buf 0 t.cap None;
+  t.head <- 0;
+  t.len <- 0;
+  t.n_total <- 0;
+  t.n_dropped <- 0

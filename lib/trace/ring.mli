@@ -1,0 +1,37 @@
+(** Fixed-capacity ring buffer with oldest-first eviction.
+
+    The observability layer must never let a long soak or disaster
+    campaign exhaust memory, so both trace spans and the kernel audit
+    trail retain only the newest [capacity] entries; everything older is
+    evicted and counted in {!dropped}. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] must be positive. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** O(1). Evicts the oldest entry (and bumps {!dropped}) when full. *)
+
+val length : 'a t -> int
+(** Entries currently retained. *)
+
+val total : 'a t -> int
+(** Entries ever pushed, including dropped ones. *)
+
+val dropped : 'a t -> int
+(** Entries evicted to make room. *)
+
+val to_list : 'a t -> 'a list
+(** Retained entries, oldest first. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Oldest first. *)
+
+val clear : 'a t -> unit
+(** Drop every entry and reset the {!total}/{!dropped} accounting. *)

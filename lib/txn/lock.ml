@@ -1,5 +1,10 @@
 module Engine = Vino_sim.Engine
 module Tick = Vino_sim.Tick
+module Trace = Vino_trace.Trace
+module Span = Vino_trace.Span
+module Profile = Vino_trace.Profile
+
+let trace_ctx () = Engine.proc_id (Engine.self ())
 
 type owner = { name : string; request_abort : (string -> unit) option }
 
@@ -129,6 +134,7 @@ let grant t mode owner =
   in
   t.holders <- h :: t.holders;
   t.n_acquisitions <- t.n_acquisitions + 1;
+  Trace.incr "lock.acquisitions";
   h
 
 (* Ask every abortable holder's transaction to abort: the paper's
@@ -140,6 +146,7 @@ let abort_holders t =
       match h.howner.request_abort with
       | Some f ->
           t.n_holder_aborts <- t.n_holder_aborts + 1;
+          Trace.incr "lock.holder_aborts";
           f (Printf.sprintf "lock %S held past its time-out" t.lname);
           asked + 1
       | None -> asked)
@@ -175,6 +182,12 @@ let acquire t mode owner ?(poll = fun () -> None) () =
     + charge_policy t
   in
   Engine.delay acquisition_charge;
+  if Trace.enabled () then begin
+    Trace.span Span.Lock_acquire ~label:t.lname
+      ~start:(Engine.now t.engine - acquisition_charge)
+      ~dur:acquisition_charge;
+    Trace.charge ~ctx:(trace_ctx ()) Profile.Txn acquisition_charge
+  end;
   match poll () with
   | Some reason -> Gave_up reason
   | None ->
@@ -184,6 +197,13 @@ let acquire t mode owner ?(poll = fun () -> None) () =
       then Granted (grant t mode owner)
       else begin
         t.n_contentions <- t.n_contentions + 1;
+        Trace.incr "lock.contentions";
+        let wait_start = Engine.now t.engine in
+        let end_wait () =
+          if Trace.enabled () then
+            Trace.span Span.Lock_wait ~label:t.lname ~start:wait_start
+              ~dur:(Engine.now t.engine - wait_start)
+        in
         let w =
           { wowner = owner; wmode = mode; pending_wake = false; waker = None }
         in
@@ -198,6 +218,7 @@ let acquire t mode owner ?(poll = fun () -> None) () =
           match poll () with
           | Some reason ->
               dequeue t w;
+              end_wait ();
               Gave_up reason
           | None ->
               if
@@ -205,16 +226,24 @@ let acquire t mode owner ?(poll = fun () -> None) () =
                   ~waiters:(modes_ahead_of t w)
               then begin
                 dequeue t w;
+                end_wait ();
                 Granted (grant t mode owner)
               end
               else begin
                 match signal with
                 | Timeout_fired ->
                     t.n_timeouts <- t.n_timeouts + 1;
+                    if Trace.enabled () then begin
+                      Trace.incr "lock.timeouts";
+                      Trace.span Span.Lock_timeout ~label:t.lname
+                        ~start:(Engine.now t.engine) ~dur:0
+                    end;
                     if abort_holders t > 0 then wait_loop 0
                     else if fruitless + 1 >= fruitless_timeout_bound then begin
                       t.n_fruitless_giveups <- t.n_fruitless_giveups + 1;
+                      Trace.incr "lock.fruitless_giveups";
                       dequeue t w;
+                      end_wait ();
                       Gave_up
                         (Printf.sprintf
                            "lock %S: no abortable holder after %d time-outs"

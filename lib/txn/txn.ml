@@ -1,5 +1,13 @@
 module Engine = Vino_sim.Engine
 module Tick = Vino_sim.Tick
+module Trace = Vino_trace.Trace
+module Span = Vino_trace.Span
+module Profile = Vino_trace.Profile
+
+(* The engine process this code runs on behalf of — the profiler's frame
+   key. Only called when a sink is installed, and only from code that
+   already performs engine effects (so always inside a process). *)
+let trace_ctx () = Engine.proc_id (Engine.self ())
 
 type state = Active | Committed | Aborted of string
 
@@ -79,10 +87,19 @@ let begin_ m ?parent ~name () =
   m.next_id <- tid + 1;
   m.n_begins <- m.n_begins + 1;
   m.n_live <- m.n_live + 1;
-  Engine.delay
-    (match parent with
+  let cost =
+    match parent with
     | Some _ -> m.costs.nested_begin
-    | None -> m.costs.txn_begin);
+    | None -> m.costs.txn_begin
+  in
+  Engine.delay cost;
+  if Trace.enabled () then begin
+    Trace.incr "txn.begins";
+    Trace.span Span.Txn_begin ~label:name
+      ~start:(Engine.now m.engine - cost)
+      ~dur:cost;
+    Trace.charge ~ctx:(trace_ctx ()) Profile.Txn cost
+  end;
   {
     mgr = m;
     tid;
@@ -105,7 +122,11 @@ let push_undo t ?cost ~label undo =
     invalid_arg "Txn.push_undo: transaction is not active";
   Undo_log.push t.undo ?cost ~label undo;
   t.mgr.n_undo_live <- t.mgr.n_undo_live + 1;
-  Engine.delay t.mgr.costs.undo_push
+  Engine.delay t.mgr.costs.undo_push;
+  if Trace.enabled () then begin
+    Trace.incr "undo.pushes";
+    Trace.charge ~ctx:(trace_ctx ()) Profile.Undo t.mgr.costs.undo_push
+  end
 
 let request_abort t reason =
   if is_active t && t.abort_reason = None then t.abort_reason <- Some reason
@@ -152,7 +173,22 @@ let abort t ~reason =
       t.mgr.n_aborts <- t.mgr.n_aborts + 1;
       resolve t;
       finish_child t;
-      Engine.delay (t.mgr.costs.txn_abort + replay_cost)
+      Engine.delay (t.mgr.costs.txn_abort + replay_cost);
+      if Trace.enabled () then begin
+        let now = Engine.now t.mgr.engine in
+        Trace.incr "txn.aborts";
+        Trace.span Span.Txn_abort ~label:t.tname
+          ~start:(now - t.mgr.costs.txn_abort - replay_cost)
+          ~dur:t.mgr.costs.txn_abort;
+        if pending > 0 then begin
+          Trace.incr ~by:pending "undo.replays";
+          Trace.span Span.Undo_replay ~label:t.tname
+            ~start:(now - replay_cost) ~dur:replay_cost
+        end;
+        let ctx = trace_ctx () in
+        Trace.charge ~ctx Profile.Txn t.mgr.costs.txn_abort;
+        Trace.charge ~ctx Profile.Undo replay_cost
+      end
 
 let commit t =
   match t.tstate with
@@ -183,6 +219,14 @@ let commit t =
                 p.deferred <- t.deferred @ p.deferred;
                 t.deferred <- [];
                 Engine.delay t.mgr.costs.nested_commit;
+                if Trace.enabled () then begin
+                  Trace.incr "txn.commits_nested";
+                  Trace.span Span.Txn_commit ~label:t.tname
+                    ~start:(Engine.now t.mgr.engine - t.mgr.costs.nested_commit)
+                    ~dur:t.mgr.costs.nested_commit;
+                  Trace.charge ~ctx:(trace_ctx ()) Profile.Txn
+                    t.mgr.costs.nested_commit
+                end;
                 []
             | None ->
                 List.iter (fun h -> Lock.release h) t.locks;
@@ -193,6 +237,14 @@ let commit t =
                 let d = List.rev t.deferred in
                 t.deferred <- [];
                 Engine.delay t.mgr.costs.txn_commit;
+                if Trace.enabled () then begin
+                  Trace.incr "txn.commits";
+                  Trace.span Span.Txn_commit ~label:t.tname
+                    ~start:(Engine.now t.mgr.engine - t.mgr.costs.txn_commit)
+                    ~dur:t.mgr.costs.txn_commit;
+                  Trace.charge ~ctx:(trace_ctx ()) Profile.Txn
+                    t.mgr.costs.txn_commit
+                end;
                 d
           in
           t.tstate <- Committed;
@@ -208,6 +260,7 @@ let commit t =
               try action () with
               | Engine.Stopped as stop -> raise stop
               | _exn ->
+                  Trace.incr "txn.deferred_failures";
                   t.mgr.n_deferred_failures <- t.mgr.n_deferred_failures + 1)
             deferred;
           Ok ())

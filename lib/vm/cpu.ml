@@ -23,6 +23,8 @@ type t = {
   mutable depth : int;
   mutable insns : int;
   mutable accesses : int;
+  mutable sandbox_cy : int;
+  mutable checkcall_cy : int;
 }
 
 type kstatus = K_ok | K_abort of string | K_fault of fault
@@ -61,6 +63,8 @@ let make ~mem ~seg ?(costs = Costs.default) ?(checked = false)
       depth = 0;
       insns = 0;
       accesses = 0;
+      sandbox_cy = 0;
+      checkcall_cy = 0;
     }
   in
   t.regs.(Insn.sp) <- seg.Mem.base + seg.Mem.size;
@@ -74,6 +78,8 @@ let insns_executed t = t.insns
 let refuel t extra = t.fuel <- t.cycles + extra
 let fuel_left t = max 0 (t.fuel - t.cycles)
 let mem_accesses t = t.accesses
+let sandbox_cycles t = t.sandbox_cy
+let checkcall_cycles t = t.checkcall_cy
 let mem t = t.mem
 let segment t = t.seg
 
@@ -184,7 +190,14 @@ let run ?(poll_every = 32) env t prog =
     else
       let i = prog.(t.pc) in
       t.insns <- t.insns + 1;
-      t.cycles <- t.cycles + Costs.insn t.costs i;
+      let cost = Costs.insn t.costs i in
+      t.cycles <- t.cycles + cost;
+      (* split out the SFI overhead so the observability layer can
+         attribute sandbox cycles within an invocation *)
+      (match i with
+      | Insn.Sandbox _ -> t.sandbox_cy <- t.sandbox_cy + cost
+      | Insn.Checkcall _ -> t.checkcall_cy <- t.checkcall_cy + cost
+      | _ -> ());
       match step env t i with
       | Next ->
           t.pc <- t.pc + 1;

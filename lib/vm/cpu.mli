@@ -85,6 +85,14 @@ val fuel_left : t -> int
 
 val insns_executed : t -> int
 val mem_accesses : t -> int
+
+val sandbox_cycles : t -> int
+(** Cycles charged to [Sandbox] instructions so far — the part of
+    {!cycles} that is MiSFIT address-sandboxing overhead. *)
+
+val checkcall_cycles : t -> int
+(** Cycles charged to [Checkcall] instructions so far. *)
+
 val mem : t -> Mem.t
 val segment : t -> Mem.segment
 val pp_fault : Format.formatter -> fault -> unit

@@ -31,4 +31,5 @@ let () =
          Test_measure.suite;
          Test_disaster.suite;
          Test_soak.suite;
+         Test_trace.suite;
        ])
