@@ -61,6 +61,20 @@ let load_bench path =
   in
   (str j "name", rows)
 
+(* BENCH_wall.json measures host wall-clock time (interpreter vs.
+   translated execution), which is machine-dependent: informational
+   artifact only, never gated and never baselined. *)
+let drop_wall benches =
+  List.filter
+    (fun (name, _) ->
+      if String.equal name "wall" then begin
+        Printf.printf
+          "skip   %-10s (host wall-clock; informational only)\n" name;
+        false
+      end
+      else true)
+    benches
+
 (* Baseline schema: {schema; tables: {<table>: {<label>: cycles}}}.
    Only elapsed (non-incremental) rows are gated: the incremental lines
    are successive differences of them, so gating both would double-count
@@ -156,9 +170,11 @@ let () =
   match Array.to_list Sys.argv with
   | _ :: "check" :: base_path :: bench_paths when bench_paths <> [] ->
       check ~baseline:(load_baseline base_path)
-        (List.map load_bench bench_paths)
+        (drop_wall (List.map load_bench bench_paths))
   | _ :: "write" :: base_path :: bench_paths when bench_paths <> [] ->
-      let j = baseline_of_benches (List.map load_bench bench_paths) in
+      let j =
+        baseline_of_benches (drop_wall (List.map load_bench bench_paths))
+      in
       Out_channel.with_open_text base_path (fun oc ->
           Out_channel.output_string oc (Json.to_string j));
       Printf.printf "wrote %s\n" base_path

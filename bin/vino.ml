@@ -117,6 +117,11 @@ let inspect name show_code =
                -. 1.));
           Printf.printf "optimisable sandboxes: %d (same-address reuse)\n"
             (Vino_misfit.Rewrite.eliminated_sandboxes obj.Vino_vm.Asm.code);
+          let tr = Vino_vm.Jit.translate image.Vino_misfit.Image.code in
+          Printf.printf
+            "translation: %d basic blocks, %d fused superinstruction pairs\n"
+            (Vino_vm.Jit.block_count tr)
+            (Vino_vm.Jit.fused_pairs tr);
           Printf.printf "imports: %s\n"
             (match image.Vino_misfit.Image.relocs with
             | [] -> "(none)"
@@ -219,6 +224,28 @@ let verify path key words rewritten seg_regs =
 
 (* ------------------------------- run ----------------------------------- *)
 
+(* Kernels created by a command pick the mode up from
+   {!Vino_vm.Jit.default_mode}, so set it before anything runs. *)
+let mode_arg =
+  let mode_conv =
+    Arg.enum
+      [
+        ("interp", Vino_vm.Jit.Interp);
+        ("translated", Vino_vm.Jit.Translated);
+      ]
+  in
+  Arg.(
+    value
+    & opt mode_conv Vino_vm.Jit.Translated
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "Graft execution mode: $(b,translated) (closure-threaded \
+           translation cache, the default) or $(b,interp) (the reference \
+           interpreter). Outcomes, cycles and all counters are \
+           bit-identical; only host wall-clock time differs.")
+
+let set_mode m = Vino_vm.Jit.default_mode := m
+
 let run_graft name args stub_imports =
   let kernel = Vino_core.Kernel.create ~mem_words:(1 lsl 16) () in
   let image =
@@ -265,7 +292,7 @@ let run_graft name args stub_imports =
                  ~limits:(Vino_txn.Rlimit.unlimited ())
                  ~seg:loaded.Vino_core.Linker.seg
                  ~code:loaded.Vino_core.Linker.code
-                 ~budget:50_000_000
+                 ~trans:loaded.Vino_core.Linker.trans ~budget:50_000_000
                  ~setup:(fun cpu ->
                    List.iteri
                      (fun k v ->
@@ -322,7 +349,8 @@ let all_tables =
 
 (* ------------------------------ disaster ------------------------------ *)
 
-let disaster seed count costs =
+let disaster seed count costs mode =
+  set_mode mode;
   let report = Vino_disaster.Campaign.run ~seed ~count () in
   Format.printf "%a@." Vino_disaster.Campaign.pp report;
   if costs then
@@ -381,7 +409,8 @@ let run_trace_scenario ~transfers ~seed ~count = function
         other;
       exit 1
 
-let trace scenario transfers seed count json span_tail =
+let trace scenario transfers seed count json span_tail mode =
+  set_mode mode;
   let sink = Trace.create () in
   Trace.with_t sink (fun () ->
       run_trace_scenario ~transfers ~seed ~count scenario);
@@ -581,13 +610,16 @@ let run_cmd =
       & info [ "no-stub-imports" ]
           ~doc:"Fail on unresolved imports instead of stubbing them.")
   in
-  let run name args no_stubs = run_graft name args (not no_stubs) in
+  let run name args no_stubs mode =
+    set_mode mode;
+    run_graft name args (not no_stubs)
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Run a graft in a sandbox kernel (transaction, SFI, budget) and \
           report the outcome")
-    Term.(const run $ graft_pos $ args $ no_stubs)
+    Term.(const run $ graft_pos $ args $ no_stubs $ mode_arg)
 
 let dump_cmd =
   let graft =
@@ -614,14 +646,15 @@ let tables_cmd =
       value & opt int 120
       & info [ "iterations"; "n" ] ~doc:"Samples per measurement.")
   in
-  let run iterations which =
+  let run iterations which mode =
+    set_mode mode;
     match which with
     | Some t -> run_table iterations t
     | None -> List.iter (run_table iterations) all_tables
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's evaluation tables")
-    Term.(const run $ iterations $ which)
+    Term.(const run $ iterations $ which $ mode_arg)
 
 let disaster_cmd =
   let seed =
@@ -647,7 +680,7 @@ let disaster_cmd =
          "Run a seeded fault-injection campaign — misbehaving grafts across \
           every graft-point family — and check the post-recovery invariants \
           (exit 1 on any violation)")
-    Term.(const disaster $ seed $ count $ costs)
+    Term.(const disaster $ seed $ count $ costs $ mode_arg)
 
 let trace_cmd =
   let scenario =
@@ -688,7 +721,9 @@ let trace_cmd =
          "Run a scenario under the observability sink and report the \
           per-graft cycle profile (sandbox/body/txn/undo buckets), the \
           kernel counters and the span tail")
-    Term.(const trace $ scenario $ transfers $ seed $ count $ json $ span_tail)
+    Term.(
+      const trace $ scenario $ transfers $ seed $ count $ json $ span_tail
+      $ mode_arg)
 
 let rules_cmd =
   Cmd.v

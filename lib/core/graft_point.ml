@@ -157,8 +157,8 @@ let invoke t kernel ~cred:_ arg =
       in
       let cpu, outcome =
         Wrapper.exec kernel ~txn ~cred:g.cred ~limits:g.limits
-          ~seg:g.loaded.Linker.seg ~code:g.loaded.Linker.code ~slice:t.slice
-          ~budget:t.budget
+          ~seg:g.loaded.Linker.seg ~code:g.loaded.Linker.code
+          ~trans:g.loaded.Linker.trans ~slice:t.slice ~budget:t.budget
           ~setup:(fun cpu -> t.setup cpu arg)
           ()
       in

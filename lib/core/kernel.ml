@@ -13,12 +13,15 @@ type t = {
   vm_costs : Vino_vm.Costs.t;
   costs : Vino_txn.Tcosts.t;
   audit : Audit.t;
+  translations : (Vino_misfit.Sign.t, Vino_vm.Jit.t) Hashtbl.t;
+  mutable exec_mode : Vino_vm.Jit.mode;
 }
 
 let default_key = "vino-misfit-toolchain"
 
 let create ?(mem_words = 1 lsl 20) ?tick ?(key = default_key)
-    ?(vm_costs = Vino_vm.Costs.default) ?(costs = Vino_txn.Tcosts.default) () =
+    ?(vm_costs = Vino_vm.Costs.default) ?(costs = Vino_txn.Tcosts.default)
+    ?exec_mode () =
   let engine = Engine.create () in
   let wheel = Tick.create engine ?tick () in
   {
@@ -36,7 +39,27 @@ let create ?(mem_words = 1 lsl 20) ?tick ?(key = default_key)
     vm_costs;
     costs;
     audit = Audit.create ();
+    translations = Hashtbl.create 16;
+    exec_mode =
+      (match exec_mode with
+      | Some m -> m
+      | None -> !Vino_vm.Jit.default_mode);
   }
+
+(* Translations are cached per kernel, keyed by the signature of the
+   post-link code (relocations already patched to concrete [Kcall] ids) —
+   not the image signature, because the registry may assign different ids
+   to the same image across loads. *)
+let translate t code =
+  let sign =
+    Vino_misfit.Sign.digest ~key:t.key (Vino_vm.Encode.to_words code)
+  in
+  match Hashtbl.find_opt t.translations sign with
+  | Some tr -> tr
+  | None ->
+      let tr = Vino_vm.Jit.translate ~costs:t.vm_costs code in
+      Hashtbl.add t.translations sign tr;
+      tr
 
 let register_kcall t ~name ?callable impl =
   let fn = Kcall.register t.registry ~name ?callable impl in

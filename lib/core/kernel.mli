@@ -18,6 +18,11 @@ type t = {
   vm_costs : Vino_vm.Costs.t;
   costs : Vino_txn.Tcosts.t;
   audit : Audit.t;  (** trail of graft security events *)
+  translations : (Vino_misfit.Sign.t, Vino_vm.Jit.t) Hashtbl.t;
+      (** translation cache, keyed by post-link code signature *)
+  mutable exec_mode : Vino_vm.Jit.mode;
+      (** how wrappers execute graft code (default
+          {!Vino_vm.Jit.default_mode}) *)
 }
 
 val create :
@@ -26,10 +31,16 @@ val create :
   ?key:string ->
   ?vm_costs:Vino_vm.Costs.t ->
   ?costs:Vino_txn.Tcosts.t ->
+  ?exec_mode:Vino_vm.Jit.mode ->
   unit ->
   t
 (** A fresh kernel with [mem_words] (default 2^20) of graft memory and the
     standard 10 ms timeout tick. *)
+
+val translate : t -> Vino_vm.Insn.t array -> Vino_vm.Jit.t
+(** Translation of [code] under this kernel's cost table, cached by the
+    {!Vino_misfit.Sign} digest of the post-link instruction words: loading
+    the same graft twice compiles it once. *)
 
 val register_kcall :
   t -> name:string -> ?callable:bool -> Kcall.impl -> Kcall.fn

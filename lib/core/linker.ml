@@ -1,7 +1,11 @@
 module Insn = Vino_vm.Insn
 module Image = Vino_misfit.Image
 
-type loaded = { code : Insn.t array; seg : Vino_vm.Mem.segment }
+type loaded = {
+  code : Insn.t array;
+  seg : Vino_vm.Mem.segment;
+  trans : Vino_vm.Jit.t;
+}
 
 let resolve_reloc kernel (r : Vino_vm.Asm.reloc) =
   match Kcall.find_by_name kernel.Kernel.registry r.name with
@@ -68,6 +72,6 @@ let load kernel ~words (image : Image.t) =
     Result.bind (static_check kernel ~words code) @@ fun () ->
     match Segalloc.alloc kernel.Kernel.segalloc words with
     | Error `No_memory -> Error "out of graft memory"
-    | Ok seg -> Ok { code; seg }
+    | Ok seg -> Ok { code; seg; trans = Kernel.translate kernel code }
 
 let unload kernel loaded = Segalloc.free kernel.Kernel.segalloc loaded.seg

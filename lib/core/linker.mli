@@ -19,7 +19,14 @@
     Indirect calls cannot be checked statically; MiSFIT's [Checkcall]
     instructions handle those at run time against {!Calltable}. *)
 
-type loaded = { code : Vino_vm.Insn.t array; seg : Vino_vm.Mem.segment }
+type loaded = {
+  code : Vino_vm.Insn.t array;
+  seg : Vino_vm.Mem.segment;
+  trans : Vino_vm.Jit.t;
+      (** closure-threaded translation of [code], from the kernel's cache
+          ({!Kernel.translate}); wrappers use it when the kernel's
+          [exec_mode] is [Translated] *)
+}
 
 val load :
   Kernel.t -> words:int -> Vino_misfit.Image.t -> (loaded, string) result

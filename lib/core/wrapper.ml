@@ -21,13 +21,24 @@ let env kernel ~txn ~cred ~limits =
 let default_slice = 10_000
 let default_budget = 1_000_000_000
 
-let exec kernel ~txn ~cred ~limits ~seg ~code ?(slice = default_slice)
-    ?(budget = default_budget) ~setup () =
+let exec kernel ~txn ~cred ~limits ~seg ~code ?trans ?mode
+    ?(slice = default_slice) ?(budget = default_budget) ~setup () =
   let cpu =
     Cpu.make ~mem:kernel.Kernel.mem ~seg ~costs:kernel.Kernel.vm_costs ()
   in
   setup cpu;
   let e = env kernel ~txn:(Some txn) ~cred ~limits in
+  let mode =
+    match mode with Some m -> m | None -> kernel.Kernel.exec_mode
+  in
+  (* Each slice resumes from the cpu's saved pc, so the step function must
+     handle mid-block entry — {!Vino_vm.Jit.run} does. *)
+  let step =
+    match (mode, trans) with
+    | Vino_vm.Jit.Translated, Some tr -> fun () -> Vino_vm.Jit.run e cpu tr
+    | Vino_vm.Jit.Translated, None | Vino_vm.Jit.Interp, _ ->
+        fun () -> Cpu.run e cpu code
+  in
   let synced = ref 0 in
   let sync () =
     let consumed = Cpu.cycles cpu in
@@ -38,7 +49,7 @@ let exec kernel ~txn ~cred ~limits ~seg ~code ?(slice = default_slice)
   in
   let rec go () =
     Cpu.refuel cpu slice;
-    let outcome = Cpu.run e cpu code in
+    let outcome = step () in
     sync ();
     match outcome with
     | Cpu.Out_of_fuel ->

@@ -28,10 +28,17 @@ val exec :
   limits:Vino_txn.Rlimit.t ->
   seg:Vino_vm.Mem.segment ->
   code:Vino_vm.Insn.t array ->
+  ?trans:Vino_vm.Jit.t ->
+  ?mode:Vino_vm.Jit.mode ->
   ?slice:int ->
   ?budget:int ->
   setup:(Vino_vm.Cpu.t -> unit) ->
   unit ->
   Vino_vm.Cpu.t * Vino_vm.Cpu.outcome
 (** Must run inside an engine process. Advances the virtual clock by every
-    cycle the graft consumes. *)
+    cycle the graft consumes.
+
+    [mode] (default: the kernel's [exec_mode]) selects the step function:
+    [Translated] runs the closure-threaded [trans] when one is supplied,
+    falling back to the interpreter otherwise; [Interp] always interprets
+    [code]. Both produce bit-identical cpu state and outcomes. *)

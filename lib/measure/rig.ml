@@ -34,7 +34,8 @@ let run t ?(indirection = Vino_txn.Tcosts.us 1.)
   let txn = Txn.begin_ t.kernel.Kernel.txn_mgr ~name:"rig" () in
   let cpu, result =
     Wrapper.exec t.kernel ~txn ~cred:t.cred ~limits:t.limits
-      ~seg:t.loaded.Linker.seg ~code:t.loaded.Linker.code ~setup ()
+      ~seg:t.loaded.Linker.seg ~code:t.loaded.Linker.code
+      ~trans:t.loaded.Linker.trans ~setup ()
   in
   match result with
   | Cpu.Halted ->

@@ -54,4 +54,7 @@ let insn c : Insn.t -> int = function
 
 let mhz = 120.
 let us_of_cycles cy = float_of_int cy /. mhz
-let cycles_of_us us = int_of_float (us *. mhz)
+(* Round to nearest: truncation loses a cycle whenever [us *. mhz] lands
+   just below an integer, breaking the [cycles_of_us (us_of_cycles n) = n]
+   roundtrip the reports rely on. *)
+let cycles_of_us us = int_of_float (Float.round (us *. mhz))

@@ -43,3 +43,5 @@ val us_of_cycles : int -> float
 (** Convert a virtual-cycle count to microseconds at {!mhz}. *)
 
 val cycles_of_us : float -> int
+(** Nearest virtual-cycle count for a microsecond value; inverse of
+    {!us_of_cycles} for any representable cycle count. *)

@@ -22,8 +22,26 @@ type outcome =
   | Out_of_fuel  (** CPU quota exhausted *)
   | Aborted of string  (** asynchronous abort observed at a poll point *)
 
-type t
-(** Mutable per-invocation machine state. *)
+type t = {
+  regs : int array;
+  mem : Mem.t;
+  seg : Mem.segment;
+  costs : Costs.t;
+  checked : bool;
+  check_access_cost : int;
+  mutable fuel : int;
+  mutable pc : int;
+  mutable cycles : int;
+  mutable callstack : int list;
+  mutable depth : int;
+  mutable insns : int;
+  mutable accesses : int;
+  mutable sandbox_cy : int;
+  mutable checkcall_cy : int;
+}
+(** Mutable per-invocation machine state. The record is concrete so that
+    {!Jit} can compile closures that update it directly; everything else
+    should go through the accessors below, which define the stable API. *)
 
 type kstatus =
   | K_ok
@@ -40,6 +58,12 @@ val env_trusted : env
 (** An environment with no kernel calls, permissive [Checkcall] and no abort
     source; used by unit tests and baseline measurements. *)
 
+exception Fault_exn of fault
+(** Raised internally by instruction implementations; {!run} (and
+    {!Jit.run}) turn it into [Faulted]. Exposed so the translator can
+    reproduce fault behaviour exactly. *)
+
+val max_call_depth : int
 val default_check_access_cost : int
 
 val make :

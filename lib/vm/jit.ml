@@ -1,0 +1,972 @@
+(* Closure-threaded translation of graft programs.
+
+   The interpreter ({!Cpu.run}) pays a constructor match, a cost-table
+   lookup, a fuel check and a poll check on every instruction. Here all
+   of that is done once, at translation time:
+
+   - the program is split into basic blocks (leaders: pc 0, every
+     branch/jump/call target, every instruction after a terminator);
+   - each block's total cycle cost and instruction count are computed
+     statically from the cost table;
+   - every instruction is compiled to a pre-resolved closure; the block
+     body is the chain of those closures (direct threading);
+   - hot superinstruction pairs are fused ([Sandbox]+[Ld]/[St] — the
+     MiSFIT access sequence — plus [Li]+[Alu(i)] and [Alu(i)]+[Br]);
+   - the fuel and abort-poll checks run once per block, not once per
+     instruction.
+
+   Equivalence with the interpreter is maintained exactly; the argument
+   (DESIGN.md §11) rests on two mechanisms:
+
+   Fast-path entry conditions. A block body runs only when
+   [cycles + cost <= fuel] (no intermediate instruction could have seen
+   [cycles > fuel], because cycles grow monotonically by partial sums of
+   [cost]) and [since_poll + len <= poll_every] (no intermediate
+   instruction could have reached a poll point). Within the body,
+   instructions that cannot fault or observe the machine accumulate
+   their cycle/instruction counts statically; any instruction that can
+   fault, stop, or hand the cpu to kernel code (memory access, Div/Rem,
+   Checkcall, Kcall, every terminator) first flushes the accumulated
+   counts and stores its own pc, so the architectural state at every
+   observable point — fault, abort, kernel call — is exactly what the
+   interpreter would expose.
+
+   Careful path. When an entry condition fails, or when execution
+   resumes mid-block (the wrapper refuels and re-enters at an arbitrary
+   pc), the driver executes per-instruction slow closures with the
+   interpreter's exact per-instruction semantics (and no fusion) until
+   control reaches a block head again. The driver itself re-checks fuel,
+   poll and pc bounds in the interpreter's order before every step. *)
+
+type mode = Interp | Translated
+
+let default_mode = ref Translated
+
+type ctx = {
+  cpu : Cpu.t;
+  env : Cpu.env;
+  (* Closures hand control back as a bare pc (no allocation on the hot
+     transfer path); to finish instead, a closure calls {!finish}, which
+     raises this flag and parks the outcome. The driver reads and the
+     run entry resets them. *)
+  mutable fin : bool;
+  mutable out : Cpu.outcome;
+  (* Blocks extend through a not-taken conditional branch; when a branch
+     inside a body is taken, the body exits early and records here how
+     many of the block's instructions it did NOT execute, so the driver
+     can correct its poll-counter bookkeeping. Zero otherwise. *)
+  mutable back : int;
+}
+
+let finish ctx o =
+  ctx.fin <- true;
+  ctx.out <- o;
+  0
+
+type t = {
+  source : Insn.t array;
+  nblocks : int;
+  fused : int;
+  (* Per-pc tails: [body_of_pc.(pc)] executes from [pc] to the end of
+     its basic block, charging [cost_of_pc.(pc)] cycles over
+     [len_of_pc.(pc)] instructions. Compiling every suffix (not just
+     block heads) keeps execution on the fast path when a slice or an
+     abort poll resumes mid-block. *)
+  body_of_pc : (ctx -> int) array;
+  cost_of_pc : int array;
+  len_of_pc : int array;
+  slow : (ctx -> int) array;
+}
+
+let source t = t.source
+let block_count t = t.nblocks
+let fused_pairs t = t.fused
+
+(* -------------------------------------------------------------------- *)
+(* Pre-resolved operators                                                *)
+(* -------------------------------------------------------------------- *)
+
+let cond_fn : Insn.cond -> int -> int -> bool = function
+  | Eq -> fun a b -> a = b
+  | Ne -> fun a b -> a <> b
+  | Lt -> fun a b -> a < b
+  | Le -> fun a b -> a <= b
+  | Gt -> fun a b -> a > b
+  | Ge -> fun a b -> a >= b
+
+(* Operators that cannot fault, with {!Insn.eval_alu}'s exact shift
+   clamping baked in. *)
+let safe_alu : Insn.alu -> (int -> int -> int) option = function
+  | Add -> Some (fun a b -> a + b)
+  | Sub -> Some (fun a b -> a - b)
+  | Mul -> Some (fun a b -> a * b)
+  | And -> Some (fun a b -> a land b)
+  | Or -> Some (fun a b -> a lor b)
+  | Xor -> Some (fun a b -> a lxor b)
+  | Shl ->
+      Some
+        (fun a b ->
+          if b < 0 then a else if b >= Sys.int_size then 0 else a lsl b)
+  | Shr ->
+      Some
+        (fun a b ->
+          if b < 0 then a
+          else if b >= Sys.int_size then if a < 0 then -1 else 0
+          else a asr b)
+  | Div | Rem -> None
+
+(* Div/Rem share the interpreter's code path, fault mapping included. *)
+let faulting_alu op a b =
+  try Insn.eval_alu op a b
+  with Division_by_zero -> raise (Cpu.Fault_exn Cpu.Division_by_zero)
+
+(* Instructions that end a basic block. [Kcall]/[Kcallr] terminate
+   because the kernel function receives the cpu: it may observe any
+   counter, charge cycles or refuel, so state must be architecturally
+   exact before dispatch and the driver's checks must rerun after. *)
+let terminates : Insn.t -> bool = function
+  | Br _ | Jmp _ | Call _ | Callr _ | Ret | Kcall _ | Kcallr _ | Halt -> true
+  | Li _ | Mov _ | Alu _ | Alui _ | Ld _ | St _ | Push _ | Pop _ | Sandbox _
+  | Checkcall _ ->
+      false
+
+(* -------------------------------------------------------------------- *)
+(* Fast path: block bodies                                               *)
+(* -------------------------------------------------------------------- *)
+
+(* Compile instructions [start, stop) into one closure chain. [pend_c] /
+   [pend_i] are cycles/instructions executed since the last flush; they
+   are added to the cpu before anything that can fault, stop or observe
+   it, together with that instruction's own charge (the interpreter
+   charges an instruction before executing it). *)
+let compile_block ~costs prog ~start ~stop ~fused =
+  let cost_of pc = Costs.insn costs prog.(pc) in
+  let rec comp pc pend_c pend_i : ctx -> int =
+    if pc >= stop then
+      fun ctx ->
+        let t : Cpu.t = ctx.cpu in
+        t.cycles <- t.cycles + pend_c;
+        t.insns <- t.insns + pend_i;
+        pc
+    else
+      let own = cost_of pc in
+      let next = pc + 1 in
+      match (prog.(pc) : Insn.t) with
+      (* ---- fused superinstructions ---- *)
+      | Mov (ra, rs)
+        when pc + 2 < stop
+             && (match (prog.(next), prog.(pc + 2)) with
+                | Sandbox a, (Ld (_, b, _) | St (_, b, _)) ->
+                    a = ra && b = ra
+                | _ -> false) -> (
+          (* The full MiSFIT access sequence:
+             [Mov a,s; Sandbox a; Ld/St _,a,off]. The raw address is
+             visible in [a] only between the first two instructions,
+             where nothing can observe it, so the three collapse into
+             sandbox-then-access. *)
+          fused := !fused + 2;
+          let sb = cost_of next in
+          let dc = pend_c + own + sb + cost_of (pc + 2)
+          and di = pend_i + 3 in
+          let acc_pc = pc + 2 in
+          let after = comp (pc + 3) 0 0 in
+          match (prog.(acc_pc) : Insn.t) with
+          | Ld (rd, _, off) ->
+              fun ctx ->
+                let t : Cpu.t = ctx.cpu in
+                let r = t.regs in
+                let x = Mem.sandbox t.seg r.(rs) in
+                r.(ra) <- x;
+                t.sandbox_cy <- t.sandbox_cy + sb;
+                t.cycles <- t.cycles + dc;
+                t.insns <- t.insns + di;
+                t.pc <- acc_pc;
+                t.accesses <- t.accesses + 1;
+                r.(rd) <- Mem.load t.mem (x + off);
+                after ctx
+          | St (rv, _, off) ->
+              fun ctx ->
+                let t : Cpu.t = ctx.cpu in
+                let r = t.regs in
+                let x = Mem.sandbox t.seg r.(rs) in
+                r.(ra) <- x;
+                t.sandbox_cy <- t.sandbox_cy + sb;
+                t.cycles <- t.cycles + dc;
+                t.insns <- t.insns + di;
+                t.pc <- acc_pc;
+                t.accesses <- t.accesses + 1;
+                Mem.store t.mem (x + off) r.(rv);
+                after ctx
+          | _ -> assert false)
+      | Sandbox rs
+        when next < stop
+             && (match prog.(next) with
+                | Ld _ | St _ -> true
+                | _ -> false) -> (
+          incr fused;
+          let dc = pend_c + own + cost_of next and di = pend_i + 2 in
+          let after = comp (pc + 2) 0 0 in
+          match (prog.(next) : Insn.t) with
+          | Ld (rd, rb, off) ->
+              fun ctx ->
+                let t : Cpu.t = ctx.cpu in
+                let r = t.regs in
+                r.(rs) <- Mem.sandbox t.seg r.(rs);
+                t.sandbox_cy <- t.sandbox_cy + own;
+                t.cycles <- t.cycles + dc;
+                t.insns <- t.insns + di;
+                t.pc <- next;
+                t.accesses <- t.accesses + 1;
+                r.(rd) <- Mem.load t.mem (r.(rb) + off);
+                after ctx
+          | St (rv, rb, off) ->
+              fun ctx ->
+                let t : Cpu.t = ctx.cpu in
+                let r = t.regs in
+                r.(rs) <- Mem.sandbox t.seg r.(rs);
+                t.sandbox_cy <- t.sandbox_cy + own;
+                t.cycles <- t.cycles + dc;
+                t.insns <- t.insns + di;
+                t.pc <- next;
+                t.accesses <- t.accesses + 1;
+                Mem.store t.mem (r.(rb) + off) r.(rv);
+                after ctx
+          | _ -> assert false)
+      | Li (rd, v)
+        when next < stop
+             && (match prog.(next) with
+                | Alu (op, _, _, _) | Alui (op, _, _, _) ->
+                    safe_alu op <> None
+                | _ -> false) -> (
+          incr fused;
+          let pend_c = pend_c + own + cost_of next
+          and pend_i = pend_i + 2 in
+          match (prog.(next) : Insn.t) with
+          | Alu (op, d2, a2, b2) ->
+              let f = Option.get (safe_alu op) in
+              let after = comp (pc + 2) pend_c pend_i in
+              fun ctx ->
+                let r = (ctx.cpu : Cpu.t).regs in
+                r.(rd) <- v;
+                r.(d2) <- f r.(a2) r.(b2);
+                after ctx
+          | Alui (op, d2, a2, imm) ->
+              let f = Option.get (safe_alu op) in
+              let after = comp (pc + 2) pend_c pend_i in
+              fun ctx ->
+                let r = (ctx.cpu : Cpu.t).regs in
+                r.(rd) <- v;
+                r.(d2) <- f r.(a2) imm;
+                after ctx
+          | _ -> assert false)
+      | Li (rd, v)
+        when next < stop
+             && (match prog.(next) with Br _ -> true | _ -> false)
+             && pc + 2 >= stop -> (
+          match (prog.(next) : Insn.t) with
+          | Br (c, ba, bb, target) ->
+              incr fused;
+              let cmp = cond_fn c in
+              let dc = pend_c + own + cost_of next and di = pend_i + 2 in
+              let fall = pc + 2 in
+              fun ctx ->
+                let t : Cpu.t = ctx.cpu in
+                let r = t.regs in
+                r.(rd) <- v;
+                t.cycles <- t.cycles + dc;
+                t.insns <- t.insns + di;
+                if cmp r.(ba) r.(bb) then target else fall
+          | _ -> assert false)
+      | Alu (op, rd, ra, rb)
+        when safe_alu op <> None
+             && next < stop
+             && (match prog.(next) with Br _ -> true | _ -> false)
+             && pc + 2 >= stop -> (
+          match (prog.(next) : Insn.t) with
+          | Br (c, ba, bb, target) ->
+              incr fused;
+              let f = Option.get (safe_alu op) in
+              let cmp = cond_fn c in
+              let dc = pend_c + own + cost_of next and di = pend_i + 2 in
+              let fall = pc + 2 in
+              fun ctx ->
+                let t : Cpu.t = ctx.cpu in
+                let r = t.regs in
+                r.(rd) <- f r.(ra) r.(rb);
+                t.cycles <- t.cycles + dc;
+                t.insns <- t.insns + di;
+                if cmp r.(ba) r.(bb) then target else fall
+          | _ -> assert false)
+      | Alui (op, rd, ra, imm)
+        when safe_alu op <> None
+             && next < stop
+             && (match prog.(next) with Br _ -> true | _ -> false)
+             && pc + 2 >= stop -> (
+          match (prog.(next) : Insn.t) with
+          | Br (c, ba, bb, target) ->
+              incr fused;
+              let f = Option.get (safe_alu op) in
+              let cmp = cond_fn c in
+              let dc = pend_c + own + cost_of next and di = pend_i + 2 in
+              let fall = pc + 2 in
+              fun ctx ->
+                let t : Cpu.t = ctx.cpu in
+                let r = t.regs in
+                r.(rd) <- f r.(ra) imm;
+                t.cycles <- t.cycles + dc;
+                t.insns <- t.insns + di;
+                if cmp r.(ba) r.(bb) then target else fall
+          | _ -> assert false)
+      | Alu (op, rd, ra, rb)
+        when safe_alu op <> None
+             && next < stop
+             && (match prog.(next) with Jmp _ -> true | _ -> false) -> (
+          match (prog.(next) : Insn.t) with
+          | Jmp target ->
+              incr fused;
+              let f = Option.get (safe_alu op) in
+              let dc = pend_c + own + cost_of next and di = pend_i + 2 in
+              fun ctx ->
+                let t : Cpu.t = ctx.cpu in
+                let r = t.regs in
+                r.(rd) <- f r.(ra) r.(rb);
+                t.cycles <- t.cycles + dc;
+                t.insns <- t.insns + di;
+                target
+          | _ -> assert false)
+      | Alui (op, rd, ra, imm)
+        when safe_alu op <> None
+             && next < stop
+             && (match prog.(next) with Jmp _ -> true | _ -> false) -> (
+          match (prog.(next) : Insn.t) with
+          | Jmp target ->
+              incr fused;
+              let f = Option.get (safe_alu op) in
+              let dc = pend_c + own + cost_of next and di = pend_i + 2 in
+              fun ctx ->
+                let t : Cpu.t = ctx.cpu in
+                let r = t.regs in
+                r.(rd) <- f r.(ra) imm;
+                t.cycles <- t.cycles + dc;
+                t.insns <- t.insns + di;
+                target
+          | _ -> assert false)
+      | Alu (op1, d1, a1, b1)
+        when safe_alu op1 <> None
+             && next < stop
+             && (match prog.(next) with
+                | Alu (op2, _, _, _) | Alui (op2, _, _, _) ->
+                    safe_alu op2 <> None
+                | _ -> false) -> (
+          incr fused;
+          let f1 = Option.get (safe_alu op1) in
+          let pend_c = pend_c + own + cost_of next
+          and pend_i = pend_i + 2 in
+          match (prog.(next) : Insn.t) with
+          | Alu (op2, d2, a2, b2) ->
+              let f2 = Option.get (safe_alu op2) in
+              let after = comp (pc + 2) pend_c pend_i in
+              fun ctx ->
+                let r = (ctx.cpu : Cpu.t).regs in
+                r.(d1) <- f1 r.(a1) r.(b1);
+                r.(d2) <- f2 r.(a2) r.(b2);
+                after ctx
+          | Alui (op2, d2, a2, i2) ->
+              let f2 = Option.get (safe_alu op2) in
+              let after = comp (pc + 2) pend_c pend_i in
+              fun ctx ->
+                let r = (ctx.cpu : Cpu.t).regs in
+                r.(d1) <- f1 r.(a1) r.(b1);
+                r.(d2) <- f2 r.(a2) i2;
+                after ctx
+          | _ -> assert false)
+      | Alui (op1, d1, a1, i1)
+        when safe_alu op1 <> None
+             && next < stop
+             && (match prog.(next) with
+                | Alu (op2, _, _, _) | Alui (op2, _, _, _) ->
+                    safe_alu op2 <> None
+                | _ -> false) -> (
+          incr fused;
+          let f1 = Option.get (safe_alu op1) in
+          let pend_c = pend_c + own + cost_of next
+          and pend_i = pend_i + 2 in
+          match (prog.(next) : Insn.t) with
+          | Alu (op2, d2, a2, b2) ->
+              let f2 = Option.get (safe_alu op2) in
+              let after = comp (pc + 2) pend_c pend_i in
+              fun ctx ->
+                let r = (ctx.cpu : Cpu.t).regs in
+                r.(d1) <- f1 r.(a1) i1;
+                r.(d2) <- f2 r.(a2) r.(b2);
+                after ctx
+          | Alui (op2, d2, a2, i2) ->
+              let f2 = Option.get (safe_alu op2) in
+              let after = comp (pc + 2) pend_c pend_i in
+              fun ctx ->
+                let r = (ctx.cpu : Cpu.t).regs in
+                r.(d1) <- f1 r.(a1) i1;
+                r.(d2) <- f2 r.(a2) i2;
+                after ctx
+          | _ -> assert false)
+      (* ---- straight-line instructions ---- *)
+      | Li (rd, v) ->
+          let after = comp next (pend_c + own) (pend_i + 1) in
+          fun ctx ->
+            (ctx.cpu : Cpu.t).regs.(rd) <- v;
+            after ctx
+      | Mov (rd, rs) ->
+          let after = comp next (pend_c + own) (pend_i + 1) in
+          fun ctx ->
+            let r = (ctx.cpu : Cpu.t).regs in
+            r.(rd) <- r.(rs);
+            after ctx
+      | Sandbox rr ->
+          let after = comp next (pend_c + own) (pend_i + 1) in
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.regs.(rr) <- Mem.sandbox t.seg t.regs.(rr);
+            t.sandbox_cy <- t.sandbox_cy + own;
+            after ctx
+      | Alu (op, rd, ra, rb) -> (
+          match safe_alu op with
+          | Some f ->
+              let after = comp next (pend_c + own) (pend_i + 1) in
+              fun ctx ->
+                let r = (ctx.cpu : Cpu.t).regs in
+                r.(rd) <- f r.(ra) r.(rb);
+                after ctx
+          | None ->
+              let dc = pend_c + own and di = pend_i + 1 in
+              let after = comp next 0 0 in
+              fun ctx ->
+                let t : Cpu.t = ctx.cpu in
+                t.cycles <- t.cycles + dc;
+                t.insns <- t.insns + di;
+                t.pc <- pc;
+                let r = t.regs in
+                r.(rd) <- faulting_alu op r.(ra) r.(rb);
+                after ctx)
+      | Alui (op, rd, ra, imm) -> (
+          match safe_alu op with
+          | Some f ->
+              let after = comp next (pend_c + own) (pend_i + 1) in
+              fun ctx ->
+                let r = (ctx.cpu : Cpu.t).regs in
+                r.(rd) <- f r.(ra) imm;
+                after ctx
+          | None ->
+              let dc = pend_c + own and di = pend_i + 1 in
+              let after = comp next 0 0 in
+              fun ctx ->
+                let t : Cpu.t = ctx.cpu in
+                t.cycles <- t.cycles + dc;
+                t.insns <- t.insns + di;
+                t.pc <- pc;
+                let r = t.regs in
+                r.(rd) <- faulting_alu op r.(ra) imm;
+                after ctx)
+      | Ld (rd, rb, off) ->
+          let dc = pend_c + own and di = pend_i + 1 in
+          let after = comp next 0 0 in
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.cycles <- t.cycles + dc;
+            t.insns <- t.insns + di;
+            t.pc <- pc;
+            t.accesses <- t.accesses + 1;
+            t.regs.(rd) <- Mem.load t.mem (t.regs.(rb) + off);
+            after ctx
+      | St (rv, rb, off) ->
+          let dc = pend_c + own and di = pend_i + 1 in
+          let after = comp next 0 0 in
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.cycles <- t.cycles + dc;
+            t.insns <- t.insns + di;
+            t.pc <- pc;
+            t.accesses <- t.accesses + 1;
+            Mem.store t.mem (t.regs.(rb) + off) t.regs.(rv);
+            after ctx
+      | Push rv ->
+          let dc = pend_c + own and di = pend_i + 1 in
+          let after = comp next 0 0 in
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.cycles <- t.cycles + dc;
+            t.insns <- t.insns + di;
+            t.pc <- pc;
+            t.accesses <- t.accesses + 1;
+            let r = t.regs in
+            r.(Insn.sp) <- r.(Insn.sp) - 1;
+            Mem.store t.mem r.(Insn.sp) r.(rv);
+            after ctx
+      | Pop rd ->
+          let dc = pend_c + own and di = pend_i + 1 in
+          let after = comp next 0 0 in
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.cycles <- t.cycles + dc;
+            t.insns <- t.insns + di;
+            t.pc <- pc;
+            t.accesses <- t.accesses + 1;
+            let r = t.regs in
+            r.(rd) <- Mem.load t.mem r.(Insn.sp);
+            r.(Insn.sp) <- r.(Insn.sp) + 1;
+            after ctx
+      | Checkcall rr ->
+          let dc = pend_c + own and di = pend_i + 1 in
+          let after = comp next 0 0 in
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.cycles <- t.cycles + dc;
+            t.insns <- t.insns + di;
+            t.checkcall_cy <- t.checkcall_cy + own;
+            t.pc <- pc;
+            let id = t.regs.(rr) in
+            if ctx.env.call_ok id then after ctx
+            else raise (Cpu.Fault_exn (Cpu.Bad_call_target id))
+      (* ---- conditional branch inside the block ---- *)
+      | Br (c, ra, rb, target) when next < stop ->
+          (* Not taken: fall through inline, costs still pending. Taken:
+             flush, record the unexecuted remainder for the driver's
+             poll counter, and exit early. *)
+          let cmp = cond_fn c in
+          let dc = pend_c + own and di = pend_i + 1 in
+          let back = stop - next in
+          let after = comp next (pend_c + own) (pend_i + 1) in
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            if cmp t.regs.(ra) t.regs.(rb) then begin
+              t.cycles <- t.cycles + dc;
+              t.insns <- t.insns + di;
+              ctx.back <- back;
+              target
+            end
+            else after ctx
+      (* ---- terminators ---- *)
+      | Br (c, ra, rb, target) ->
+          let cmp = cond_fn c in
+          let dc = pend_c + own and di = pend_i + 1 in
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.cycles <- t.cycles + dc;
+            t.insns <- t.insns + di;
+            if cmp t.regs.(ra) t.regs.(rb) then target else next
+      | Jmp target ->
+          let dc = pend_c + own and di = pend_i + 1 in
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.cycles <- t.cycles + dc;
+            t.insns <- t.insns + di;
+            target
+      | Call target ->
+          let dc = pend_c + own and di = pend_i + 1 in
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.cycles <- t.cycles + dc;
+            t.insns <- t.insns + di;
+            t.pc <- pc;
+            if t.depth >= Cpu.max_call_depth then
+              raise (Cpu.Fault_exn Cpu.Call_stack_overflow);
+            t.callstack <- next :: t.callstack;
+            t.depth <- t.depth + 1;
+            target
+      | Callr rr ->
+          let dc = pend_c + own and di = pend_i + 1 in
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.cycles <- t.cycles + dc;
+            t.insns <- t.insns + di;
+            t.pc <- pc;
+            if t.depth >= Cpu.max_call_depth then
+              raise (Cpu.Fault_exn Cpu.Call_stack_overflow);
+            t.callstack <- next :: t.callstack;
+            t.depth <- t.depth + 1;
+            t.regs.(rr)
+      | Ret ->
+          let dc = pend_c + own and di = pend_i + 1 in
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.cycles <- t.cycles + dc;
+            t.insns <- t.insns + di;
+            (match t.callstack with
+            | [] ->
+                t.pc <- pc;
+                finish ctx Cpu.Halted
+            | ret :: rest ->
+                t.callstack <- rest;
+                t.depth <- t.depth - 1;
+                ret)
+      | Kcall id ->
+          let dc = pend_c + own and di = pend_i + 1 in
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.cycles <- t.cycles + dc;
+            t.insns <- t.insns + di;
+            t.pc <- pc;
+            (match ctx.env.kcall id t with
+            | Cpu.K_ok -> next
+            | Cpu.K_abort reason -> finish ctx (Cpu.Aborted reason)
+            | Cpu.K_fault f -> finish ctx (Cpu.Faulted f))
+      | Kcallr rr ->
+          let dc = pend_c + own and di = pend_i + 1 in
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.cycles <- t.cycles + dc;
+            t.insns <- t.insns + di;
+            t.pc <- pc;
+            (match ctx.env.kcall t.regs.(rr) t with
+            | Cpu.K_ok -> next
+            | Cpu.K_abort reason -> finish ctx (Cpu.Aborted reason)
+            | Cpu.K_fault f -> finish ctx (Cpu.Faulted f))
+      | Halt ->
+          let dc = pend_c + own and di = pend_i + 1 in
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.cycles <- t.cycles + dc;
+            t.insns <- t.insns + di;
+            t.pc <- pc;
+            finish ctx Cpu.Halted
+  in
+  comp start 0 0
+
+(* -------------------------------------------------------------------- *)
+(* Careful path: one interpreter-exact closure per instruction           *)
+(* -------------------------------------------------------------------- *)
+
+(* The driver has already re-checked fuel/poll/bounds and stored [pc],
+   exactly as the interpreter's loop head does; each closure replicates
+   one loop iteration: charge, attribute, step. *)
+let compile_slow ~costs pc (i : Insn.t) : ctx -> int =
+  let cost = Costs.insn costs i in
+  let next = pc + 1 in
+  match i with
+  | Li (rd, v) ->
+      fun ctx ->
+        let t : Cpu.t = ctx.cpu in
+        t.insns <- t.insns + 1;
+        t.cycles <- t.cycles + cost;
+        t.regs.(rd) <- v;
+        next
+  | Mov (rd, rs) ->
+      fun ctx ->
+        let t : Cpu.t = ctx.cpu in
+        t.insns <- t.insns + 1;
+        t.cycles <- t.cycles + cost;
+        let r = t.regs in
+        r.(rd) <- r.(rs);
+        next
+  | Alu (op, rd, ra, rb) -> (
+      match safe_alu op with
+      | Some f ->
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.insns <- t.insns + 1;
+            t.cycles <- t.cycles + cost;
+            let r = t.regs in
+            r.(rd) <- f r.(ra) r.(rb);
+            next
+      | None ->
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.insns <- t.insns + 1;
+            t.cycles <- t.cycles + cost;
+            let r = t.regs in
+            r.(rd) <- faulting_alu op r.(ra) r.(rb);
+            next)
+  | Alui (op, rd, ra, imm) -> (
+      match safe_alu op with
+      | Some f ->
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.insns <- t.insns + 1;
+            t.cycles <- t.cycles + cost;
+            let r = t.regs in
+            r.(rd) <- f r.(ra) imm;
+            next
+      | None ->
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.insns <- t.insns + 1;
+            t.cycles <- t.cycles + cost;
+            let r = t.regs in
+            r.(rd) <- faulting_alu op r.(ra) imm;
+            next)
+  | Ld (rd, rb, off) ->
+      fun ctx ->
+        let t : Cpu.t = ctx.cpu in
+        t.insns <- t.insns + 1;
+        t.cycles <- t.cycles + cost;
+        t.accesses <- t.accesses + 1;
+        t.regs.(rd) <- Mem.load t.mem (t.regs.(rb) + off);
+        next
+  | St (rv, rb, off) ->
+      fun ctx ->
+        let t : Cpu.t = ctx.cpu in
+        t.insns <- t.insns + 1;
+        t.cycles <- t.cycles + cost;
+        t.accesses <- t.accesses + 1;
+        Mem.store t.mem (t.regs.(rb) + off) t.regs.(rv);
+        next
+  | Push rv ->
+      fun ctx ->
+        let t : Cpu.t = ctx.cpu in
+        t.insns <- t.insns + 1;
+        t.cycles <- t.cycles + cost;
+        t.accesses <- t.accesses + 1;
+        let r = t.regs in
+        r.(Insn.sp) <- r.(Insn.sp) - 1;
+        Mem.store t.mem r.(Insn.sp) r.(rv);
+        next
+  | Pop rd ->
+      fun ctx ->
+        let t : Cpu.t = ctx.cpu in
+        t.insns <- t.insns + 1;
+        t.cycles <- t.cycles + cost;
+        t.accesses <- t.accesses + 1;
+        let r = t.regs in
+        r.(rd) <- Mem.load t.mem r.(Insn.sp);
+        r.(Insn.sp) <- r.(Insn.sp) + 1;
+        next
+  | Sandbox rr ->
+      fun ctx ->
+        let t : Cpu.t = ctx.cpu in
+        t.insns <- t.insns + 1;
+        t.cycles <- t.cycles + cost;
+        t.sandbox_cy <- t.sandbox_cy + cost;
+        t.regs.(rr) <- Mem.sandbox t.seg t.regs.(rr);
+        next
+  | Checkcall rr ->
+      fun ctx ->
+        let t : Cpu.t = ctx.cpu in
+        t.insns <- t.insns + 1;
+        t.cycles <- t.cycles + cost;
+        t.checkcall_cy <- t.checkcall_cy + cost;
+        let id = t.regs.(rr) in
+        if ctx.env.call_ok id then next
+        else raise (Cpu.Fault_exn (Cpu.Bad_call_target id))
+  | Br (c, ra, rb, target) ->
+      let cmp = cond_fn c in
+      fun ctx ->
+        let t : Cpu.t = ctx.cpu in
+        t.insns <- t.insns + 1;
+        t.cycles <- t.cycles + cost;
+        if cmp t.regs.(ra) t.regs.(rb) then target else next
+  | Jmp target ->
+      fun ctx ->
+        let t : Cpu.t = ctx.cpu in
+        t.insns <- t.insns + 1;
+        t.cycles <- t.cycles + cost;
+        target
+  | Call target ->
+      fun ctx ->
+        let t : Cpu.t = ctx.cpu in
+        t.insns <- t.insns + 1;
+        t.cycles <- t.cycles + cost;
+        if t.depth >= Cpu.max_call_depth then
+          raise (Cpu.Fault_exn Cpu.Call_stack_overflow);
+        t.callstack <- next :: t.callstack;
+        t.depth <- t.depth + 1;
+        target
+  | Callr rr ->
+      fun ctx ->
+        let t : Cpu.t = ctx.cpu in
+        t.insns <- t.insns + 1;
+        t.cycles <- t.cycles + cost;
+        if t.depth >= Cpu.max_call_depth then
+          raise (Cpu.Fault_exn Cpu.Call_stack_overflow);
+        t.callstack <- next :: t.callstack;
+        t.depth <- t.depth + 1;
+        t.regs.(rr)
+  | Ret ->
+      fun ctx ->
+        let t : Cpu.t = ctx.cpu in
+        t.insns <- t.insns + 1;
+        t.cycles <- t.cycles + cost;
+        (match t.callstack with
+        | [] -> finish ctx Cpu.Halted
+        | ret :: rest ->
+            t.callstack <- rest;
+            t.depth <- t.depth - 1;
+            ret)
+  | Kcall id ->
+      fun ctx ->
+        let t : Cpu.t = ctx.cpu in
+        t.insns <- t.insns + 1;
+        t.cycles <- t.cycles + cost;
+        (match ctx.env.kcall id t with
+        | Cpu.K_ok -> next
+        | Cpu.K_abort reason -> finish ctx (Cpu.Aborted reason)
+        | Cpu.K_fault f -> finish ctx (Cpu.Faulted f))
+  | Kcallr rr ->
+      fun ctx ->
+        let t : Cpu.t = ctx.cpu in
+        t.insns <- t.insns + 1;
+        t.cycles <- t.cycles + cost;
+        (match ctx.env.kcall t.regs.(rr) t with
+        | Cpu.K_ok -> next
+        | Cpu.K_abort reason -> finish ctx (Cpu.Aborted reason)
+        | Cpu.K_fault f -> finish ctx (Cpu.Faulted f))
+  | Halt ->
+      fun ctx ->
+        let t : Cpu.t = ctx.cpu in
+        t.insns <- t.insns + 1;
+        t.cycles <- t.cycles + cost;
+        finish ctx Cpu.Halted
+
+(* -------------------------------------------------------------------- *)
+(* Translation                                                           *)
+(* -------------------------------------------------------------------- *)
+
+let translate ?(costs = Costs.default) prog =
+  let source = Array.copy prog in
+  let prog = source in
+  let n = Array.length prog in
+  let leader = Array.make (max n 1) false in
+  if n > 0 then leader.(0) <- true;
+  Array.iteri
+    (fun pc i ->
+      (match (i : Insn.t) with
+      | Br (_, _, _, target) | Jmp target | Call target ->
+          if target >= 0 && target < n then leader.(target) <- true
+      | _ -> ());
+      (* A conditional branch falls through into its block (the body
+         exits early when taken), so unlike the other terminators it
+         does not force a leader at pc + 1. *)
+      match (i : Insn.t) with
+      | Br _ -> ()
+      | i -> if terminates i && pc + 1 < n then leader.(pc + 1) <- true)
+    prog;
+  let fused = ref 0 in
+  let nblocks = ref 0 in
+  let slow = Array.mapi (fun k i -> compile_slow ~costs k i) prog in
+  let body_of_pc = Array.make n (fun ctx -> finish ctx Cpu.Halted) in
+  let cost_of_pc = Array.make n 0 in
+  let len_of_pc = Array.make n 0 in
+  (* Compiling a tail for every suffix of a block is quadratic in block
+     length; past this cap a pc keeps its slow closure as a
+     one-instruction tail (same semantics, and the fast-entry conditions
+     stay trivially exact), bounding translation to [tail_cap * n]
+     closures. Suffixes longer than the poll interval could never pass
+     the fast-entry poll condition anyway. *)
+  let tail_cap = 64 in
+  let pc = ref 0 in
+  while !pc < n do
+    let start = !pc in
+    let j = ref start in
+    let ends pc =
+      match (prog.(pc) : Insn.t) with
+      | Br _ -> false (* extends through its fall-through *)
+      | i -> terminates i
+    in
+    while (not (ends !j)) && !j + 1 < n && not leader.(!j + 1) do
+      incr j
+    done;
+    let stop = !j + 1 in
+    let scrap = ref 0 in
+    for k = start to stop - 1 do
+      if stop - k <= tail_cap then begin
+        let f = if k = start then fused else scrap in
+        body_of_pc.(k) <- compile_block ~costs prog ~start:k ~stop ~fused:f;
+        len_of_pc.(k) <- stop - k;
+        let cost = ref 0 in
+        for m = k to stop - 1 do
+          cost := !cost + Costs.insn costs prog.(m)
+        done;
+        cost_of_pc.(k) <- !cost
+      end
+      else begin
+        (* Slow closures expect [cpu.pc] to be current (the slow driver
+           branch stores it); the fast branch does not, so do it here. *)
+        let s = slow.(k) in
+        (body_of_pc.(k) <-
+           fun ctx ->
+             let t : Cpu.t = ctx.cpu in
+             t.pc <- k;
+             s ctx);
+        len_of_pc.(k) <- 1;
+        cost_of_pc.(k) <- Costs.insn costs prog.(k)
+      end
+    done;
+    incr nblocks;
+    pc := stop
+  done;
+  {
+    source;
+    nblocks = !nblocks;
+    fused = !fused;
+    body_of_pc;
+    cost_of_pc;
+    len_of_pc;
+    slow;
+  }
+
+(* -------------------------------------------------------------------- *)
+(* Driver                                                                *)
+(* -------------------------------------------------------------------- *)
+
+let run ?(poll_every = 32) env (cpu : Cpu.t) t =
+  (* Checked mode is the interpreted-extension measurement model: its
+     per-access check cost is the interpretation price, so it must keep
+     being interpreted. *)
+  if cpu.checked then Cpu.run ~poll_every env cpu t.source
+  else begin
+    let ctx = { cpu; env; fin = false; out = Cpu.Halted; back = 0 } in
+    let len = Array.length t.source in
+    let body_of_pc = t.body_of_pc
+    and cost_of_pc = t.cost_of_pc
+    and len_of_pc = t.len_of_pc
+    and slow = t.slow in
+    (* One iteration per control transfer, replicating the interpreter's
+       loop-head checks in its exact order: fuel, poll, pc bounds.
+       [cpu.pc] is written only where it is observable — on every exit
+       and before each slow step (fast bodies store it themselves ahead
+       of anything that can fault or call out). Any in-range pc has a
+       fast tail running to the end of its block, so resuming mid-block
+       (after a poll reset or a refueled slice) stays on the fast path;
+       the bounds check above makes the unsafe array reads safe. *)
+    let rec enter pc since_poll =
+      if cpu.cycles > cpu.fuel then begin
+        cpu.pc <- pc;
+        Cpu.Out_of_fuel
+      end
+      else if since_poll >= poll_every then begin
+        cpu.pc <- pc;
+        match env.Cpu.poll () with
+        | Some reason -> Cpu.Aborted reason
+        | None -> enter pc 0
+      end
+      else if pc < 0 || pc >= len then begin
+        cpu.pc <- pc;
+        Cpu.Faulted (Cpu.Bad_pc pc)
+      end
+      else
+        let tail_len = Array.unsafe_get len_of_pc pc in
+        let walked = since_poll + tail_len in
+        if
+          walked <= poll_every
+          && cpu.cycles + Array.unsafe_get cost_of_pc pc <= cpu.fuel
+        then
+          let pc' = Array.unsafe_get body_of_pc pc ctx in
+          if ctx.fin then ctx.out
+          else if ctx.back = 0 then enter pc' walked
+          else begin
+            (* A conditional branch inside the body was taken: the tail's
+               last [ctx.back] instructions did not run. *)
+            let w = walked - ctx.back in
+            ctx.back <- 0;
+            enter pc' w
+          end
+        else begin
+          cpu.pc <- pc;
+          let pc' = Array.unsafe_get slow pc ctx in
+          if ctx.fin then ctx.out else enter pc' (since_poll + 1)
+        end
+    in
+    match enter cpu.pc 0 with
+    | o -> o
+    | exception Cpu.Fault_exn f -> Cpu.Faulted f
+    | exception Mem.Fault { addr; write } ->
+        Cpu.Faulted (Cpu.Memory_fault { addr; write })
+  end

@@ -1,0 +1,51 @@
+(** Closure-threaded translation of graft programs.
+
+    {!Cpu.run} is a switch-dispatch interpreter: every instruction
+    re-matches its constructor, re-looks-up its cycle cost and re-checks
+    fuel and the abort poll. [translate] does all of that once, at link
+    time: the program is decomposed into basic blocks, each instruction
+    becomes a pre-resolved OCaml closure (direct threading), hot
+    superinstruction pairs are fused, and the fuel/poll checks are hoisted
+    to block boundaries.
+
+    The translation is {b bit-identical} to the interpreter at every
+    observable point: [cycles], [insns_executed], [mem_accesses],
+    [sandbox_cycles], [checkcall_cycles], registers, memory, [pc], the
+    call stack and the final {!Cpu.outcome} all match {!Cpu.run} exactly —
+    including mid-slice [Out_of_fuel] (the wrapper refuels and resumes at
+    an arbitrary program counter) and abort-poll delivery within
+    [poll_every] instructions. A block executes on the fast path only when
+    its statically-known cost provably cannot cross the fuel limit or a
+    poll point; otherwise execution falls back to per-instruction slow
+    closures with interpreter-exact semantics. See DESIGN.md §11 for the
+    equivalence argument. *)
+
+type t
+(** A translated program. Immutable; safe to reuse across invocations and
+    to cache per kernel keyed by graft signature. *)
+
+type mode = Interp | Translated
+
+val default_mode : mode ref
+(** Execution mode newly created kernels pick up ([Translated] unless the
+    CLI's [--mode interp] flag says otherwise). *)
+
+val translate : ?costs:Costs.t -> Insn.t array -> t
+(** Compile a validated program against a cost table. [costs] must equal
+    the table the executing {!Cpu.t} was created with, or cycle accounting
+    diverges from the interpreter. *)
+
+val run : ?poll_every:int -> Cpu.env -> Cpu.t -> t -> Cpu.outcome
+(** Drop-in replacement for [Cpu.run env cpu (source t)]. Starts from the
+    cpu's current [pc] (0 on a fresh cpu; wherever the previous slice
+    stopped after a refuel). Checked-mode cpus fall back to the
+    interpreter: per-access bounds checking is the interpretation model
+    the paper compares against, so translating it away would be
+    measurement fraud. *)
+
+val source : t -> Insn.t array
+(** The program the translation was built from. *)
+
+val block_count : t -> int
+val fused_pairs : t -> int
+(** Translation statistics, for [vino inspect]. *)

@@ -31,12 +31,24 @@ let segment ~base ~size =
 let in_segment seg addr = addr >= seg.base && addr < seg.base + seg.size
 let sandbox seg addr = seg.base lor (addr land (seg.size - 1))
 
-let blit_in t addr src =
-  Array.iteri (fun k v -> store t (addr + k) v) src
+(* Validate a whole range up front so the bulk operations below are
+   atomic: a faulting blit/fill must leave memory untouched, not mutate a
+   prefix before hitting the out-of-range tail. The fault carries the
+   first address the old word-at-a-time loop would have rejected. *)
+let check_range t ~write addr len =
+  if len > 0 then
+    let size = Array.length t.data in
+    if addr < 0 then raise (Fault { addr; write })
+    else if addr + len > size then raise (Fault { addr = max addr size; write })
 
-let blit_out t addr len = Array.init len (fun k -> load t (addr + k))
+let blit_in t addr src =
+  check_range t ~write:true addr (Array.length src);
+  Array.iteri (fun k v -> t.data.(addr + k) <- v) src
+
+let blit_out t addr len =
+  check_range t ~write:false addr len;
+  Array.init len (fun k -> t.data.(addr + k))
 
 let fill t addr len v =
-  for k = addr to addr + len - 1 do
-    store t k v
-  done
+  check_range t ~write:true addr len;
+  if len > 0 then Array.fill t.data addr len v

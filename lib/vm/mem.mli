@@ -33,10 +33,14 @@ val sandbox : segment -> int -> int
     address a MiSFIT-rewritten access actually uses. *)
 
 val blit_in : t -> int -> int array -> unit
-(** [blit_in mem addr src] copies [src] into memory starting at [addr]. *)
+(** [blit_in mem addr src] copies [src] into memory starting at [addr].
+    Atomic: the whole range is validated before any word is written, so a
+    faulting blit leaves memory untouched. *)
 
 val blit_out : t -> int -> int -> int array
-(** [blit_out mem addr len] copies [len] words starting at [addr]. *)
+(** [blit_out mem addr len] copies [len] words starting at [addr]. The
+    range is validated up front. *)
 
 val fill : t -> int -> int -> int -> unit
-(** [fill mem addr len v] stores [v] into [len] words from [addr]. *)
+(** [fill mem addr len v] stores [v] into [len] words from [addr].
+    Atomic, like {!blit_in}. *)

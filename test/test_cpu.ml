@@ -235,6 +235,14 @@ let test_sp_starts_at_segment_top () =
   Alcotest.(check int) "sp" (seg.Mem.base + seg.Mem.size)
     (Cpu.reg cpu Insn.sp)
 
+(* Property: cycles -> us -> cycles is the identity (cycles_of_us rounds
+   to nearest rather than truncating, so the float detour is lossless
+   for any representable count). *)
+let prop_cycles_of_us_roundtrip =
+  QCheck2.Test.make ~name:"cycles_of_us inverts us_of_cycles" ~count:1000
+    QCheck2.Gen.(int_range 0 2_000_000_000)
+    (fun cy -> Costs.cycles_of_us (Costs.us_of_cycles cy) = cy)
+
 let suite =
   [
     ( "cpu",
@@ -269,5 +277,6 @@ let suite =
           test_checked_mode_charges_per_access;
         Alcotest.test_case "stack pointer initialised to segment top" `Quick
           test_sp_starts_at_segment_top;
+        QCheck_alcotest.to_alcotest prop_cycles_of_us_roundtrip;
       ] );
   ]

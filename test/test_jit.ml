@@ -1,0 +1,371 @@
+(* Differential tests for the closure-threaded translator.
+
+   {!Vino_vm.Jit} claims bit-identity with {!Vino_vm.Cpu.run} at every
+   observable point. These tests check the claim the hard way: a
+   fixed-seed corpus of random programs — plus {!Vino_vm.Mutate}-spliced
+   and MiSFIT-rewritten variants of each — runs under both modes in
+   wrapper-style refuelled slices, and every architectural observable is
+   compared after every slice:
+
+   - outcome, pc, cycles, instruction/access counters, the
+     sandbox/checkcall cycle attributions, call depth and call stack;
+   - all registers and all of memory;
+   - the exact (id, cycles, insns, pc) the kernel-call dispatcher saw on
+     each [Kcall]/[Kcallr] (counters must be flushed before kernel code
+     observes the cpu);
+   - how many times the abort flag was polled and how many times the
+     [Checkcall] predicate ran, under several poll intervals including
+     poll-every-instruction and an abort that fires mid-run.
+
+   A final golden test renders Tables 3-7 to JSON under both execution
+   modes and requires the bytes to be identical. *)
+
+module Insn = Vino_vm.Insn
+module Cpu = Vino_vm.Cpu
+module Mem = Vino_vm.Mem
+module Jit = Vino_vm.Jit
+module Asm = Vino_vm.Asm
+module Mutate = Vino_vm.Mutate
+module Rewrite = Vino_misfit.Rewrite
+module Json = Vino_trace.Json
+module Table = Vino_measure.Table
+
+let mem_words = 256
+let seg_base = 128
+let seg_size = 128
+
+(* ------------------------------------------------------------------ *)
+(* Random programs (Asm level, so Mutate can operate on them)          *)
+(* ------------------------------------------------------------------ *)
+
+let alu_ops =
+  [| Insn.Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr |]
+
+let cond_ops = [| Insn.Eq; Ne; Lt; Le; Gt; Ge |]
+
+(* r0..r13: everything except MiSFIT's scratch register and sp, so the
+   rewriter accepts the program. *)
+let gen_reg st = Random.State.int st 14
+
+let gen_program st : Asm.item list =
+  let nblocks = 2 + Random.State.int st 4 in
+  let label k = Printf.sprintf "L%d" k in
+  let any_label () = label (Random.State.int st nblocks) in
+  let reg () = gen_reg st in
+  let item () : Asm.item =
+    match Random.State.int st 100 with
+    | n when n < 18 -> Li (reg (), Random.State.int st 300 - 50)
+    | n when n < 26 -> Mov (reg (), reg ())
+    | n when n < 38 ->
+        Alu (alu_ops.(Random.State.int st 10), reg (), reg (), reg ())
+    | n when n < 48 ->
+        Alui
+          ( alu_ops.(Random.State.int st 10),
+            reg (),
+            reg (),
+            Random.State.int st 7 - 2 )
+    | n when n < 54 -> Ld (reg (), reg (), Random.State.int st 8)
+    | n when n < 60 -> St (reg (), reg (), Random.State.int st 8)
+    | n when n < 64 -> Sandbox (reg ())
+    | n when n < 72 ->
+        Br (cond_ops.(Random.State.int st 6), reg (), reg (), any_label ())
+    | n when n < 76 -> Jmp (any_label ())
+    | n when n < 80 -> Call (any_label ())
+    | n when n < 82 -> Ret
+    | n when n < 86 -> Kcall_id (Random.State.int st 8)
+    | n when n < 88 -> Kcallr (reg ())
+    | n when n < 91 -> Checkcall (reg ())
+    | n when n < 94 -> Push (reg ())
+    | n when n < 96 -> Pop (reg ())
+    | _ -> Halt
+  in
+  List.concat
+    (List.init nblocks (fun k ->
+         Asm.Label (label k)
+         :: List.init (1 + Random.State.int st 6) (fun _ -> item ())))
+  @ [ Asm.Halt ]
+
+(* Label-closed fragments for Mutate splicing. *)
+let gen_fragment st : Asm.item list =
+  match Random.State.int st 3 with
+  | 0 ->
+      (* bounded countdown loop *)
+      [
+        Asm.Li (Asm.r9, 3 + Random.State.int st 5);
+        Label "f";
+        Alui (Insn.Sub, Asm.r9, Asm.r9, 1);
+        Br (Insn.Gt, Asm.r9, Asm.r0, "f");
+      ]
+  | 1 -> [ Asm.St (Asm.r1, Asm.r2, 1); Kcall_id 1 ]
+  | _ -> [ Asm.Push Asm.r3; Pop Asm.r3 ]
+
+(* The variants of one generated program that the corpus compares:
+   Mutate-derived source surgery and the MiSFIT-rewritten safe path. *)
+let variants st source =
+  let frag = gen_fragment st in
+  let asm items = (Asm.assemble_exn items).Asm.code in
+  let base = asm source in
+  let muts =
+    [
+      ("base", base);
+      ("prelude", asm (Mutate.splice_prelude ~prelude:frag source));
+      ("returns", asm (Mutate.before_returns ~payload:frag source));
+      ("diverge", asm (Mutate.splice_prelude ~prelude:Mutate.diverge source));
+    ]
+  in
+  match Rewrite.process base with
+  | Ok rewritten -> muts @ [ ("rewritten", rewritten) ]
+  | Error _ -> muts
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented environment and differential runner                    *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  cname : string;
+  slice : int;  (** fuel granted per slice *)
+  max_slices : int;
+  poll_every : int;
+  abort_after : int option;  (** poll count at which an abort appears *)
+}
+
+let configs =
+  [
+    { cname = "one-slice"; slice = 2000; max_slices = 1; poll_every = 32;
+      abort_after = None };
+    { cname = "sliced-abort"; slice = 93; max_slices = 40; poll_every = 4;
+      abort_after = Some 7 };
+    { cname = "poll-per-insn"; slice = 257; max_slices = 8; poll_every = 1;
+      abort_after = None };
+  ]
+
+(* The kernel-call dispatcher observes the cpu (so translated mode must
+   have flushed every counter), charges cycles, writes registers, aborts
+   or faults, depending on the id class. *)
+let make_env buf =
+  let polls = ref 0 and checks = ref 0 and abort_at = ref max_int in
+  let kcall id (t : Cpu.t) =
+    Buffer.add_string buf
+      (Printf.sprintf "kcall id=%d cy=%d in=%d pc=%d\n" id (Cpu.cycles t)
+         (Cpu.insns_executed t) t.Cpu.pc);
+    match ((id mod 5) + 5) mod 5 with
+    | 0 -> Cpu.K_ok
+    | 1 ->
+        Cpu.charge t 17;
+        Cpu.K_ok
+    | 2 ->
+        Cpu.set_reg t 0 (Cpu.cycles t land 0xFF);
+        Cpu.K_ok
+    | 3 -> if id = 3 then Cpu.K_abort "kabort" else Cpu.K_ok
+    | _ -> Cpu.K_fault (Cpu.Bad_kcall id)
+  in
+  let call_ok id =
+    incr checks;
+    Buffer.add_string buf (Printf.sprintf "checkcall id=%d\n" id);
+    id land 1 = 0
+  in
+  let poll () =
+    incr polls;
+    if !polls >= !abort_at then Some "async-abort" else None
+  in
+  ({ Cpu.kcall; call_ok; poll }, polls, checks, abort_at)
+
+let pp_snap buf tag outcome (c : Cpu.t) =
+  Buffer.add_string buf
+    (Format.asprintf
+       "%s: %a pc=%d cy=%d in=%d acc=%d sb=%d cc=%d depth=%d stack=[%s] \
+        regs=[%s]\n"
+       tag Cpu.pp_outcome outcome c.Cpu.pc (Cpu.cycles c)
+       (Cpu.insns_executed c) (Cpu.mem_accesses c) (Cpu.sandbox_cycles c)
+       (Cpu.checkcall_cycles c)
+       c.Cpu.depth
+       (String.concat ";" (List.map string_of_int c.Cpu.callstack))
+       (String.concat ";"
+          (Array.to_list (Array.map string_of_int c.Cpu.regs))))
+
+(* Execute [code] under [cfg] in one mode, returning a full rendering of
+   everything observable. [step] runs one slice. *)
+let run_mode ~init_regs ~init_mem cfg step_of code =
+  let buf = Buffer.create 512 in
+  let env, polls, checks, abort_at = make_env buf in
+  (match cfg.abort_after with Some n -> abort_at := n | None -> ());
+  let mem = Mem.create mem_words in
+  Mem.blit_in mem 0 init_mem;
+  let seg = Mem.segment ~base:seg_base ~size:seg_size in
+  let cpu = Cpu.make ~mem ~seg ~fuel:cfg.slice () in
+  Array.iteri (fun k v -> Cpu.set_reg cpu k v) init_regs;
+  let step = step_of env cpu code in
+  let rec slices k =
+    let o = step () in
+    pp_snap buf (Printf.sprintf "slice%d" k) o cpu;
+    match o with
+    | Cpu.Out_of_fuel when k < cfg.max_slices ->
+        Cpu.refuel cpu cfg.slice;
+        slices (k + 1)
+    | _ -> ()
+  in
+  slices 1;
+  Buffer.add_string buf
+    (Printf.sprintf "polls=%d checks=%d mem=[%s]\n" !polls !checks
+       (String.concat ";"
+          (Array.to_list
+             (Array.map string_of_int (Mem.blit_out mem 0 mem_words)))));
+  Buffer.contents buf
+
+let interp_step env cpu code ~poll_every () = Cpu.run ~poll_every env cpu code
+
+let trans_step trans env cpu _code ~poll_every () =
+  Jit.run ~poll_every env cpu trans
+
+let differential ~seed ~vname ~cfg ~init_regs ~init_mem code =
+  let a =
+    run_mode ~init_regs ~init_mem cfg
+      (fun env cpu code () -> interp_step env cpu code ~poll_every:cfg.poll_every ())
+      code
+  in
+  let trans = Jit.translate code in
+  let b =
+    run_mode ~init_regs ~init_mem cfg
+      (fun env cpu code () ->
+        trans_step trans env cpu code ~poll_every:cfg.poll_every ())
+      code
+  in
+  Alcotest.(check string)
+    (Printf.sprintf "seed=%d %s %s" seed vname cfg.cname)
+    a b
+
+(* ------------------------------------------------------------------ *)
+(* The corpus                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_seeds = List.init 30 (fun k -> k + 1)
+
+let init_for st =
+  let init_regs =
+    Array.init Insn.num_regs (fun k ->
+        match k with
+        | 1 -> seg_base
+        | 2 -> seg_base + 17
+        | 3 -> seg_base + seg_size - 3
+        | 4 -> seg_base + 5
+        | _ when k = Insn.sp -> seg_base + seg_size
+        | _ -> Random.State.int st 600 - 100)
+  in
+  let init_mem =
+    Array.init mem_words (fun _ -> Random.State.int st 1000 - 200)
+  in
+  (init_regs, init_mem)
+
+let test_corpus () =
+  List.iter
+    (fun seed ->
+      let st = Random.State.make [| 0xD1FF; seed |] in
+      let source = gen_program st in
+      let vs = variants st source in
+      let init_regs, init_mem = init_for st in
+      List.iter
+        (fun (vname, code) ->
+          List.iter
+            (fun cfg ->
+              differential ~seed ~vname ~cfg ~init_regs ~init_mem code)
+            configs)
+        vs)
+    corpus_seeds
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty_program () =
+  let cfg = List.hd configs in
+  differential ~seed:0 ~vname:"empty" ~cfg
+    ~init_regs:(Array.make Insn.num_regs 0)
+    ~init_mem:(Array.make mem_words 0) [||]
+
+(* Checked mode is the interpreted-extension measurement model;
+   {!Jit.run} must fall back to interpretation and agree exactly. *)
+let test_checked_fallback () =
+  let code =
+    [|
+      Insn.Li (1, seg_base + 2);
+      Ld (2, 1, 0);
+      Alui (Insn.Add, 2, 2, 1);
+      St (2, 1, 0);
+      Halt;
+    |]
+  in
+  let run translated =
+    let mem = Mem.create mem_words in
+    Mem.store mem (seg_base + 2) 41;
+    let seg = Mem.segment ~base:seg_base ~size:seg_size in
+    let cpu = Cpu.make ~mem ~seg ~checked:true ~fuel:10_000 () in
+    let o =
+      if translated then Jit.run Cpu.env_trusted cpu (Jit.translate code)
+      else Cpu.run Cpu.env_trusted cpu code
+    in
+    (o, Cpu.cycles cpu, Mem.load mem (seg_base + 2))
+  in
+  let oi, ci, mi = run false and ot, ct, mt = run true in
+  Alcotest.(check bool) "same outcome" true (oi = ot);
+  Alcotest.(check int) "same cycles (incl. check charges)" ci ct;
+  Alcotest.(check int) "same memory" mi mt
+
+let test_translation_shape () =
+  (* The encryption loop translates to a handful of blocks with the
+     MiSFIT access triples fused; sanity-check the stats are exposed. *)
+  let code =
+    (Asm.assemble_exn (Vino_stream.Grafts.xor_encrypt_source ~key:1)).Asm.code
+  in
+  match Rewrite.process code with
+  | Error e -> Alcotest.fail e
+  | Ok rewritten ->
+      let t = Jit.translate rewritten in
+      Alcotest.(check bool) "has blocks" true (Jit.block_count t > 0);
+      Alcotest.(check bool) "fused the access sequences" true
+        (Jit.fused_pairs t >= 2);
+      Alcotest.(check int) "keeps the source" (Array.length rewritten)
+        (Array.length (Jit.source t))
+
+(* ------------------------------------------------------------------ *)
+(* Golden test: Tables 3-7 under both modes                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_mode m f =
+  let old = !Jit.default_mode in
+  Jit.default_mode := m;
+  Fun.protect ~finally:(fun () -> Jit.default_mode := old) f
+
+let render_tables () =
+  let tables =
+    [
+      ("table3", Vino_measure.Sc_readahead.table ~iterations:2 ());
+      ("table4", Vino_measure.Sc_evict.table ~iterations:2 ());
+      ("table5", Vino_measure.Sc_sched.table ~iterations:2 ());
+      ("table6", Vino_measure.Sc_crypt.table ~iterations:2 ());
+      ("table7", Vino_measure.Abort_model.table7 ~iterations:2 ());
+    ]
+  in
+  String.concat "\n"
+    (List.map
+       (fun (name, rows) ->
+         Json.to_string (Table.to_json ~name ~title:name rows))
+       tables)
+
+let test_tables_golden () =
+  let interp = with_mode Jit.Interp render_tables in
+  let translated = with_mode Jit.Translated render_tables in
+  Alcotest.(check string) "tables 3-7 byte-identical" interp translated
+
+let suite =
+  [
+    ( "jit",
+      [
+        Alcotest.test_case "differential fuzz corpus" `Quick test_corpus;
+        Alcotest.test_case "empty program" `Quick test_empty_program;
+        Alcotest.test_case "checked-mode fallback" `Quick
+          test_checked_fallback;
+        Alcotest.test_case "translation shape" `Quick test_translation_shape;
+        Alcotest.test_case "tables 3-7 golden across modes" `Quick
+          test_tables_golden;
+      ] );
+  ]

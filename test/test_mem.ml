@@ -55,6 +55,33 @@ let test_blit () =
   Mem.fill m 0 4 9;
   Alcotest.(check (array int)) "fill" [| 9; 9; 9; 9 |] (Mem.blit_out m 0 4)
 
+(* Regression: blit_in/fill validate the whole range before writing, so
+   a faulting call leaves memory untouched (no partial writes). *)
+let test_blit_atomic () =
+  let m = Mem.create 8 in
+  Mem.fill m 0 8 7;
+  let untouched what =
+    Alcotest.(check (array int)) what (Array.make 8 7) (Mem.blit_out m 0 8)
+  in
+  (match Mem.blit_in m 6 [| 1; 2; 3 |] with
+  | exception Mem.Fault { addr; write } ->
+      Alcotest.(check bool) "write fault" true write;
+      Alcotest.(check int) "fault at first out-of-bounds word" 8 addr
+  | () -> Alcotest.fail "expected Mem.Fault");
+  untouched "memory untouched after partial blit fault";
+  (match Mem.fill m 5 6 9 with
+  | exception Mem.Fault { write; _ } ->
+      Alcotest.(check bool) "write fault" true write
+  | () -> Alcotest.fail "expected Mem.Fault");
+  untouched "memory untouched after partial fill fault";
+  (match Mem.blit_in m (-2) [| 1; 2 |] with
+  | exception Mem.Fault { addr; _ } ->
+      Alcotest.(check int) "negative fault address preserved" (-2) addr
+  | () -> Alcotest.fail "expected Mem.Fault");
+  untouched "memory untouched after negative-address blit";
+  Mem.fill m 3 0 9;
+  untouched "zero-length fill is a no-op"
+
 (* Property: sandboxing always produces an in-segment address, and is the
    identity on in-segment addresses. *)
 let prop_sandbox =
@@ -80,6 +107,8 @@ let suite =
         Alcotest.test_case "sandbox confines addresses" `Quick
           test_sandbox_confines;
         Alcotest.test_case "blit helpers" `Quick test_blit;
+        Alcotest.test_case "blit/fill atomicity on faults" `Quick
+          test_blit_atomic;
         QCheck_alcotest.to_alcotest prop_sandbox;
       ] );
   ]
