@@ -4,8 +4,14 @@
    intentional small recosting, not noise.
 
    Usage:
-     gate.exe check <baseline.json> <BENCH_*.json ...>   exit 1 on regression
-     gate.exe write <baseline.json> <BENCH_*.json ...>   (re)write the baseline
+     gate.exe check <baseline.json> <BENCH_*.json ...>
+     gate.exe write <baseline.json> <BENCH_*.json ...>   write the baseline
+
+   check exit codes:
+     0  every gated row within tolerance
+     1  regression (each offender reported with baseline vs measured)
+     2  malformed input or usage error
+     3  baseline file missing — run `gate.exe write` to create it
 
    Re-baseline after an intentional cost change:
      dune exec bench/main.exe -- quick --json && \
@@ -14,8 +20,12 @@
 module Json = Vino_trace.Json
 
 let tolerance = 0.02
+let exit_regression = 1
+let exit_malformed = 2
+let exit_no_baseline = 3
 
-let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+let die fmt =
+  Printf.ksprintf (fun s -> prerr_endline s; exit exit_malformed) fmt
 
 let read_file path =
   match In_channel.with_open_text path In_channel.input_all with
@@ -119,13 +129,23 @@ let load_baseline path =
         tables
   | _ -> die "gate: %s: missing tables" path
 
+type offender = {
+  otable : string;
+  olabel : string;
+  obase : int;
+  onow : int option; (* None: the row vanished from the bench output *)
+}
+
+let delta_pct ~base ~now =
+  100. *. (float_of_int now -. float_of_int base) /. float_of_int base
+
 let check ~baseline benches =
-  let failures = ref 0 in
+  let offenders = ref [] in
   let checked = ref 0 in
   let report verdict table label base now =
     Printf.printf "%-6s %-10s %-40s %10d -> %10d (%+.2f%%)\n" verdict table
       label base now
-      (100. *. (float_of_int now -. float_of_int base) /. float_of_int base)
+      (delta_pct ~base ~now)
   in
   List.iter
     (fun (table, rows) ->
@@ -146,7 +166,10 @@ let check ~baseline benches =
                       float_of_int cycles
                       > float_of_int base *. (1. +. tolerance)
                     then begin
-                      incr failures;
+                      offenders :=
+                        { otable = table; olabel = label; obase = base;
+                          onow = Some cycles }
+                        :: !offenders;
                       report "FAIL" table label base cycles
                     end
                     else if cycles <> base then
@@ -156,20 +179,53 @@ let check ~baseline benches =
           List.iter
             (fun (label, _) ->
               if not (List.mem label !seen) then begin
-                incr failures;
+                offenders :=
+                  { otable = table; olabel = label;
+                    obase = List.assoc label base_rows; onow = None }
+                  :: !offenders;
                 Printf.printf "FAIL   %-10s %-40s missing from bench output\n"
                   table label
               end)
             base_rows)
     benches;
+  let offenders = List.rev !offenders in
   Printf.printf "bench gate: %d rows checked, %d regressions (tolerance %.0f%%)\n"
-    !checked !failures (100. *. tolerance);
-  if !failures > 0 then exit 1
+    !checked (List.length offenders) (100. *. tolerance);
+  if offenders <> [] then begin
+    prerr_endline "bench gate: REGRESSIONS —";
+    List.iter
+      (fun o ->
+        match o.onow with
+        | Some now ->
+            Printf.eprintf
+              "  %s / %s: baseline %d cycles, measured %d cycles (%+.2f%%, \
+               tolerance %.0f%%)\n"
+              o.otable o.olabel o.obase now
+              (delta_pct ~base:o.obase ~now)
+              (100. *. tolerance)
+        | None ->
+            Printf.eprintf
+              "  %s / %s: baseline %d cycles, row missing from bench output\n"
+              o.otable o.olabel o.obase)
+      offenders;
+    exit exit_regression
+  end
+
+let require_baseline path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf
+      "gate: baseline %s does not exist — create it with\n\
+      \  dune exec bench/main.exe -- quick --json && \
+       dune exec bench/gate.exe -- write %s BENCH_*.json\n"
+      path path;
+    exit exit_no_baseline
+  end;
+  load_baseline path
 
 let () =
   match Array.to_list Sys.argv with
   | _ :: "check" :: base_path :: bench_paths when bench_paths <> [] ->
-      check ~baseline:(load_baseline base_path)
+      check ~baseline:(require_baseline base_path)
         (drop_wall (List.map load_bench bench_paths))
   | _ :: "write" :: base_path :: bench_paths when bench_paths <> [] ->
       let j =
@@ -181,4 +237,4 @@ let () =
   | _ ->
       prerr_endline
         "usage: gate.exe (check|write) <baseline.json> <BENCH_*.json ...>";
-      exit 2
+      exit exit_malformed

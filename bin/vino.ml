@@ -246,6 +246,26 @@ let mode_arg =
 
 let set_mode m = Vino_vm.Jit.default_mode := m
 
+(* -j N: deterministic fan-out over N domains. Results are identical at
+   any N; -j 1 is byte-for-byte the serial code path. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan independent work units out over $(docv) domains (default: \
+           the recommended domain count). Results are identical at any \
+           $(docv); $(b,-j 1) runs the serial code path.")
+
+let with_pool jobs f =
+  if jobs <= 1 then f None
+  else
+    let pool = Vino_par.Pool.create ~domains:jobs () in
+    Fun.protect
+      ~finally:(fun () -> Vino_par.Pool.shutdown pool)
+      (fun () -> f (Some pool))
+
 let run_graft name args stub_imports =
   let kernel = Vino_core.Kernel.create ~mem_words:(1 lsl 16) () in
   let image =
@@ -349,21 +369,22 @@ let all_tables =
 
 (* ------------------------------ disaster ------------------------------ *)
 
-let disaster seed count costs mode =
+let disaster seed count costs jobs mode =
   set_mode mode;
-  let report = Vino_disaster.Campaign.run ~seed ~count () in
-  Format.printf "%a@." Vino_disaster.Campaign.pp report;
-  if costs then
-    Vino_measure.Table.print
-      ~title:"Disaster rig: recovery cost by fault class (stream site)"
-      ~notes:"Delta over the healthy row is detection + abort + removal."
-      (Vino_measure.Sc_disaster.table ());
-  if not (Vino_disaster.Campaign.ok report) then begin
-    List.iter
-      (Printf.eprintf "violation: %s\n")
-      (Vino_disaster.Campaign.violations report);
-    exit 1
-  end
+  with_pool jobs (fun pool ->
+      let report = Vino_disaster.Campaign.run ?pool ~seed ~count () in
+      Format.printf "%a@." Vino_disaster.Campaign.pp report;
+      if costs then
+        Vino_measure.Table.print
+          ~title:"Disaster rig: recovery cost by fault class (stream site)"
+          ~notes:"Delta over the healthy row is detection + abort + removal."
+          (Vino_measure.Sc_disaster.table ?pool ());
+      if not (Vino_disaster.Campaign.ok report) then begin
+        List.iter
+          (Printf.eprintf "violation: %s\n")
+          (Vino_disaster.Campaign.violations report);
+        exit 1
+      end)
 
 (* -------------------------------- trace ------------------------------- *)
 
@@ -398,22 +419,23 @@ let trace_stream ~transfers () =
          done));
   Vino_core.Kernel.run kernel
 
-let run_trace_scenario ~transfers ~seed ~count = function
+let run_trace_scenario ?pool ~transfers ~seed ~count = function
   | "stream" -> trace_stream ~transfers ()
-  | "disaster" -> ignore (Vino_disaster.Campaign.run ~seed ~count ())
+  | "disaster" -> ignore (Vino_disaster.Campaign.run ?pool ~seed ~count ())
   | "both" ->
       trace_stream ~transfers ();
-      ignore (Vino_disaster.Campaign.run ~seed ~count ())
+      ignore (Vino_disaster.Campaign.run ?pool ~seed ~count ())
   | other ->
       Printf.eprintf "unknown scenario %S; try stream, disaster or both\n"
         other;
       exit 1
 
-let trace scenario transfers seed count json span_tail mode =
+let trace scenario transfers seed count json span_tail jobs mode =
   set_mode mode;
   let sink = Trace.create () in
-  Trace.with_t sink (fun () ->
-      run_trace_scenario ~transfers ~seed ~count scenario);
+  with_pool jobs (fun pool ->
+      Trace.with_t sink (fun () ->
+          run_trace_scenario ?pool ~transfers ~seed ~count scenario));
   if json then
     print_string (Vino_trace.Json.to_string (Trace.report_json ~scenario sink))
   else Format.printf "%a" (Trace.pp_report ~span_tail) sink
@@ -680,7 +702,7 @@ let disaster_cmd =
          "Run a seeded fault-injection campaign — misbehaving grafts across \
           every graft-point family — and check the post-recovery invariants \
           (exit 1 on any violation)")
-    Term.(const disaster $ seed $ count $ costs $ mode_arg)
+    Term.(const disaster $ seed $ count $ costs $ jobs_arg $ mode_arg)
 
 let trace_cmd =
   let scenario =
@@ -723,7 +745,7 @@ let trace_cmd =
           kernel counters and the span tail")
     Term.(
       const trace $ scenario $ transfers $ seed $ count $ json $ span_tail
-      $ mode_arg)
+      $ jobs_arg $ mode_arg)
 
 let rules_cmd =
   Cmd.v

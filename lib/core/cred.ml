@@ -2,16 +2,15 @@ type t = { uid : int; user : string; limits : Vino_txn.Rlimit.t }
 
 let root = { uid = 0; user = "root"; limits = Vino_txn.Rlimit.unlimited () }
 
-let next_uid = ref 1000
+(* Atomic: credentials may be minted from parallel worker domains
+   (Vino_par.Pool); uids must stay unique. *)
+let next_uid = Atomic.make 1000
 
 let user ?uid name ~limits =
   let uid =
     match uid with
     | Some u -> u
-    | None ->
-        let u = !next_uid in
-        incr next_uid;
-        u
+    | None -> Atomic.fetch_and_add next_uid 1
   in
   { uid; user = name; limits }
 

@@ -111,25 +111,31 @@ let run_injection ~seed ~index =
     fingerprint = fingerprint site ~note:variant.note ~observed;
   }
 
-let run ?(check_determinism = true) ~seed ~count () =
+let run_trial ~check_determinism ~seed index =
+  let r1 = run_injection ~seed ~index in
+  if not check_determinism then r1
+  else
+    let r2 = run_injection ~seed ~index in
+    if String.equal r1.fingerprint r2.fingerprint then r1
+    else
+      {
+        r1 with
+        violations =
+          r1.violations
+          @ [
+              Printf.sprintf "nondeterministic: re-run gave %S, first run %S"
+                r2.fingerprint r1.fingerprint;
+            ];
+      }
+
+(* Each trial builds its own site and kernel from the derived seed, so
+   trials fan out across domains without sharing state; records come back
+   in index order whatever the schedule. *)
+let run ?(check_determinism = true) ?pool ~seed ~count () =
   let records =
-    List.init count (fun index ->
-        let r1 = run_injection ~seed ~index in
-        if not check_determinism then r1
-        else
-          let r2 = run_injection ~seed ~index in
-          if String.equal r1.fingerprint r2.fingerprint then r1
-          else
-            {
-              r1 with
-              violations =
-                r1.violations
-                @ [
-                    Printf.sprintf
-                      "nondeterministic: re-run gave %S, first run %S"
-                      r2.fingerprint r1.fingerprint;
-                  ];
-            })
+    Vino_par.Pool.map_scoped ?pool
+      (run_trial ~check_determinism ~seed)
+      (List.init count Fun.id)
   in
   { seed; count; records }
 

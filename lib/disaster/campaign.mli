@@ -31,7 +31,16 @@ val combo : int -> Site.family * Injector.kind
 val run_injection : seed:int -> index:int -> record
 (** One injection of campaign [seed] (fresh site, no determinism re-run). *)
 
-val run : ?check_determinism:bool -> seed:int -> count:int -> unit -> report
+val run :
+  ?check_determinism:bool ->
+  ?pool:Vino_par.Pool.t ->
+  seed:int ->
+  count:int ->
+  unit ->
+  report
+(** With [?pool], trials fan out across domains; every trial is a pure
+    function of [seed] and its index, so the report is identical at any
+    pool size. *)
 
 val ok : report -> bool
 val violations : report -> string list

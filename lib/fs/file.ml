@@ -78,7 +78,9 @@ let read_result kernel cpu req =
     gather [] 0
   end
 
-let open_counter = ref 0
+(* Atomic: files are opened from parallel worker domains (one kernel
+   per bench/campaign unit); instance names must stay unique. *)
+let open_counter = Atomic.make 0
 
 let openf ~kernel ~cache ~disk ~name ~first_block ~blocks ?(ra_window = 1)
     ?ra_budget () =
@@ -86,8 +88,9 @@ let openf ~kernel ~cache ~disk ~name ~first_block ~blocks ?(ra_window = 1)
   (* each open-file object is independent (descriptors are handles for
      kernel open-file objects), so its pattern-buffer lock function gets a
      unique name *)
-  incr open_counter;
-  let instance = Printf.sprintf "%s#%d" name !open_counter in
+  let instance =
+    Printf.sprintf "%s#%d" name (1 + Atomic.fetch_and_add open_counter 1)
+  in
   let lock =
     Kernel.make_lock kernel
       ~timeout:(Vino_txn.Tcosts.us 500.)

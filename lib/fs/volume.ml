@@ -21,12 +21,14 @@ type t = {
 let scan_cost_per_word = 2
 let words_per_scan_unit = 64
 
-let volumes = ref 0
+(* Atomic: volumes are created from parallel worker domains (one kernel
+   per bench/campaign unit); instance numbers must stay unique. *)
+let volumes = Atomic.make 0
 
 let create kernel ~disk ?(cache_blocks = 512) ?(blocks = 65_536)
     ?syncer_threshold () =
   if blocks <= 0 then invalid_arg "Volume.create: need blocks";
-  incr volumes;
+  let volume = 1 + Atomic.fetch_and_add volumes 1 in
   let vcache = Cache.create ~capacity:cache_blocks () in
   {
     kernel;
@@ -39,9 +41,9 @@ let create kernel ~disk ?(cache_blocks = 512) ?(blocks = 65_536)
     bitmap_lock =
       Kernel.make_lock kernel
         ~timeout:(Vino_txn.Tcosts.us 200.)
-        ~name:(Printf.sprintf "fs-bitmap-%d" !volumes)
+        ~name:(Printf.sprintf "fs-bitmap-%d" volume)
         ();
-    lock_name = Printf.sprintf "fs-bitmap-%d" !volumes;
+    lock_name = Printf.sprintf "fs-bitmap-%d" volume;
     directory = Hashtbl.create 32;
     used = 0;
   }

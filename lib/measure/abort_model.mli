@@ -14,7 +14,13 @@ val abort_cost : ?iterations:int -> locks:int -> undo:int -> unit -> float
 (** Mean abort time (us) of a transaction holding [locks] locks and [undo]
     undo records (each with a 1 us replay cost). *)
 
-val sweep_locks : ?iterations:int -> ?locks:int list -> unit -> (int * float) list
+val sweep_locks :
+  ?iterations:int ->
+  ?pool:Vino_par.Pool.t ->
+  ?locks:int list ->
+  unit ->
+  (int * float) list
+(** With [?pool], the sweep points fan out across domains. *)
 
 val fit : (int * float) list -> float * float
 (** Least-squares [(intercept_us, slope_us_per_lock)]. *)
@@ -23,9 +29,12 @@ val timeout_latency_bounds : unit -> int * int
 (** Min and max cycles between a timeout being scheduled and firing, given
     the 10 ms tick (the paper's "between 10 and 20 ms"). *)
 
-val table7 : ?iterations:int -> unit -> Table.row list
+val table7 :
+  ?iterations:int -> ?pool:Vino_par.Pool.t -> unit -> Table.row list
 (** Null-abort and full-abort times for the four sample grafts, against
-    the paper's Table 7. *)
+    the paper's Table 7. With [?pool], the eight cells fan out across
+    domains. *)
 
-val model_table : ?iterations:int -> unit -> Table.row list
+val model_table :
+  ?iterations:int -> ?pool:Vino_par.Pool.t -> unit -> Table.row list
 (** The fitted abort-cost model against the paper's 35 + 10L equation. *)

@@ -58,12 +58,23 @@ let measure_kind kind =
   | Error e -> failwith (Injector.name kind ^ ": unexpected load refusal: " ^ e)
   | Ok () -> drained_elapsed site ~contender:variant.Injector.wants_contender
 
-let table () =
-  let healthy = measure_healthy () in
-  Table.elapsed "healthy graft (commit path)" healthy
-  :: List.map
-       (fun kind ->
-         Table.elapsed
-           (Printf.sprintf "detect+recover: %s" (Injector.name kind))
-           (measure_kind kind))
-       Injector.all
+let table ?pool () =
+  (* one parallel unit for the healthy row plus one per injector; each
+     builds its own site/kernel, so rows are identical at any pool size *)
+  let measured =
+    Vino_par.Pool.map_scoped ?pool
+      (function
+        | None -> measure_healthy ()
+        | Some kind -> measure_kind kind)
+      (None :: List.map Option.some Injector.all)
+  in
+  match measured with
+  | healthy :: rest ->
+      Table.elapsed "healthy graft (commit path)" healthy
+      :: List.map2
+           (fun kind v ->
+             Table.elapsed
+               (Printf.sprintf "detect+recover: %s" (Injector.name kind))
+               v)
+           Injector.all rest
+  | [] -> assert false

@@ -3,4 +3,6 @@
     (the delta is detection + abort + removal). Deterministic — no
     [~iterations]; every run replays the same seeded variants. *)
 
-val table : unit -> Table.row list
+val table : ?pool:Vino_par.Pool.t -> unit -> Table.row list
+(** With [?pool], the healthy row and the per-injector rows fan out
+    across domains; rows are identical at any pool size. *)

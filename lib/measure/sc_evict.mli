@@ -16,4 +16,7 @@ val measure_agreement : ?iterations:int -> unit -> float
     paper's 159 us case, versus 316 us when it overrules). *)
 
 val paper_elapsed : (Path.t * float) list
-val table : ?iterations:int -> unit -> Table.row list
+val table : ?iterations:int -> ?pool:Vino_par.Pool.t -> unit -> Table.row list
+(** With [?pool], the per-path measurements fan out across domains (each
+    worker builds its own kernel); rows are identical at any pool
+    size. *)

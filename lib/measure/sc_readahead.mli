@@ -14,4 +14,8 @@ val measure_abort : ?iterations:int -> full:bool -> unit -> float
     [full:true] the full safe graft. *)
 
 val paper_elapsed : (Path.t * float) list
-val table : ?iterations:int -> unit -> Table.row list
+
+val table : ?iterations:int -> ?pool:Vino_par.Pool.t -> unit -> Table.row list
+(** With [?pool], the per-path measurements fan out across domains (each
+    worker builds its own kernel); rows are identical at any pool
+    size. *)

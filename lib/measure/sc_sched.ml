@@ -157,8 +157,12 @@ let paper_elapsed =
     (Path.Abort, 211.);
   ]
 
-let table ?iterations () =
-  let measured = List.map (fun p -> (p, measure ?iterations p)) Path.all in
+let table ?iterations ?pool () =
+  let measured =
+    Vino_par.Pool.map_scoped ?pool
+      (fun p -> (p, measure ?iterations p))
+      Path.all
+  in
   let value p = List.assoc p measured in
   let paper p = List.assoc_opt p paper_elapsed in
   let row p = Table.elapsed ?paper:(paper p) (Path.name p) (value p) in

@@ -39,19 +39,21 @@ type t = {
 let list_area = 64
 let max_listed = 64
 
-let instances = ref 0
+(* Atomic: run queues are created from parallel worker domains (one
+   kernel per bench/campaign unit); instance numbers must stay unique. *)
+let instances = Atomic.make 0
 
 let create kernel ?(timeslice = Vino_txn.Tcosts.us 10_000.)
     ?(switch_cost = Vino_txn.Tcosts.us 27.) ?(graft_support = true)
     ?delegate_budget () =
-  incr instances;
+  let instance = 1 + Atomic.fetch_and_add instances 1 in
   let lock =
     Kernel.make_lock kernel
       ~timeout:(Vino_txn.Tcosts.us 200.)
-      ~name:(Printf.sprintf "process-list-%d" !instances)
+      ~name:(Printf.sprintf "process-list-%d" instance)
       ()
   in
-  let lock_name = Printf.sprintf "sched.proclist-lock:%d" !instances in
+  let lock_name = Printf.sprintf "sched.proclist-lock:%d" instance in
   let (_ : Kcall.fn) =
     Kernel.register_kcall kernel ~name:lock_name (fun ctx ->
         match ctx.Kcall.txn with

@@ -1,50 +1,126 @@
-type t = { mutable samples : float list; mutable n : int }
+(* Samples live in a growable float array (amortised O(1) add, no
+   per-sample consing); sorted queries ([trimmed]/[percentile]) go
+   through a cached sorted copy invalidated on [add], so a burst of
+   percentile reads after a run sorts once instead of once per call.
 
-let create () = { samples = []; n = 0 }
+   Numerical note: the previous implementation kept samples as a consed
+   list (newest first) and summed in list order. Summation order matters
+   for float rounding, so [mean]/[stddev] iterate newest-to-oldest and
+   the trimmed/sorted aggregates iterate ascending — bit-for-bit the old
+   results. The QCheck suite in test/test_stats.ml pins this against a
+   reference list implementation. *)
+
+type t = {
+  mutable data : float array;
+  mutable n : int;
+  mutable sorted : float array option; (* cache over data[0..n-1] *)
+}
+
+let create () = { data = [||]; n = 0; sorted = None }
 
 let add t x =
-  t.samples <- x :: t.samples;
-  t.n <- t.n + 1
+  let cap = Array.length t.data in
+  if t.n = cap then begin
+    let fresh = Array.make (max 8 (2 * cap)) 0. in
+    Array.blit t.data 0 fresh 0 t.n;
+    t.data <- fresh
+  end;
+  t.data.(t.n) <- x;
+  t.n <- t.n + 1;
+  t.sorted <- None
 
 let count t = t.n
 
-let mean_of = function
-  | [] -> 0.
-  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+(* newest first, like the old list fold *)
+let sum_newest_first t =
+  let acc = ref 0. in
+  for k = t.n - 1 downto 0 do
+    acc := !acc +. t.data.(k)
+  done;
+  !acc
 
-let stddev_of = function
-  | [] | [ _ ] -> 0.
-  | xs ->
-      let m = mean_of xs in
-      let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
-      sqrt (sq /. float_of_int (List.length xs - 1))
+let mean t = if t.n = 0 then 0. else sum_newest_first t /. float_of_int t.n
 
-let mean t = mean_of t.samples
-let stddev t = stddev_of t.samples
+let stddev t =
+  if t.n <= 1 then 0.
+  else begin
+    let m = mean t in
+    let sq = ref 0. in
+    for k = t.n - 1 downto 0 do
+      sq := !sq +. ((t.data.(k) -. m) ** 2.)
+    done;
+    sqrt (!sq /. float_of_int (t.n - 1))
+  end
 
-let trimmed ?(fraction = 0.10) t =
-  let sorted = List.sort compare t.samples in
-  let n = List.length sorted in
-  let drop = int_of_float (fraction *. float_of_int n) in
-  sorted |> List.filteri (fun k _ -> k >= drop && k < n - drop)
+let sorted_view t =
+  match t.sorted with
+  | Some s -> s
+  | None ->
+      let s = Array.sub t.data 0 t.n in
+      Array.sort compare s;
+      t.sorted <- Some s;
+      s
 
-let trimmed_mean ?fraction t = mean_of (trimmed ?fraction t)
-let trimmed_stddev ?fraction t = stddev_of (trimmed ?fraction t)
+(* mean/stddev over sorted[lo..hi-1], summed ascending like the old
+   sorted-list folds *)
+let mean_range s lo hi =
+  if hi <= lo then 0.
+  else begin
+    let acc = ref 0. in
+    for k = lo to hi - 1 do
+      acc := !acc +. s.(k)
+    done;
+    !acc /. float_of_int (hi - lo)
+  end
 
-let min_value t = List.fold_left min infinity t.samples
-let max_value t = List.fold_left max neg_infinity t.samples
+let stddev_range s lo hi =
+  if hi - lo <= 1 then 0.
+  else begin
+    let m = mean_range s lo hi in
+    let sq = ref 0. in
+    for k = lo to hi - 1 do
+      sq := !sq +. ((s.(k) -. m) ** 2.)
+    done;
+    sqrt (!sq /. float_of_int (hi - lo - 1))
+  end
+
+let trim_bounds ?(fraction = 0.10) t =
+  let drop = int_of_float (fraction *. float_of_int t.n) in
+  (drop, t.n - drop)
+
+let trimmed_mean ?fraction t =
+  let lo, hi = trim_bounds ?fraction t in
+  mean_range (sorted_view t) lo hi
+
+let trimmed_stddev ?fraction t =
+  let lo, hi = trim_bounds ?fraction t in
+  stddev_range (sorted_view t) lo hi
+
+let min_value t =
+  let acc = ref infinity in
+  for k = 0 to t.n - 1 do
+    acc := min !acc t.data.(k)
+  done;
+  !acc
+
+let max_value t =
+  let acc = ref neg_infinity in
+  for k = 0 to t.n - 1 do
+    acc := max !acc t.data.(k)
+  done;
+  !acc
 
 let percentile t p =
-  match List.sort compare t.samples with
-  | [] -> 0.
-  | sorted ->
-      let n = List.length sorted in
-      let rank = p /. 100. *. float_of_int (n - 1) in
-      let low = int_of_float rank in
-      let high = min (low + 1) (n - 1) in
-      let frac = rank -. float_of_int low in
-      let nth k = List.nth sorted k in
-      (nth low *. (1. -. frac)) +. (nth high *. frac)
+  if t.n = 0 then 0.
+  else begin
+    let sorted = sorted_view t in
+    let n = t.n in
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let low = int_of_float rank in
+    let high = min (low + 1) (n - 1) in
+    let frac = rank -. float_of_int low in
+    (sorted.(low) *. (1. -. frac)) +. (sorted.(high) *. frac)
+  end
 
 module Counter = struct
   type t = int ref

@@ -15,4 +15,9 @@ let snapshot t =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
   |> List.sort compare
 
+(* Integer addition commutes, so summing per-worker counter tables in
+   any order reproduces the serial totals exactly. *)
+let absorb src ~into =
+  Hashtbl.iter (fun name r -> incr into ~by:!r name) src
+
 let clear = Hashtbl.reset

@@ -13,41 +13,62 @@ let create ?(span_capacity = default_span_capacity) () =
     prof = Profile.create ();
   }
 
-(* The installed sink. A plain global: the simulation is single-threaded
-   and deterministic, and scoping with [with_t] keeps concurrent kernels
-   in one process (the bench harness) from mixing streams. *)
-let sink : t option ref = ref None
+(* The installed sink. Domain-local: each domain installs and reads its
+   own sink, so the parallel fan-out (Vino_par.Pool) can run one kernel
+   per worker domain without the streams racing or mixing — a worker sees
+   no sink unless it installs one. Within a domain, scoping with [with_t]
+   keeps concurrent kernels (the bench harness) from mixing streams,
+   exactly as before. *)
+let sink : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let install t = sink := Some t
-let uninstall () = sink := None
-let current () = !sink
-let enabled () = !sink <> None
+let install t = Domain.DLS.set sink (Some t)
+let uninstall () = Domain.DLS.set sink None
+let current () = Domain.DLS.get sink
+let enabled () = Domain.DLS.get sink <> None
 
 let with_t t f =
-  let saved = !sink in
-  sink := Some t;
-  Fun.protect ~finally:(fun () -> sink := saved) f
+  let saved = Domain.DLS.get sink in
+  Domain.DLS.set sink (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set sink saved) f
 
 let span kind ~label ~start ~dur =
-  match !sink with
+  match Domain.DLS.get sink with
   | None -> ()
   | Some t -> Ring.push t.ring { Span.kind; label; start; dur }
 
 let incr ?by name =
-  match !sink with None -> () | Some t -> Counters.incr t.ctrs ?by name
+  match Domain.DLS.get sink with
+  | None -> ()
+  | Some t -> Counters.incr t.ctrs ?by name
 
 let push_frame ~ctx ~point ~now =
-  match !sink with
+  match Domain.DLS.get sink with
   | None -> ()
   | Some t -> Profile.push_frame t.prof ~ctx ~point ~now
 
 let charge ~ctx bucket n =
-  match !sink with
+  match Domain.DLS.get sink with
   | None -> ()
   | Some t -> Profile.charge t.prof ~ctx bucket n
 
 let pop_frame ~ctx ~now =
-  match !sink with None -> () | Some t -> Profile.pop_frame t.prof ~ctx ~now
+  match Domain.DLS.get sink with
+  | None -> ()
+  | Some t -> Profile.pop_frame t.prof ~ctx ~now
+
+(* Merge [src] into the caller's installed sink (no-op when none is
+   installed): counters and profile aggregates are summed, spans are
+   appended in [src]'s order. Used by [Vino_par.Pool.map_scoped] to fold
+   per-worker sinks back into the main one in item-index order, which
+   reproduces exactly what a serial run under a single sink records. *)
+let absorb src =
+  match Domain.DLS.get sink with
+  | None -> ()
+  | Some dst when dst == src -> ()
+  | Some dst ->
+      Ring.absorb src.ring ~into:dst.ring;
+      Counters.absorb src.ctrs ~into:dst.ctrs;
+      Profile.absorb src.prof ~into:dst.prof
 
 let spans t = Ring.to_list t.ring
 let spans_dropped t = Ring.dropped t.ring

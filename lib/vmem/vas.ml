@@ -20,7 +20,9 @@ type t = {
   mutable n_faults : int;
 }
 
-let next_id = ref 0
+(* Atomic: address spaces are created from parallel worker domains
+   (one kernel per bench/campaign unit); ids must stay unique. *)
+let next_id = Atomic.make 0
 
 let setup kernel cpu req =
   let seg = Cpu.segment cpu in
@@ -42,8 +44,7 @@ let setup kernel cpu req =
   Cpu.set_reg cpu 4 seg.Mem.base
 
 let create kernel ?evict_budget ~name () =
-  let vid = !next_id in
-  incr next_id;
+  let vid = Atomic.fetch_and_add next_id 1 in
   let evict =
     Graft_point.create
       ~name:(Printf.sprintf "%s.page-eviction" name)

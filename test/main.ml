@@ -33,4 +33,7 @@ let () =
          Test_disaster.suite;
          Test_soak.suite;
          Test_trace.suite;
+         Test_par.suite;
+         Test_stats.suite;
+         Test_pqueue.suite;
        ])

@@ -256,21 +256,35 @@ let init_for st =
   in
   (init_regs, init_mem)
 
-let test_corpus () =
+(* One corpus seed is fully self-contained: the generator state, program,
+   variants and initial machine state all derive from the seed, so seeds
+   shard across domains (VINO_TEST_DOMAINS=N) with no shared state. A
+   failing differential raises out of its domain and Pool.map re-raises
+   the lowest-index failure in the runner. *)
+let run_seed seed =
+  let st = Random.State.make [| 0xD1FF; seed |] in
+  let source = gen_program st in
+  let vs = variants st source in
+  let init_regs, init_mem = init_for st in
   List.iter
-    (fun seed ->
-      let st = Random.State.make [| 0xD1FF; seed |] in
-      let source = gen_program st in
-      let vs = variants st source in
-      let init_regs, init_mem = init_for st in
+    (fun (vname, code) ->
       List.iter
-        (fun (vname, code) ->
-          List.iter
-            (fun cfg ->
-              differential ~seed ~vname ~cfg ~init_regs ~init_mem code)
-            configs)
-        vs)
-    corpus_seeds
+        (fun cfg -> differential ~seed ~vname ~cfg ~init_regs ~init_mem code)
+        configs)
+    vs
+
+let test_domains =
+  match Sys.getenv_opt "VINO_TEST_DOMAINS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
+  | None -> 1
+
+let test_corpus () =
+  if test_domains <= 1 then List.iter run_seed corpus_seeds
+  else
+    let pool = Vino_par.Pool.create ~domains:test_domains () in
+    Fun.protect
+      ~finally:(fun () -> Vino_par.Pool.shutdown pool)
+      (fun () -> ignore (Vino_par.Pool.map ~pool run_seed corpus_seeds))
 
 (* ------------------------------------------------------------------ *)
 (* Edge cases                                                          *)

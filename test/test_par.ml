@@ -1,0 +1,143 @@
+(* The deterministic domain pool: output must be a pure function of the
+   input list, independent of scheduling, and the trace-scoped variant
+   must leave the caller's sink identical to a serial run. The pools here
+   use more domains than the machine has cores on purpose — determinism
+   may not depend on the schedule. *)
+
+module Pool = Vino_par.Pool
+module Trace = Vino_trace.Trace
+
+let with_pool domains f =
+  let pool = Pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let test_map_order () =
+  with_pool 4 (fun pool ->
+      let items = List.init 200 (fun k -> k - 50) in
+      let f x = (x * x) - (3 * x) in
+      Alcotest.(check (list int))
+        "map ~pool = List.map" (List.map f items)
+        (Pool.map ~pool f items);
+      Alcotest.(check (list int))
+        "repeat batches reuse the pool" (List.map f items)
+        (Pool.map ~pool f items))
+
+let test_map_edges () =
+  with_pool 4 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map ~pool succ []);
+      Alcotest.(check (list int))
+        "singleton" [ 8 ]
+        (Pool.map ~pool succ [ 7 ]);
+      Alcotest.(check (list int))
+        "fewer items than domains" [ 1; 2 ]
+        (Pool.map ~pool succ [ 0; 1 ]))
+
+exception Boom of int
+
+let test_map_exception () =
+  with_pool 4 (fun pool ->
+      match
+        Pool.map ~pool
+          (fun x -> if x mod 10 = 7 then raise (Boom x) else x)
+          (List.init 40 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom x ->
+          Alcotest.(check int) "lowest failing index wins" 7 x)
+
+let test_map_not_reentrant () =
+  with_pool 4 (fun pool ->
+      match Pool.map ~pool (fun x -> Pool.map ~pool succ [ x ]) [ 1; 2 ] with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+
+let test_shutdown_degrades () =
+  let pool = Pool.create ~domains:4 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.(check (list int))
+    "serial after shutdown" [ 2; 3 ]
+    (Pool.map ~pool succ [ 1; 2 ])
+
+(* map_scoped under an installed sink must record exactly what a serial
+   run records: summed counters and index-ordered spans. *)
+let scoped_counters pool =
+  let sink = Trace.create () in
+  let out =
+    Trace.with_t sink (fun () ->
+        Pool.map_scoped ?pool
+          (fun k ->
+            Trace.incr ~by:k "par.work";
+            Trace.incr "par.items";
+            k)
+          (List.init 25 Fun.id))
+  in
+  (out, Trace.counters sink)
+
+let test_map_scoped_absorb () =
+  let serial_out, serial_ctrs = scoped_counters None in
+  with_pool 4 (fun pool ->
+      let par_out, par_ctrs = scoped_counters (Some pool) in
+      Alcotest.(check (list int)) "same results" serial_out par_out;
+      Alcotest.(check (list (pair string int)))
+        "same counters" serial_ctrs par_ctrs)
+
+(* The PR's hard bar, enforced as a test: every gated table renders to
+   byte-identical JSON whether computed serially or fanned out. *)
+let render_tables pool =
+  let module M = Vino_measure in
+  let sink = Trace.create () in
+  let rows =
+    Trace.with_t sink (fun () ->
+        [
+          ("table3", M.Sc_readahead.table ~iterations:2 ?pool ());
+          ("table6", M.Sc_crypt.table ~iterations:2 ?pool ());
+          ("table7", M.Abort_model.table7 ~iterations:2 ?pool ());
+          ("disaster", M.Sc_disaster.table ?pool ());
+        ])
+  in
+  String.concat "\n"
+    (List.map
+       (fun (name, rows) ->
+         Vino_trace.Json.to_string
+           (M.Table.to_json ~name ~title:name ~counters:(Trace.counters sink)
+              rows))
+       rows)
+
+let test_tables_byte_identical () =
+  let serial = render_tables None in
+  let parallel = with_pool 4 (fun pool -> render_tables (Some pool)) in
+  Alcotest.(check string) "tables byte-identical at -j 1 vs -j 4" serial
+    parallel
+
+let test_campaign_identical () =
+  let serial = Vino_disaster.Campaign.run ~seed:7 ~count:10 () in
+  let parallel =
+    with_pool 4 (fun pool ->
+        Vino_disaster.Campaign.run ~pool ~seed:7 ~count:10 ())
+  in
+  Alcotest.(check bool)
+    "campaign records identical at -j 1 vs -j 4" true
+    (serial.Vino_disaster.Campaign.records
+    = parallel.Vino_disaster.Campaign.records)
+
+let suite =
+  [
+    ( "par",
+      [
+        Alcotest.test_case "map preserves input order" `Quick test_map_order;
+        Alcotest.test_case "map edge cases" `Quick test_map_edges;
+        Alcotest.test_case "lowest-index exception wins" `Quick
+          test_map_exception;
+        Alcotest.test_case "nested fan-out rejected" `Quick
+          test_map_not_reentrant;
+        Alcotest.test_case "shutdown degrades to serial" `Quick
+          test_shutdown_degrades;
+        Alcotest.test_case "map_scoped absorbs into caller sink" `Quick
+          test_map_scoped_absorb;
+        Alcotest.test_case "tables byte-identical across -j" `Quick
+          test_tables_byte_identical;
+        Alcotest.test_case "disaster campaign identical across -j" `Quick
+          test_campaign_identical;
+      ] );
+  ]

@@ -1,0 +1,84 @@
+(* Property tests for {!Vino_sim.Pqueue}: the event queue's determinism
+   rests on pops coming back sorted by key with FIFO order among equal
+   keys. The model is a list kept in (key, insertion-sequence) order;
+   random interleavings of adds and pops must agree with it at every
+   step, including mid-stream pops, not just on a final drain. *)
+
+module Pqueue = Vino_sim.Pqueue
+
+type op = Add of int | Pop
+
+let gen_ops =
+  (* Small key range so equal keys are common — that's where FIFO
+     stability can break. *)
+  QCheck2.Gen.(
+    list_size (int_range 0 200)
+      (frequency
+         [ (3, map (fun k -> Add k) (int_range 0 8)); (2, pure Pop) ]))
+
+let pp_op = function Add k -> Printf.sprintf "add %d" k | Pop -> "pop"
+
+let print_ops ops = String.concat "; " (List.map pp_op ops)
+
+let prop_matches_model =
+  QCheck2.Test.make ~name:"pops sorted by key, FIFO within equal keys"
+    ~count:500 ~print:print_ops gen_ops (fun ops ->
+      let q = Pqueue.create () in
+      let model = ref [] (* (key, seq) in pop order *) and seq = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Add k ->
+              Pqueue.add q ~key:k !seq;
+              (* stable insert: strictly-greater keys stay behind us *)
+              let rec insert = function
+                | (k', s') :: rest when k' <= k -> (k', s') :: insert rest
+                | rest -> (k, !seq) :: rest
+              in
+              model := insert !model;
+              incr seq;
+              Pqueue.length q = List.length !model
+          | Pop -> (
+              match (Pqueue.pop q, !model) with
+              | None, [] -> true
+              | Some (k, v), (mk, ms) :: rest ->
+                  model := rest;
+                  k = mk && v = ms
+              | Some _, [] | None, _ :: _ ->
+                  QCheck2.Test.fail_report
+                    "queue and model disagree on empty"))
+        ops
+      &&
+      (* drain: whatever remains must still come out in model order *)
+      let rec drain () =
+        match (Pqueue.pop q, !model) with
+        | None, [] -> Pqueue.is_empty q
+        | Some (k, v), (mk, ms) :: rest ->
+            model := rest;
+            k = mk && v = ms && drain ()
+        | Some _, [] | None, _ :: _ -> false
+      in
+      drain ())
+
+let prop_peek_consistent =
+  QCheck2.Test.make ~name:"peek_key agrees with the next pop" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 60) (int_range 0 10))
+    (fun keys ->
+      let q = Pqueue.create () in
+      List.iteri (fun i k -> Pqueue.add q ~key:k i) keys;
+      let rec loop () =
+        match Pqueue.peek_key q with
+        | None -> Pqueue.pop q = None
+        | Some pk -> (
+            match Pqueue.pop q with
+            | Some (k, _) -> k = pk && loop ()
+            | None -> false)
+      in
+      loop ())
+
+let suite =
+  [
+    ( "pqueue",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_matches_model; prop_peek_consistent ] );
+  ]

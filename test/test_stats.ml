@@ -1,0 +1,140 @@
+(* Property tests for the growable-array rewrite of {!Vino_sim.Stats}.
+
+   The reference below is the previous list-based implementation,
+   verbatim. The array version caches a sorted view and mirrors the
+   reference's float summation orders exactly (newest-first for
+   mean/stddev, ascending over the sorted view for the trimmed forms),
+   so every statistic must agree {e bitwise} — the checks use exact
+   float equality, not a tolerance. *)
+
+module Stats = Vino_sim.Stats
+
+module Reference = struct
+  type t = { mutable samples : float list; mutable n : int }
+
+  let create () = { samples = []; n = 0 }
+
+  let add t x =
+    t.samples <- x :: t.samples;
+    t.n <- t.n + 1
+
+  let mean_of = function
+    | [] -> 0.
+    | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+  let stddev_of = function
+    | [] | [ _ ] -> 0.
+    | xs ->
+        let m = mean_of xs in
+        let sq =
+          List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+        in
+        sqrt (sq /. float_of_int (List.length xs - 1))
+
+  let mean t = mean_of t.samples
+  let stddev t = stddev_of t.samples
+
+  let trimmed ?(fraction = 0.10) t =
+    let sorted = List.sort compare t.samples in
+    let n = List.length sorted in
+    let drop = int_of_float (fraction *. float_of_int n) in
+    sorted |> List.filteri (fun k _ -> k >= drop && k < n - drop)
+
+  let trimmed_mean ?fraction t = mean_of (trimmed ?fraction t)
+  let trimmed_stddev ?fraction t = stddev_of (trimmed ?fraction t)
+  let min_value t = List.fold_left min infinity t.samples
+  let max_value t = List.fold_left max neg_infinity t.samples
+
+  let percentile t p =
+    match List.sort compare t.samples with
+    | [] -> 0.
+    | sorted ->
+        let n = List.length sorted in
+        let rank = p /. 100. *. float_of_int (n - 1) in
+        let low = int_of_float rank in
+        let high = min (low + 1) (n - 1) in
+        let frac = rank -. float_of_int low in
+        let nth k = List.nth sorted k in
+        (nth low *. (1. -. frac)) +. (nth high *. frac)
+end
+
+(* Awkward but well-behaved floats (no nan/inf, duplicates likely). *)
+let gen_sample =
+  QCheck2.Gen.(map (fun n -> float_of_int n /. 8.) (int_range (-4000) 4000))
+
+let gen_samples = QCheck2.Gen.(list_size (int_range 0 300) gen_sample)
+
+let feed samples =
+  let s = Stats.create () and r = Reference.create () in
+  List.iter
+    (fun x ->
+      Stats.add s x;
+      Reference.add r x)
+    samples;
+  (s, r)
+
+let same name a b =
+  if not (Float.equal a b) then
+    QCheck2.Test.fail_reportf "%s: array %.17g <> reference %.17g" name a b;
+  true
+
+let prop_moments =
+  QCheck2.Test.make ~name:"mean/stddev/min/max agree bitwise" ~count:300
+    gen_samples (fun samples ->
+      let s, r = feed samples in
+      Stats.count s = List.length samples
+      && same "mean" (Stats.mean s) (Reference.mean r)
+      && same "stddev" (Stats.stddev s) (Reference.stddev r)
+      && (samples = []
+         || same "min" (Stats.min_value s) (Reference.min_value r)
+            && same "max" (Stats.max_value s) (Reference.max_value r)))
+
+let prop_trimmed =
+  QCheck2.Test.make ~name:"trimmed mean/stddev agree bitwise" ~count:300
+    QCheck2.Gen.(pair gen_samples (float_range 0. 0.4))
+    (fun (samples, fraction) ->
+      let s, r = feed samples in
+      same "trimmed_mean" (Stats.trimmed_mean s) (Reference.trimmed_mean r)
+      && same "trimmed_mean frac"
+           (Stats.trimmed_mean ~fraction s)
+           (Reference.trimmed_mean ~fraction r)
+      && same "trimmed_stddev" (Stats.trimmed_stddev s)
+           (Reference.trimmed_stddev r))
+
+let prop_percentile =
+  QCheck2.Test.make ~name:"percentile agrees bitwise" ~count:300
+    QCheck2.Gen.(pair gen_samples (float_range 0. 100.))
+    (fun (samples, p) ->
+      let s, r = feed samples in
+      same "percentile" (Stats.percentile s p) (Reference.percentile r p))
+
+(* The sorted view is cached; adds must invalidate it. Query, add more,
+   query again — a stale cache fails the second round. *)
+let prop_cache_invalidation =
+  QCheck2.Test.make ~name:"adds invalidate the cached sorted view"
+    ~count:300
+    QCheck2.Gen.(pair gen_samples (list_size (int_range 1 50) gen_sample))
+    (fun (first, second) ->
+      let s, r = feed first in
+      ignore (Stats.trimmed_mean s : float);
+      ignore (Stats.percentile s 50. : float);
+      List.iter
+        (fun x ->
+          Stats.add s x;
+          Reference.add r x)
+        second;
+      same "trimmed_mean after growth" (Stats.trimmed_mean s)
+        (Reference.trimmed_mean r)
+      && same "percentile after growth" (Stats.percentile s 90.)
+           (Reference.percentile r 90.)
+      && same "mean after growth" (Stats.mean s) (Reference.mean r))
+
+let suite =
+  [
+    ( "stats",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_moments; prop_trimmed; prop_percentile;
+          prop_cache_invalidation;
+        ] );
+  ]
