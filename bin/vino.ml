@@ -39,6 +39,59 @@ let builtin_grafts : (string * string * (unit -> Vino_vm.Asm.item list)) list
 
 let graft_names = List.map (fun (n, _, _) -> n) builtin_grafts
 
+(* --------------------------- kcall-flow report ------------------------ *)
+
+(* Pre-link flow analysis: relocations get synthetic dense ids in sorted
+   import-name order, so the graph is computable (and stable across runs)
+   without a kernel registry. Raw direct ids, if any, fall outside the
+   synthetic range and take the conservative full-row fallback. *)
+let synthetic_flow code relocs =
+  let names =
+    List.sort_uniq compare
+      (List.map (fun (r : Vino_vm.Asm.reloc) -> r.name) relocs)
+  in
+  let id_of n =
+    let rec go k = function
+      | [] -> assert false
+      | x :: tl -> if String.equal x n then k else go (k + 1) tl
+    in
+    go 0 names
+  in
+  let code = Array.copy code in
+  List.iter
+    (fun (r : Vino_vm.Asm.reloc) ->
+      code.(r.index) <- Vino_vm.Insn.Kcall (id_of r.name))
+    relocs;
+  (names, Vino_verify.Kflow.analyse ~nfuncs:(List.length names) code)
+
+let print_flow_graph names g =
+  let module K = Vino_verify.Kflow in
+  let name id =
+    match List.nth_opt names id with
+    | Some n -> n
+    | None -> Printf.sprintf "#%d" id
+  in
+  let set = function
+    | [] -> "(none)"
+    | ids -> String.concat ", " (List.map name ids)
+  in
+  Printf.printf "kcall-flow graph: %d nodes, %d edges, %d kcall sites%s\n"
+    (K.node_count g) (K.edge_count g) (K.sites g)
+    (if K.degraded g then
+       " — DEGRADED (indirect intra-graft call): fully permissive"
+     else "");
+  Printf.printf "  entry: %s\n  exit: %s%s\n"
+    (set (K.entry_ids g))
+    (set (K.exit_ids g))
+    (if K.may_exit_without_kcall g then " (may exit with no kcall)" else "");
+  K.iter_edges g (fun a b ->
+      Printf.printf "  edge: %s -> %s\n" (name a) (name b));
+  Printf.printf "  fallback (full) rows: %d of %d\n" (K.full_rows g)
+    (K.nfuncs g + 1);
+  let t = K.compile g in
+  Printf.printf "transition table: %d rows x %d words/row = %d words\n"
+    (K.rows t) (K.row_words t) (K.footprint_words t)
+
 (* ------------------------------- inspect ------------------------------ *)
 
 let class_counts code =
@@ -129,7 +182,37 @@ let inspect name show_code =
                 String.concat ", "
                   (List.map (fun r -> r.Vino_vm.Asm.name) rs));
           Format.printf "signature: %a@." Vino_misfit.Sign.pp
-            image.Vino_misfit.Image.signature)
+            image.Vino_misfit.Image.signature;
+          print_newline ();
+          let names, g =
+            synthetic_flow image.Vino_misfit.Image.code
+              image.Vino_misfit.Image.relocs
+          in
+          print_flow_graph names g;
+          (* Link the image into a throwaway kernel (stub kcalls for its
+             imports) for the registry-sized table footprint and the
+             translation-cache statistics, in stable digest order. *)
+          let kernel = Vino_core.Kernel.create ~mem_words:(1 lsl 16) () in
+          List.iter
+            (fun n ->
+              ignore
+                (Vino_core.Kernel.register_kcall kernel ~name:n (fun _ ->
+                     Vino_core.Kcall.ok)))
+            names;
+          (match Vino_core.Linker.load kernel ~words:4096 image with
+          | Error e -> Printf.printf "linked table: (load refused: %s)\n" e
+          | Ok loaded ->
+              let f = loaded.Vino_core.Linker.flow in
+              Printf.printf
+                "linked transition table: %d rows x %d words/row = %d words\n"
+                (Vino_verify.Kflow.rows f)
+                (Vino_verify.Kflow.row_words f)
+                (Vino_verify.Kflow.footprint_words f));
+          List.iter
+            (fun (digest, blocks, fused) ->
+              Printf.printf "translation cache: %s blocks=%d fused=%d\n"
+                digest blocks fused)
+            (Vino_core.Kernel.translation_stats kernel))
 
 (* --------------------------- image files ------------------------------ *)
 
@@ -144,9 +227,26 @@ let read_image path =
 
 let default_key = "vino-misfit-toolchain"
 
-let seal name output key unsafe =
+let seal name output key unsafe flowcheck =
   let _, source = source_of name in
   let obj = Vino_vm.Asm.assemble_exn source in
+  if flowcheck then begin
+    (* Gate sealing on a resolvable kcall-flow graph: a graph degraded to
+       fully-permissive gives dispatch-time flow enforcement nothing to
+       check, so refuse to produce the image. *)
+    let _, g = synthetic_flow obj.Vino_vm.Asm.code obj.Vino_vm.Asm.relocs in
+    if Vino_verify.Kflow.degraded g then begin
+      Printf.eprintf
+        "flowcheck: %s has an unresolvable kcall-flow graph (indirect \
+         intra-graft call) — sealing refused\n"
+        name;
+      exit 1
+    end;
+    Printf.printf
+      "flowcheck: OK — %d kcall-flow edges, %d fallback rows\n"
+      (Vino_verify.Kflow.edge_count g)
+      (Vino_verify.Kflow.full_rows g)
+  end;
   let image =
     if unsafe then Vino_misfit.Image.seal_unsafe ~key obj
     else
@@ -161,7 +261,7 @@ let seal name output key unsafe =
     (Array.length image.Vino_misfit.Image.code)
     (if unsafe then ", NO SFI" else "")
 
-let verify_signature path key =
+let verify_signature path key flowcheck =
   let image = read_image path in
   if Vino_misfit.Image.verify ~key image then begin
     Printf.printf "%s: signature OK (%d instructions, imports: %s)\n" path
@@ -169,6 +269,15 @@ let verify_signature path key =
       (match image.Vino_misfit.Image.relocs with
       | [] -> "none"
       | rs -> String.concat ", " (List.map (fun r -> r.Vino_vm.Asm.name) rs));
+    let names, g =
+      synthetic_flow image.Vino_misfit.Image.code
+        image.Vino_misfit.Image.relocs
+    in
+    print_flow_graph names g;
+    if flowcheck && Vino_verify.Kflow.degraded g then begin
+      Printf.printf "flowcheck: FAIL — unresolvable kcall-flow graph\n";
+      exit 1
+    end;
     exit 0
   end
   else begin
@@ -176,7 +285,7 @@ let verify_signature path key =
     exit 1
   end
 
-let static_verify name words rewritten seg_regs =
+let static_verify name words rewritten seg_regs flowcheck =
   if words < 1 then begin
     Printf.eprintf "verify: --words must be at least 1\n";
     exit 2
@@ -204,6 +313,15 @@ let static_verify name words rewritten seg_regs =
   Vino_verify.Report.pp_annotated Format.std_formatter obj.Vino_vm.Asm.code
     report;
   Format.print_flush ();
+  print_newline ();
+  let names, g = synthetic_flow obj.Vino_vm.Asm.code obj.Vino_vm.Asm.relocs in
+  print_flow_graph names g;
+  let flow_failed = flowcheck && Vino_verify.Kflow.degraded g in
+  if flowcheck then
+    Printf.printf "flowcheck: %s\n"
+      (if flow_failed then
+         "FAIL — unresolvable kcall-flow graph, sealing would be refused"
+       else "OK — graph fully resolved");
   if Vino_verify.Report.ok report then begin
     Printf.printf "verdict: OK — %d/%d accesses and %d/%d indirect calls \
                    need no run-time check\n"
@@ -211,16 +329,16 @@ let static_verify name words rewritten seg_regs =
       (Vino_verify.Report.total_accesses report)
       (Vino_verify.Report.safe_calls report)
       (Vino_verify.Report.total_icalls report);
-    exit 0
+    exit (if flow_failed then 1 else 0)
   end
   else begin
     Printf.printf "verdict: REJECT — the linker would refuse this graft\n";
     exit 1
   end
 
-let verify path key words rewritten seg_regs =
-  if Filename.check_suffix path ".gimg" then verify_signature path key
-  else static_verify path words rewritten seg_regs
+let verify path key words rewritten seg_regs flowcheck =
+  if Filename.check_suffix path ".gimg" then verify_signature path key flowcheck
+  else static_verify path words rewritten seg_regs flowcheck
 
 (* ------------------------------- run ----------------------------------- *)
 
@@ -312,6 +430,7 @@ let run_graft name args stub_imports =
                  ~limits:(Vino_txn.Rlimit.unlimited ())
                  ~seg:loaded.Vino_core.Linker.seg
                  ~code:loaded.Vino_core.Linker.code
+                 ~flow:loaded.Vino_core.Linker.flow
                  ~trans:loaded.Vino_core.Linker.trans ~budget:50_000_000
                  ~setup:(fun cpu ->
                    List.iteri
@@ -564,6 +683,15 @@ let key_arg =
     value & opt string default_key
     & info [ "key" ] ~doc:"Toolchain signing key.")
 
+let flowcheck_arg =
+  Arg.(
+    value & flag
+    & info [ "flowcheck" ]
+        ~doc:
+          "Gate on kcall-flow integrity: fail (and refuse to seal) if the \
+           graft's kcall-flow graph cannot be resolved statically, i.e. an \
+           indirect intra-graft call degraded it to fully permissive.")
+
 let seal_cmd =
   let output =
     Arg.(
@@ -577,7 +705,7 @@ let seal_cmd =
   in
   Cmd.v
     (Cmd.info "seal" ~doc:"Run a graft through MiSFIT and write a .gimg image")
-    Term.(const seal $ graft_pos $ output $ key_arg $ unsafe)
+    Term.(const seal $ graft_pos $ output $ key_arg $ unsafe $ flowcheck_arg)
 
 let verify_cmd =
   let path =
@@ -618,7 +746,9 @@ let verify_cmd =
          "Check a .gimg image's signature like the linker, or run the \
           static graft verifier over source and print a per-instruction \
           safety report")
-    Term.(const verify $ path $ key_arg $ words $ rewritten $ seg_regs)
+    Term.(
+      const verify $ path $ key_arg $ words $ rewritten $ seg_regs
+      $ flowcheck_arg)
 
 let run_cmd =
   let args =
@@ -684,10 +814,10 @@ let disaster_cmd =
   in
   let count =
     Arg.(
-      value & opt int 35
+      value & opt int 40
       & info [ "count"; "n" ]
           ~doc:
-            "Number of injections. 35 covers every (family, injector) \
+            "Number of injections. 40 covers every (family, injector) \
              combination.")
   in
   let costs =
@@ -724,7 +854,7 @@ let trace_cmd =
   in
   let count =
     Arg.(
-      value & opt int 35
+      value & opt int 40
       & info [ "count" ] ~doc:"Disaster campaign injections.")
   in
   let json =

@@ -8,6 +8,7 @@ type event =
   | Graft_failed of { point : string; reason : string }
   | Handler_added of { point : string; handler : int; user : string }
   | Handler_failed of { point : string; handler : int; reason : string }
+  | Flow_violation of { point : string; last : string; next : string }
 
 type entry = { at_us : float; event : event }
 type t = { ring : entry Ring.t }
@@ -22,6 +23,7 @@ let counter_name = function
   | Graft_failed _ -> "audit.graft_failed"
   | Handler_added _ -> "audit.handler_added"
   | Handler_failed _ -> "audit.handler_failed"
+  | Flow_violation _ -> "audit.flow_violation"
 
 let record t ~now_us event =
   Trace.incr (counter_name event);
@@ -35,7 +37,8 @@ let dropped t = Ring.dropped t.ring
 let clear t = Ring.clear t.ring
 
 let is_failure = function
-  | Load_rejected _ | Graft_failed _ | Handler_failed _ -> true
+  | Load_rejected _ | Graft_failed _ | Handler_failed _ | Flow_violation _ ->
+      true
   | Graft_installed _ | Graft_removed _ | Handler_added _ -> false
 
 let failures t = List.filter (fun e -> is_failure e.event) (entries t)
@@ -52,6 +55,9 @@ let pp_event ppf = function
       Format.fprintf ppf "handler %d added to %s by %s" handler point user
   | Handler_failed { point; handler; reason } ->
       Format.fprintf ppf "handler %d on %s failed: %s" handler point reason
+  | Flow_violation { point; last; next } ->
+      Format.fprintf ppf "kcall-flow violation in %s: %s after %s" point next
+        last
 
 let pp ppf t =
   (if dropped t > 0 then

@@ -18,6 +18,10 @@ type event =
   | Graft_failed of { point : string; reason : string }
   | Handler_added of { point : string; handler : int; user : string }
   | Handler_failed of { point : string; handler : int; reason : string }
+  | Flow_violation of { point : string; last : string; next : string }
+      (** a graft attempted kcall [next] when the static kcall-flow table
+          permits no [last]→[next] transition; [last] is ["<entry>"] when
+          no kernel call had been made yet *)
 
 type entry = { at_us : float; event : event }
 type t

@@ -110,8 +110,8 @@ let run_handler t kernel h payload =
   in
   let cpu, outcome =
     Wrapper.exec kernel ~txn ~cred:h.cred ~limits:h.limits ~seg
-      ~code:h.loaded.Linker.code ~trans:h.loaded.Linker.trans
-      ~budget:t.budget ~setup ()
+      ~code:h.loaded.Linker.code ~flow:h.loaded.Linker.flow
+      ~trans:h.loaded.Linker.trans ~budget:t.budget ~setup ()
   in
   let fail reason =
     if Txn.is_active txn then Txn.abort txn ~reason;

@@ -158,7 +158,8 @@ let invoke t kernel ~cred:_ arg =
       let cpu, outcome =
         Wrapper.exec kernel ~txn ~cred:g.cred ~limits:g.limits
           ~seg:g.loaded.Linker.seg ~code:g.loaded.Linker.code
-          ~trans:g.loaded.Linker.trans ~slice:t.slice ~budget:t.budget
+          ~flow:g.loaded.Linker.flow ~trans:g.loaded.Linker.trans
+          ~slice:t.slice ~budget:t.budget
           ~setup:(fun cpu -> t.setup cpu arg)
           ()
       in

@@ -32,6 +32,7 @@ let register r ~name ?(callable = true) impl =
   fn
 
 let find r id = Hashtbl.find_opt r.by_id id
+let id_limit r = r.next_id
 let find_by_name r name = Hashtbl.find_opt r.by_name name
 
 let callable_ids r =

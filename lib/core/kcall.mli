@@ -35,6 +35,11 @@ val register : registry -> name:string -> ?callable:bool -> impl -> fn
 
 val find : registry -> int -> fn option
 val find_by_name : registry -> string -> fn option
+
+val id_limit : registry -> int
+(** One past the highest assigned id (ids are dense from 0): the row space
+    a kcall-flow transition table built now must cover. *)
+
 val callable_ids : registry -> int list
 val names : registry -> string list
 

@@ -15,13 +15,15 @@ type t = {
   audit : Audit.t;
   translations : (Vino_misfit.Sign.t, Vino_vm.Jit.t) Hashtbl.t;
   mutable exec_mode : Vino_vm.Jit.mode;
+  mutable flow_enforce : bool;
+  mutable flow_pin : Vino_verify.Kflow.table option;
 }
 
 let default_key = "vino-misfit-toolchain"
 
 let create ?(mem_words = 1 lsl 20) ?tick ?(key = default_key)
     ?(vm_costs = Vino_vm.Costs.default) ?(costs = Vino_txn.Tcosts.default)
-    ?exec_mode () =
+    ?exec_mode ?(flow_enforce = false) () =
   let engine = Engine.create () in
   let wheel = Tick.create engine ?tick () in
   {
@@ -44,6 +46,8 @@ let create ?(mem_words = 1 lsl 20) ?tick ?(key = default_key)
       (match exec_mode with
       | Some m -> m
       | None -> !Vino_vm.Jit.default_mode);
+    flow_enforce;
+    flow_pin = None;
   }
 
 (* Translations are cached per kernel, keyed by the signature of the
@@ -60,6 +64,18 @@ let translate t code =
       let tr = Vino_vm.Jit.translate ~costs:t.vm_costs code in
       Hashtbl.add t.translations sign tr;
       tr
+
+(* Stable, CI-diffable listing of the translation cache: sorted by digest,
+   not hash-table iteration order. *)
+let translation_stats t =
+  Hashtbl.fold
+    (fun sign tr acc ->
+      ( Printf.sprintf "%014x" ((sign : Vino_misfit.Sign.t :> int) land max_int),
+        Vino_vm.Jit.block_count tr,
+        Vino_vm.Jit.fused_pairs tr )
+      :: acc)
+    t.translations []
+  |> List.sort compare
 
 let register_kcall t ~name ?callable impl =
   let fn = Kcall.register t.registry ~name ?callable impl in

@@ -23,6 +23,16 @@ type t = {
   mutable exec_mode : Vino_vm.Jit.mode;
       (** how wrappers execute graft code (default
           {!Vino_vm.Jit.default_mode}) *)
+  mutable flow_enforce : bool;
+      (** when true, wrappers enforce each graft's static kcall-flow
+          transition table at dispatch (default false: flow checking is an
+          opt-in third protection mechanism, like seal-time verification) *)
+  mutable flow_pin : Vino_verify.Kflow.table option;
+      (** when set, wrappers enforce this table instead of the loaded
+          graft's own — modeling an attested compile-time call-flow graph
+          (SFIP-style) that the running code must honour. Disaster
+          campaigns use it to pin a witness protocol and then install a
+          hijacked variant. *)
 }
 
 val create :
@@ -32,10 +42,15 @@ val create :
   ?vm_costs:Vino_vm.Costs.t ->
   ?costs:Vino_txn.Tcosts.t ->
   ?exec_mode:Vino_vm.Jit.mode ->
+  ?flow_enforce:bool ->
   unit ->
   t
 (** A fresh kernel with [mem_words] (default 2^20) of graft memory and the
     standard 10 ms timeout tick. *)
+
+val translation_stats : t -> (string * int * int) list
+(** Per-entry [(digest, blocks, fused pairs)] of the translation cache, in
+    a stable sorted order (by digest) so the listing is CI-diffable. *)
 
 val translate : t -> Vino_vm.Insn.t array -> Vino_vm.Jit.t
 (** Translation of [code] under this kernel's cost table, cached by the

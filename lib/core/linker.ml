@@ -5,6 +5,7 @@ type loaded = {
   code : Insn.t array;
   seg : Vino_vm.Mem.segment;
   trans : Vino_vm.Jit.t;
+  flow : Vino_verify.Kflow.table;
 }
 
 let resolve_reloc kernel (r : Vino_vm.Asm.reloc) =
@@ -72,6 +73,31 @@ let load kernel ~words (image : Image.t) =
     Result.bind (static_check kernel ~words code) @@ fun () ->
     match Segalloc.alloc kernel.Kernel.segalloc words with
     | Error `No_memory -> Error "out of graft memory"
-    | Ok seg -> Ok { code; seg; trans = Kernel.translate kernel code }
+    | Ok seg ->
+        (* Kcall ids are resolved, so the flow analysis sees concrete
+           registry ids; the row space is the registry's id range now. *)
+        let flow =
+          Vino_verify.Kflow.of_program
+            ~nfuncs:(Kcall.id_limit kernel.Kernel.registry)
+            code
+        in
+        Ok { code; seg; trans = Kernel.translate kernel code; flow }
+
+let flow_of_obj kernel (obj : Vino_vm.Asm.obj) =
+  let code = Array.copy obj.code in
+  let rec patch = function
+    | [] -> Ok ()
+    | r :: rest -> (
+        match resolve_reloc kernel r with
+        | Error _ as e -> e
+        | Ok id ->
+            code.(r.Vino_vm.Asm.index) <- Insn.Kcall id;
+            patch rest)
+  in
+  Result.bind (patch obj.relocs) @@ fun () ->
+  Ok
+    (Vino_verify.Kflow.of_program
+       ~nfuncs:(Kcall.id_limit kernel.Kernel.registry)
+       code)
 
 let unload kernel loaded = Segalloc.free kernel.Kernel.segalloc loaded.seg

@@ -26,6 +26,10 @@ type loaded = {
       (** closure-threaded translation of [code], from the kernel's cache
           ({!Kernel.translate}); wrappers use it when the kernel's
           [exec_mode] is [Translated] *)
+  flow : Vino_verify.Kflow.table;
+      (** bitset kcall-flow transition table compiled from the post-link
+          code; wrappers enforce it at dispatch when the kernel's
+          [flow_enforce] is set *)
 }
 
 val load :
@@ -34,3 +38,11 @@ val load :
 
 val unload : Kernel.t -> loaded -> unit
 (** Return the graft's segment to the allocator. *)
+
+val flow_of_obj :
+  Kernel.t -> Vino_vm.Asm.obj -> (Vino_verify.Kflow.table, string) result
+(** Kcall-flow transition table of an (unsealed) object: relocations are
+    resolved against the registry exactly as {!load} does, but no segment
+    is allocated and nothing is installed. This is how a campaign pins a
+    witness protocol's table ([Kernel.flow_pin]) before installing a
+    hijacked variant, and how the CLI reports a graph pre-install. *)

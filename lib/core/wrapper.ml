@@ -5,12 +5,47 @@ module Trace = Vino_trace.Trace
 module Span = Vino_trace.Span
 module Profile = Vino_trace.Profile
 
-let env kernel ~txn ~cred ~limits =
-  let kcall id cpu =
+let env ?flow kernel ~txn ~cred ~limits =
+  let dispatch id cpu =
     match Kcall.find kernel.Kernel.registry id with
     | None -> Cpu.K_fault (Cpu.Bad_kcall id)
     | Some fn when not fn.Kcall.callable -> Cpu.K_fault (Cpu.Bad_kcall id)
     | Some fn -> fn.Kcall.impl { Kcall.cpu; txn; cred; limits }
+  in
+  let kcall =
+    match flow with
+    | None -> dispatch
+    | Some table ->
+        (* Kcall-flow integrity: one row/bit test per dispatch against the
+           static transition table, before the target runs. The check and
+           its cycle charge exist only when enforcement is on, so every
+           other configuration's cycle counts are untouched. *)
+        let last = ref Vino_verify.Kflow.entry in
+        let name id =
+          if id = Vino_verify.Kflow.entry then "<entry>"
+          else
+            match Kcall.find kernel.Kernel.registry id with
+            | Some fn -> fn.Kcall.name
+            | None -> Printf.sprintf "#%d" id
+        in
+        fun id cpu ->
+          Cpu.charge cpu kernel.Kernel.vm_costs.Vino_vm.Costs.flow_check;
+          Trace.incr "kflow.checks";
+          if Vino_verify.Kflow.permits table ~last:!last ~next:id then begin
+            last := id;
+            dispatch id cpu
+          end
+          else begin
+            Trace.incr "kflow.violations";
+            let point =
+              match txn with Some t -> Txn.name t | None -> "<no-txn>"
+            in
+            let last = name !last and next = name id in
+            Kernel.audit_event kernel
+              (Audit.Flow_violation { point; last; next });
+            Cpu.K_abort
+              (Printf.sprintf "kcall-flow violation: %s after %s" next last)
+          end
   in
   let call_ok id = Calltable.mem kernel.Kernel.calltable id in
   let poll =
@@ -21,13 +56,20 @@ let env kernel ~txn ~cred ~limits =
 let default_slice = 10_000
 let default_budget = 1_000_000_000
 
-let exec kernel ~txn ~cred ~limits ~seg ~code ?trans ?mode
+let exec kernel ~txn ~cred ~limits ~seg ~code ?flow ?trans ?mode
     ?(slice = default_slice) ?(budget = default_budget) ~setup () =
   let cpu =
     Cpu.make ~mem:kernel.Kernel.mem ~seg ~costs:kernel.Kernel.vm_costs ()
   in
   setup cpu;
-  let e = env kernel ~txn:(Some txn) ~cred ~limits in
+  (* A pinned table (attested call-flow graph) overrides the graft's own;
+     with enforcement off, no check is installed at all. *)
+  let flow =
+    if kernel.Kernel.flow_enforce then
+      match kernel.Kernel.flow_pin with Some t -> Some t | None -> flow
+    else None
+  in
+  let e = env ?flow kernel ~txn:(Some txn) ~cred ~limits in
   let mode =
     match mode with Some m -> m | None -> kernel.Kernel.exec_mode
   in

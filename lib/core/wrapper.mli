@@ -9,6 +9,7 @@
     like any runaway thread (Rule 1/2). *)
 
 val env :
+  ?flow:Vino_verify.Kflow.table ->
   Kernel.t ->
   txn:Vino_txn.Txn.t option ->
   cred:Cred.t ->
@@ -16,7 +17,15 @@ val env :
   Vino_vm.Cpu.env
 (** The kernel-call/checkcall/poll environment a graft executes under. The
     dispatcher refuses ids that are absent or not graft-callable; [call_ok]
-    probes the runtime call table. *)
+    probes the runtime call table.
+
+    With [flow], every dispatch is first checked against the kcall-flow
+    transition table — an O(1) row/bit test charged at
+    [vm_costs.flow_check] — and an out-of-graph transition aborts the
+    invocation's transaction ([K_abort]) before the target function runs,
+    bumping [kflow.violations] and the audit trail. The "last kcall" state
+    lives in the environment, so one [env] spans one graft invocation
+    (slices included) in either execution mode. *)
 
 val default_slice : int
 val default_budget : int
@@ -28,6 +37,7 @@ val exec :
   limits:Vino_txn.Rlimit.t ->
   seg:Vino_vm.Mem.segment ->
   code:Vino_vm.Insn.t array ->
+  ?flow:Vino_verify.Kflow.table ->
   ?trans:Vino_vm.Jit.t ->
   ?mode:Vino_vm.Jit.mode ->
   ?slice:int ->
@@ -41,4 +51,10 @@ val exec :
     [mode] (default: the kernel's [exec_mode]) selects the step function:
     [Translated] runs the closure-threaded [trans] when one is supplied,
     falling back to the interpreter otherwise; [Interp] always interprets
-    [code]. Both produce bit-identical cpu state and outcomes. *)
+    [code]. Both produce bit-identical cpu state and outcomes.
+
+    [flow] is the graft's kcall-flow table; it is enforced only when the
+    kernel's [flow_enforce] is set, and [Kernel.flow_pin] (an attested
+    graph) overrides it. Both step functions dispatch kernel calls through
+    the same environment closure, so enforcement is identical in interp
+    and translated modes. *)

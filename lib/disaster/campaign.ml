@@ -22,8 +22,8 @@ type record = {
 
 type report = { seed : int; count : int; records : record list }
 
-(* index -> (family, injector): walking the index covers the full 5 x 7
-   product every 35 injections, whatever the count. *)
+(* index -> (family, injector): walking the index covers the full 5 x 8
+   product every 40 injections, whatever the count. *)
 let combo index =
   let families = Site.all_families and kinds = Injector.all in
   let nf = List.length families in
@@ -69,6 +69,7 @@ let run_injection ~seed ~index =
   let rng = Seed.derive ~seed index in
   let site = Site.create family in
   let variant = Injector.apply kind ~rng ~rig:site.rig site.healthy in
+  Option.iter (Site.pin_flow_witness site) variant.Injector.flow_witness;
   let install_result =
     match Asm.assemble variant.source with
     | Error e -> Error ("assemble: " ^ e)
@@ -93,6 +94,10 @@ let run_injection ~seed ~index =
         if site.grafted () then Injector.Contained else Injector.Recovered
   in
   site.force_remove ();
+  (* The pinned attested graph belonged to the removed graft; enforcement
+     stays on, so the default path and any healthy re-install now run
+     against their own tables. *)
+  site.kernel.Kernel.flow_pin <- None;
   let violations =
     Invariant.check_universal site
     @ Invariant.check_segments_restored site

@@ -10,6 +10,7 @@ type kind =
   | Resource_hog
   | Undo_bomb
   | Nested_fault
+  | Flow_hijack
 
 let all =
   [
@@ -20,6 +21,7 @@ let all =
     Resource_hog;
     Undo_bomb;
     Nested_fault;
+    Flow_hijack;
   ]
 
 let name = function
@@ -30,6 +32,7 @@ let name = function
   | Resource_hog -> "resource-hog"
   | Undo_bomb -> "undo-bomb"
   | Nested_fault -> "nested-fault"
+  | Flow_hijack -> "flow-hijack"
 
 type rig = {
   lock_kcall : string;
@@ -48,7 +51,7 @@ let expectation_name = function
   | Contained -> "contained"
   | Recovered -> "recovered"
 
-type post = Word_untouched of int
+type post = Word_untouched of int | Flow_violation_audited
 
 type variant = {
   kind : kind;
@@ -57,6 +60,7 @@ type variant = {
   posts : post list;
   wants_contender : bool;
   note : string;
+  flow_witness : Asm.item list option;
 }
 
 (* An unmistakable arithmetic fault: the VM kills the graft, the wrapper
@@ -65,7 +69,15 @@ let div0 : Asm.item list =
   [ Li (Asm.r12, 1); Li (Asm.r13, 0); Alu (Insn.Div, Asm.r12, Asm.r12, Asm.r13) ]
 
 let plain kind source expect note =
-  { kind; source; expect; posts = []; wants_contender = false; note }
+  {
+    kind;
+    source;
+    expect;
+    posts = [];
+    wants_contender = false;
+    note;
+    flow_witness = None;
+  }
 
 let apply kind ~rng ~rig source =
   match kind with
@@ -87,6 +99,7 @@ let apply kind ~rng ~rig source =
         posts = [ Word_untouched addr ];
         wants_contender = false;
         note = Printf.sprintf "store to kernel word %d" addr;
+        flow_witness = None;
       }
   | Bad_call ->
       let bad_id =
@@ -134,6 +147,7 @@ let apply kind ~rng ~rig source =
         posts = [];
         wants_contender = true;
         note = "take the rig lock, then spin";
+        flow_witness = None;
       }
   | Resource_hog ->
       let words = Seed.range rng ~lo:(1 lsl 14) ~hi:(1 lsl 20) in
@@ -174,4 +188,48 @@ let apply kind ~rng ~rig source =
           (if spin then
              "commit a nested txn (lock + undo merge into parent), then spin"
            else "commit a nested txn (lock + undo merge into parent), then fault");
+        flow_witness = None;
+      }
+  | Flow_hijack ->
+      (* Individually-legal kcalls in a statically-illegal order. The
+         witness source is the protocol an attested compile-time call-flow
+         graph would describe (lock first, then mutate state under it);
+         the campaign pins the witness's transition table and installs the
+         variant, so the kernel believes the graft's flow graph is the
+         witness's. Two shapes: mutate-before-lock trips the entry row on
+         the very first kcall; replaying the state mutation trips a
+         missing state→state edge after real work (with undo) has been
+         done. *)
+      let d = 1 + Seed.int rng 7 in
+      let witness_prelude =
+        [
+          Asm.Li (Asm.r1, d);
+          Asm.Kcall rig.lock_kcall;
+          Asm.Kcall rig.state_kcall;
+        ]
+      in
+      let swap = Seed.bool rng in
+      let hijack_prelude =
+        if swap then
+          [
+            Asm.Li (Asm.r1, d);
+            Asm.Kcall rig.state_kcall;
+            Asm.Kcall rig.lock_kcall;
+          ]
+        else witness_prelude @ [ Asm.Kcall rig.state_kcall ]
+      in
+      {
+        kind;
+        source = Mutate.splice_prelude ~prelude:hijack_prelude source;
+        expect = Recovered;
+        posts = [ Flow_violation_audited ];
+        wants_contender = false;
+        note =
+          (if swap then
+             Printf.sprintf "state-add(%d) before lock (entry-row violation)"
+               d
+           else
+             Printf.sprintf
+               "state-add(%d) replayed after the protocol (missing edge)" d);
+        flow_witness = Some (Mutate.splice_prelude ~prelude:witness_prelude source);
       }

@@ -15,6 +15,9 @@ type kind =
   | Resource_hog  (** allocate past the resource limit *)
   | Undo_bomb  (** fault with a raising entry planted in the undo log *)
   | Nested_fault  (** fault after committing a nested transaction *)
+  | Flow_hijack
+      (** individually-legal kcalls in a statically-illegal order, against
+          a pinned witness flow graph (kcall-flow integrity) *)
 
 val all : kind list
 val name : kind -> string
@@ -42,8 +45,11 @@ type expectation =
 
 val expectation_name : expectation -> string
 
-type post = Word_untouched of int
-    (** kernel word that must still hold its pre-injection value *)
+type post =
+  | Word_untouched of int
+      (** kernel word that must still hold its pre-injection value *)
+  | Flow_violation_audited
+      (** the audit trail must attribute a kcall-flow violation *)
 
 type variant = {
   kind : kind;
@@ -54,6 +60,11 @@ type variant = {
       (** needs an innocent competing transaction (to drive the lock
           time-out path) *)
   note : string;  (** seeded parameters, for the report *)
+  flow_witness : Vino_vm.Asm.item list option;
+      (** when set, the campaign pins this source's kcall-flow table
+          ([Kernel.flow_pin], via {!Site.pin_flow_witness}) before
+          installing [source] — the attested protocol the hijacked variant
+          violates *)
 }
 
 val apply : kind -> rng:Seed.t -> rig:rig -> Vino_vm.Asm.item list -> variant

@@ -6,6 +6,7 @@ module Engine = Vino_sim.Engine
 module Txn = Vino_txn.Txn
 module Lock = Vino_txn.Lock
 module Kernel = Vino_core.Kernel
+module Audit = Vino_core.Audit
 module Segalloc = Vino_core.Segalloc
 
 let check_universal (site : Site.t) =
@@ -70,5 +71,20 @@ let check_posts (site : Site.t) posts =
               Printf.sprintf
                 "kernel word %d corrupted: holds %d (SFI containment failed)"
                 addr v;
+            ]
+      | Injector.Flow_violation_audited ->
+          let audited =
+            List.exists
+              (fun (e : Audit.entry) ->
+                match e.event with
+                | Audit.Flow_violation _ -> true
+                | _ -> false)
+              (Audit.entries site.kernel.Kernel.audit)
+          in
+          if audited then []
+          else
+            [
+              "no kcall-flow violation in the audit trail (the hijack was \
+               not attributed)";
             ])
     posts

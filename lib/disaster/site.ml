@@ -469,3 +469,17 @@ let create = function
   | Sched_delegate -> sched_site ()
   | Stream_copy -> stream_site ()
   | Net_handler -> net_site ()
+
+(* Pin the witness protocol's kcall-flow table and turn enforcement on:
+   from here on, the kernel believes every graft's call-flow graph is the
+   witness's (an attested compile-time graph), so a variant making the same
+   kcalls in a different order trips the transition check at dispatch. *)
+let pin_flow_witness (site : t) witness =
+  match Asm.assemble witness with
+  | Error e -> failwith ("flow witness assemble: " ^ e)
+  | Ok obj -> (
+      match Vino_core.Linker.flow_of_obj site.kernel obj with
+      | Error e -> failwith ("flow witness link: " ^ e)
+      | Ok table ->
+          site.kernel.Kernel.flow_enforce <- true;
+          site.kernel.Kernel.flow_pin <- Some table)

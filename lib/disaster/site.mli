@@ -54,3 +54,10 @@ val spawn_contender : t -> delay:int -> unit
 (** Spawn an innocent transaction that takes the rig lock after [delay]
     cycles, holds it briefly and commits — the waiter whose time-out aborts
     a lock-hogging graft. Call before running the engine. *)
+
+val pin_flow_witness : t -> Vino_vm.Asm.item list -> unit
+(** Compile [witness]'s kcall-flow transition table ({!Vino_core.Linker}),
+    pin it on the site's kernel and enable flow enforcement — modeling an
+    attested call-flow graph the installed graft must honour. Call before
+    installing a {!Injector.Flow_hijack} variant.
+    @raise Failure if the witness does not assemble or link. *)

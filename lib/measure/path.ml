@@ -1,6 +1,6 @@
-type t = Base | Vino | Null | Unsafe | Safe | Verified | Abort
+type t = Base | Vino | Null | Unsafe | Safe | Verified | FlowChecked | Abort
 
-let all = [ Base; Vino; Null; Unsafe; Safe; Verified; Abort ]
+let all = [ Base; Vino; Null; Unsafe; Safe; Verified; FlowChecked; Abort ]
 
 let name = function
   | Base -> "Base path"
@@ -9,6 +9,7 @@ let name = function
   | Unsafe -> "Unsafe path"
   | Safe -> "Safe path"
   | Verified -> "Verified path"
+  | FlowChecked -> "FlowChecked path"
   | Abort -> "Abort path"
 
 let pp ppf t = Format.pp_print_string ppf (name t)

@@ -35,7 +35,7 @@ let run t ?(indirection = Vino_txn.Tcosts.us 1.)
   let cpu, result =
     Wrapper.exec t.kernel ~txn ~cred:t.cred ~limits:t.limits
       ~seg:t.loaded.Linker.seg ~code:t.loaded.Linker.code
-      ~trans:t.loaded.Linker.trans ~setup ()
+      ~flow:t.loaded.Linker.flow ~trans:t.loaded.Linker.trans ~setup ()
   in
   match result with
   | Cpu.Halted ->

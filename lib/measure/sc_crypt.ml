@@ -46,7 +46,8 @@ let graft_image fx path =
   let source =
     match path with
     | Path.Null -> [ Vino_vm.Asm.Li (Vino_vm.Asm.r0, 0); Ret ]
-    | Path.Unsafe | Path.Safe | Path.Verified | Path.Abort ->
+    | Path.Unsafe | Path.Safe | Path.Verified | Path.FlowChecked | Path.Abort
+      ->
         Sgrafts.xor_encrypt_source ~key
     | Path.Base | Path.Vino -> invalid_arg "no graft on this path"
   in
@@ -83,7 +84,9 @@ let stats ?(iterations = 300) path =
   | Path.Vino ->
       Probe.samples fx.kernel ~iterations (fun _ ->
           ignore (Graft_point.invoke point fx.kernel ~cred:fx.cred fx.data))
-  | Path.Null | Path.Unsafe | Path.Safe | Path.Verified | Path.Abort ->
+  | Path.Null | Path.Unsafe | Path.Safe | Path.Verified | Path.FlowChecked
+  | Path.Abort ->
+      if path = Path.FlowChecked then fx.kernel.Kernel.flow_enforce <- true;
       let rig = Rig.load fx.kernel ~words:segment_words (graft_image fx path) in
       let commit = path <> Path.Abort in
       Probe.samples fx.kernel ~iterations (fun _ ->
@@ -154,6 +157,9 @@ let table ?iterations ?pool () =
     Table.overhead "MiSFIT recovered by static verifier"
       (value Path.Verified -. value Path.Safe);
     row Path.Verified;
+    Table.overhead "Kcall-flow check (above Safe)"
+      (value Path.FlowChecked -. value Path.Safe);
+    row Path.FlowChecked;
     inc "Abort cost (above commit)" Path.Safe Path.Abort 4.;
     row Path.Abort;
   ]

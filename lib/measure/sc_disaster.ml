@@ -54,6 +54,7 @@ let runtime_variant kind =
 
 let measure_kind kind =
   let site, variant = runtime_variant kind in
+  Option.iter (Site.pin_flow_witness site) variant.Injector.flow_witness;
   match seal_install site variant.Injector.source with
   | Error e -> failwith (Injector.name kind ^ ": unexpected load refusal: " ^ e)
   | Ok () -> drained_elapsed site ~contender:variant.Injector.wants_contender

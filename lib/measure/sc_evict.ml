@@ -78,7 +78,8 @@ let graft_image fx path =
   let source =
     match path with
     | Path.Null -> Vgrafts.accept_victim_source
-    | Path.Unsafe | Path.Safe | Path.Verified | Path.Abort ->
+    | Path.Unsafe | Path.Safe | Path.Verified | Path.FlowChecked | Path.Abort
+      ->
         Vgrafts.protect_hot_pages_source
           ~lock_kcall:(Vas.lock_name fx.vas)
           ()
@@ -144,7 +145,9 @@ let stats ?(iterations = 300) path =
           ignore
             (Graft_point.invoke point fx.kernel ~cred:fx.cred
                { Vas.victim; candidates = [] }))
-  | Path.Null | Path.Unsafe | Path.Safe | Path.Verified | Path.Abort ->
+  | Path.Null | Path.Unsafe | Path.Safe | Path.Verified | Path.FlowChecked
+  | Path.Abort ->
+      if path = Path.FlowChecked then fx.kernel.Kernel.flow_enforce <- true;
       let rig = Rig.load fx.kernel ~words:segment_words (graft_image fx path) in
       let commit = path <> Path.Abort in
       let victim = probe_victim fx in
@@ -246,6 +249,9 @@ let table ?iterations ?pool () =
     Table.overhead "MiSFIT recovered by static verifier"
       (value Path.Verified -. value Path.Safe);
     row Path.Verified;
+    Table.overhead "Kcall-flow check (above Safe)"
+      (value Path.FlowChecked -. value Path.Safe);
+    row Path.FlowChecked;
     inc "Abort cost (above commit)" Path.Safe Path.Abort (-7.);
     row Path.Abort;
   ]

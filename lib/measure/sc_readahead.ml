@@ -61,7 +61,8 @@ let graft_image fx path =
   let source =
     match path with
     | Path.Null -> Readahead.null_source
-    | Path.Unsafe | Path.Safe | Path.Verified | Path.Abort ->
+    | Path.Unsafe | Path.Safe | Path.Verified | Path.FlowChecked | Path.Abort
+      ->
         Readahead.app_directed_source
           ~lock_kcall:(File.ra_lock_name fx.file)
     | Path.Base | Path.Vino -> invalid_arg "no graft on this path"
@@ -99,7 +100,9 @@ let stats ?(iterations = 300) path =
   | Path.Vino ->
       Probe.samples fx.kernel ~iterations (fun _ ->
           ignore (Graft_point.invoke ra fx.kernel ~cred:fx.cred request))
-  | Path.Null | Path.Unsafe | Path.Safe | Path.Verified | Path.Abort ->
+  | Path.Null | Path.Unsafe | Path.Safe | Path.Verified | Path.FlowChecked
+  | Path.Abort ->
+      if path = Path.FlowChecked then fx.kernel.Kernel.flow_enforce <- true;
       let rig = rig_for fx path in
       let commit = path <> Path.Abort in
       Probe.samples fx.kernel ~iterations (fun k ->
@@ -173,6 +176,9 @@ let table ?iterations ?pool () =
     Table.overhead "MiSFIT recovered by static verifier"
       (value Path.Verified -. value Path.Safe);
     rows Path.Verified;
+    Table.overhead "Kcall-flow check (above Safe)"
+      (value Path.FlowChecked -. value Path.Safe);
+    rows Path.FlowChecked;
     inc "Abort cost (above commit)" Path.Safe Path.Abort 1.0;
     rows Path.Abort;
   ]

@@ -55,7 +55,8 @@ let graft_image fx path =
   let source =
     match path with
     | Path.Null -> [ Vino_vm.Asm.Mov (Vino_vm.Asm.r0, Vino_vm.Asm.r1); Ret ]
-    | Path.Unsafe | Path.Safe | Path.Verified | Path.Abort ->
+    | Path.Unsafe | Path.Safe | Path.Verified | Path.FlowChecked | Path.Abort
+      ->
         Sgrafts.scan_and_return_self_source
           ~lock_kcall:(Runq.proclist_lock_name fx.runq)
           ()
@@ -101,8 +102,10 @@ let stats ?(iterations = 300) path =
   | Path.Vino ->
       let fx = fixture ~graft_support:true () in
       Probe.samples fx.kernel ~iterations (fun _ -> round fx)
-  | Path.Null | Path.Unsafe | Path.Safe | Path.Verified | Path.Abort ->
+  | Path.Null | Path.Unsafe | Path.Safe | Path.Verified | Path.FlowChecked
+  | Path.Abort ->
       let fx = fixture ~graft_support:false () in
+      if path = Path.FlowChecked then fx.kernel.Kernel.flow_enforce <- true;
       let rig = Rig.load fx.kernel ~words:segment_words (graft_image fx path) in
       prepare_rig_memory fx rig;
       let self = Runq.task_id (List.hd fx.tasks) in
@@ -180,6 +183,9 @@ let table ?iterations ?pool () =
     Table.overhead "MiSFIT recovered by static verifier"
       (value Path.Verified -. value Path.Safe);
     row Path.Verified;
+    Table.overhead "Kcall-flow check (above Safe)"
+      (value Path.FlowChecked -. value Path.Safe);
+    row Path.FlowChecked;
     inc "Abort cost (above commit)" Path.Safe Path.Abort 3.;
     row Path.Abort;
   ]

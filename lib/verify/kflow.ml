@@ -1,0 +1,231 @@
+module Insn = Vino_vm.Insn
+
+(* Abstract state: the set of possible "last kcall" values at a program
+   point. Slot 0 is the entry sentinel (no kcall yet); slot [id + 1] means
+   the last kernel call was [id]. The graph rows use the same indexing. *)
+
+type graph = {
+  n : int;  (* registry id space *)
+  rows_g : bool array array;  (* (n+1) x n; row 0 = entry sentinel *)
+  exitset : bool array;  (* n+1; slot 0 = may exit without any kcall *)
+  full : bool array;  (* n+1: row saturated by conservative fallback *)
+  nsites : int;
+  degr : bool;
+}
+
+let count_sites prog =
+  Array.fold_left
+    (fun acc i ->
+      match i with Insn.Kcall _ | Insn.Kcallr _ -> acc + 1 | _ -> acc)
+    0 prog
+
+let analyse ~nfuncs prog =
+  let n = max 0 nfuncs in
+  let nsites = count_sites prog in
+  let mk_rows v = Array.init (n + 1) (fun _ -> Array.make n v) in
+  if Array.length prog = 0 then
+    {
+      n;
+      rows_g = mk_rows false;
+      exitset = Array.make (n + 1) false;
+      full = Array.make (n + 1) false;
+      nsites;
+      degr = false;
+    }
+  else if Cfg.has_indirect_call prog then
+    (* Computed intra-graft control flow: the CFG is unresolvable, so the
+       whole graph degrades to fully permissive — never abort a legal
+       execution. *)
+    {
+      n;
+      rows_g = mk_rows true;
+      exitset = Array.make (n + 1) true;
+      full = Array.make (n + 1) true;
+      nsites;
+      degr = true;
+    }
+  else begin
+    let cfg = Cfg.build prog in
+    let blocks = Cfg.blocks cfg in
+    let nb = Array.length blocks in
+    let nprog = Array.length prog in
+    let rows_g = mk_rows false in
+    let full = Array.make (n + 1) false in
+    let exitset = Array.make (n + 1) false in
+    (* Conservative call/return join: a [Ret] may resume at any call
+       fall-through, so callee kcalls precede every caller continuation. *)
+    let call_falls =
+      Array.to_list blocks
+      |> List.filter_map (fun (b : Cfg.block) ->
+             match prog.(b.last) with
+             | Insn.Call _ when b.last + 1 < nprog ->
+                 Some (Cfg.block_at cfg (b.last + 1)).Cfg.id
+             | _ -> None)
+    in
+    let succs_of (b : Cfg.block) =
+      match prog.(b.last) with Insn.Ret -> call_falls | _ -> b.succs
+    in
+    let is_exit (b : Cfg.block) =
+      match prog.(b.last) with
+      | Insn.Ret | Insn.Halt -> true
+      | Insn.Jmp _ | Insn.Callr _ -> false
+      | _ -> b.last + 1 >= nprog (* falls off the end *)
+    in
+    let transfer st (b : Cfg.block) =
+      let state = Array.copy st in
+      for k = b.first to b.last do
+        match prog.(k) with
+        | Insn.Kcall id when id >= 0 && id < n ->
+            for s = 0 to n do
+              if state.(s) then rows_g.(s).(id) <- true
+            done;
+            Array.fill state 0 (n + 1) false;
+            state.(id + 1) <- true
+        | Insn.Kcall _ | Insn.Kcallr _ ->
+            (* Unresolved target: full-row fallback for every possible
+               predecessor, and any id may be the new "last kcall". *)
+            for s = 0 to n do
+              if state.(s) && not full.(s) then begin
+                full.(s) <- true;
+                Array.fill rows_g.(s) 0 n true
+              end
+            done;
+            Array.fill state 0 (n + 1) false;
+            for s = 1 to n do
+              state.(s) <- true
+            done
+        | _ -> ()
+      done;
+      state
+    in
+    let instate = Array.make nb None in
+    let entry_state = Array.make (n + 1) false in
+    entry_state.(0) <- true;
+    instate.(0) <- Some entry_state;
+    (* Fixpoint: states only grow over a finite powerset, so sweeping until
+       a whole pass changes nothing terminates; loop back-edges just feed
+       the join. Row writes are monotone, so re-running a transfer is
+       harmless. *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for bi = 0 to nb - 1 do
+        match instate.(bi) with
+        | None -> ()
+        | Some st ->
+            let out = transfer st blocks.(bi) in
+            List.iter
+              (fun s ->
+                match instate.(s) with
+                | None ->
+                    instate.(s) <- Some (Array.copy out);
+                    changed := true
+                | Some d ->
+                    for k = 0 to n do
+                      if out.(k) && not d.(k) then begin
+                        d.(k) <- true;
+                        changed := true
+                      end
+                    done)
+              (succs_of blocks.(bi))
+      done
+    done;
+    Array.iter
+      (fun (b : Cfg.block) ->
+        if is_exit b then
+          match instate.(b.Cfg.id) with
+          | None -> ()
+          | Some st ->
+              let out = transfer st b in
+              for k = 0 to n do
+                if out.(k) then exitset.(k) <- true
+              done)
+      blocks;
+    { n; rows_g; exitset; full; nsites; degr = false }
+  end
+
+let nfuncs g = g.n
+let sites g = g.nsites
+let degraded g = g.degr
+
+let full_rows g =
+  Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 g.full
+
+let entry_ids g =
+  let acc = ref [] in
+  for id = g.n - 1 downto 0 do
+    if g.rows_g.(0).(id) then acc := id :: !acc
+  done;
+  !acc
+
+let exit_ids g =
+  let acc = ref [] in
+  for id = g.n - 1 downto 0 do
+    if g.exitset.(id + 1) then acc := id :: !acc
+  done;
+  !acc
+
+let may_exit_without_kcall g = g.exitset.(0)
+
+let node_count g =
+  let present = Array.make g.n false in
+  for id = 0 to g.n - 1 do
+    if g.exitset.(id + 1) then present.(id) <- true;
+    if Array.exists Fun.id g.rows_g.(id + 1) then present.(id) <- true
+  done;
+  for s = 0 to g.n do
+    for id = 0 to g.n - 1 do
+      if g.rows_g.(s).(id) then present.(id) <- true
+    done
+  done;
+  Array.fold_left (fun acc p -> if p then acc + 1 else acc) 0 present
+
+let edge_count g =
+  let c = ref 0 in
+  for s = 1 to g.n do
+    for id = 0 to g.n - 1 do
+      if g.rows_g.(s).(id) then incr c
+    done
+  done;
+  !c
+
+let iter_edges g f =
+  for a = 0 to g.n - 1 do
+    for b = 0 to g.n - 1 do
+      if g.rows_g.(a + 1).(b) then f a b
+    done
+  done
+
+(* Transition table: row-major bitset, 63 usable bits per word. Row 0 is
+   the entry sentinel; row [id + 1] belongs to last-kcall [id]. *)
+
+type table = { tn : int; roww : int; bits : int array }
+
+let compile g =
+  let n = g.n in
+  let roww = max 1 ((n + 62) / 63) in
+  let bits = Array.make ((n + 1) * roww) 0 in
+  for s = 0 to n do
+    for id = 0 to n - 1 do
+      if g.rows_g.(s).(id) then begin
+        let w = (s * roww) + (id / 63) in
+        bits.(w) <- bits.(w) lor (1 lsl (id mod 63))
+      end
+    done
+  done;
+  { tn = n; roww; bits }
+
+let of_program ~nfuncs prog = compile (analyse ~nfuncs prog)
+let entry = -1
+
+let permits t ~last ~next =
+  next >= 0 && next < t.tn
+  && last >= -1
+  && last < t.tn
+  &&
+  let row = (last + 1) * t.roww in
+  t.bits.(row + (next / 63)) land (1 lsl (next mod 63)) <> 0
+
+let rows t = t.tn + 1
+let row_words t = t.roww
+let footprint_words t = (t.tn + 1) * t.roww

@@ -1,0 +1,95 @@
+(** Static kcall-flow analysis (kcall-flow integrity).
+
+    The wrappers check {e which} kernel calls a graft may make; nothing in
+    the original design checks {e sequences}. A graft can issue
+    individually-legal kcalls in an order no honest compilation of its
+    source could produce (release-then-use, commit-then-write) and sail
+    through every per-call check. Following SFIP/SFP, this module extracts
+    the per-graft {e kcall-flow graph} — the set of feasible
+    kcall→kcall successor pairs, plus the entry set (feasible first kcalls)
+    and exit set (feasible last kcalls) — by a forward dataflow analysis
+    over {!Cfg}, and compiles it into a bitset transition table the
+    dispatcher can consult in O(1): one row index, one bit test.
+
+    Soundness runs the {e opposite} way from {!Verify}: the verifier may
+    under-approximate safety (rejecting is always safe), but the flow graph
+    must {b over}-approximate the feasible sequences — a missing edge
+    aborts a legal execution. Every unresolved construct therefore widens:
+
+    - a [Kcallr] (or a [Kcall] whose id is outside the registry range)
+      saturates the row of every possible predecessor ({e full row}
+      fallback) and makes every id a possible predecessor of whatever
+      follows;
+    - an intra-graft [Callr] defeats the CFG entirely, so the whole graph
+      degrades to the full table (every transition permitted);
+    - intra-graft [Call]/[Ret] are joined conservatively: every [Ret] block
+      flows to every call fall-through, so callee kcalls precede the
+      caller's continuation on some path whenever they could at run time.
+
+    Loop back-edges are handled by the fixpoint itself: the join is set
+    union over a finite powerset lattice, so iteration terminates without
+    widening. Unreachable blocks contribute nothing (their in-state stays
+    bottom); {!Verify} separately warns about unreachable kcall sites. *)
+
+type graph
+(** The extracted kcall-flow graph of one program. *)
+
+val analyse : nfuncs:int -> Vino_vm.Insn.t array -> graph
+(** Forward dataflow over [Cfg.build]. [nfuncs] is the registry id space
+    (ids are dense in [0, nfuncs)); kcalls outside that range are treated
+    as unresolved. An empty program yields an empty graph. *)
+
+val nfuncs : graph -> int
+val sites : graph -> int
+(** Static kcall sites ([Kcall]/[Kcallr] instructions), reachable or not. *)
+
+val node_count : graph -> int
+(** Distinct kcall ids appearing in any feasible event. *)
+
+val edge_count : graph -> int
+(** Feasible kcall→kcall successor pairs (entry edges not included). *)
+
+val entry_ids : graph -> int list
+(** Feasible first kcalls, ascending. *)
+
+val exit_ids : graph -> int list
+(** Feasible last kcalls at graft exit, ascending. *)
+
+val may_exit_without_kcall : graph -> bool
+(** Some path reaches graft exit having made no kernel call at all. *)
+
+val full_rows : graph -> int
+(** Rows saturated by the conservative fallback (unresolved events); for a
+    degraded graph, every row. *)
+
+val degraded : graph -> bool
+(** The whole graph fell back to fully-permissive ([Callr] present). *)
+
+val iter_edges : graph -> (int -> int -> unit) -> unit
+(** [iter_edges g f] calls [f a b] for every feasible pair a→b, in
+    ascending (a, b) order. *)
+
+(** {1 Transition table} *)
+
+type table
+(** Bitset transition table: one row per possible "last kcall" value (the
+    entry sentinel plus each id), one bit per next id. *)
+
+val compile : graph -> table
+
+val of_program : nfuncs:int -> Vino_vm.Insn.t array -> table
+(** [compile (analyse ~nfuncs prog)]. *)
+
+val entry : int
+(** The initial "last kcall" value (-1): no kernel call made yet. *)
+
+val permits : table -> last:int -> next:int -> bool
+(** O(1) single row/bit test. [last] is {!entry} or a previously permitted
+    id; a [next] outside [0, nfuncs) is never permitted (it was not in the
+    registry when the table was built, so no honest flow reaches it). *)
+
+val rows : table -> int
+val row_words : table -> int
+
+val footprint_words : table -> int
+(** Total table size in machine words ([rows * row_words]). *)

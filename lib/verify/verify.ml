@@ -380,7 +380,21 @@ let analyse conf prog =
                       "unreachable instruction"
                     else
                       Printf.sprintf "unreachable instructions %d..%d"
-                        b.Cfg.first b.Cfg.last))
+                        b.Cfg.first b.Cfg.last));
+              (* dead kcall sites deserve their own warning: they never
+                 execute, yet a reader of the code (or a naive flow-graph
+                 extraction) would count them — Kflow's dataflow already
+                 ignores them, since an unreachable block's in-state stays
+                 bottom *)
+              for k = b.Cfg.first to b.Cfg.last do
+                match prog.(k) with
+                | Insn.Kcall _ | Insn.Kcallr _ ->
+                    add
+                      (Report.warning ~index:k
+                         "unreachable kernel-call site (dead code; excluded \
+                          from the kcall-flow graph)")
+                | _ -> ()
+              done
           | Some st0 ->
               let st = copy_state st0 in
               let sinks =

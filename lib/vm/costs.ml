@@ -14,6 +14,7 @@ type t = {
   sandbox : int;
   checkcall : int;
   halt : int;
+  flow_check : int;
 }
 
 let default =
@@ -33,6 +34,7 @@ let default =
     sandbox = 4;
     checkcall = 12;
     halt = 1;
+    flow_check = 3;
   }
 
 let insn c : Insn.t -> int = function

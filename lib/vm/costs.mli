@@ -29,6 +29,9 @@ type t = {
   sandbox : int;  (** the MiSFIT mask+or (plus register spill) sequence *)
   checkcall : int;  (** sparse open-hash probe, 10-15 cycles *)
   halt : int;
+  flow_check : int;
+      (** kcall-flow transition test at dispatch: one row index plus one
+          bit test, charged only when flow enforcement is on *)
 }
 
 val default : t

@@ -30,6 +30,7 @@ let () =
          Test_jit.suite;
          Test_wrapper.suite;
          Test_measure.suite;
+         Test_kflow.suite;
          Test_disaster.suite;
          Test_soak.suite;
          Test_trace.suite;

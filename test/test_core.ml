@@ -559,7 +559,8 @@ let test_audit_trail () =
             | Audit.Graft_installed _ -> "installed"
             | Audit.Graft_failed _ -> "failed"
             | Audit.Graft_removed _ -> "removed"
-            | Audit.Handler_added _ | Audit.Handler_failed _ -> "handler")
+            | Audit.Handler_added _ | Audit.Handler_failed _ -> "handler"
+            | Audit.Flow_violation _ -> "flow-violation")
           (Audit.entries fx.kernel.Kernel.audit)
       in
       Alcotest.(check (list string))
