@@ -172,9 +172,11 @@ let inspect name show_code =
             (Vino_misfit.Rewrite.eliminated_sandboxes obj.Vino_vm.Asm.code);
           let tr = Vino_vm.Jit.translate image.Vino_misfit.Image.code in
           Printf.printf
-            "translation: %d basic blocks, %d fused superinstruction pairs\n"
+            "translation: %d basic blocks, %d fused superinstruction pairs, \
+             %d proven-safe accesses compiled bare\n"
             (Vino_vm.Jit.block_count tr)
-            (Vino_vm.Jit.fused_pairs tr);
+            (Vino_vm.Jit.fused_pairs tr)
+            (Vino_vm.Jit.elided_accesses tr);
           Printf.printf "imports: %s\n"
             (match image.Vino_misfit.Image.relocs with
             | [] -> "(none)"

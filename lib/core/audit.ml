@@ -9,6 +9,7 @@ type event =
   | Handler_added of { point : string; handler : int; user : string }
   | Handler_failed of { point : string; handler : int; reason : string }
   | Flow_violation of { point : string; last : string; next : string }
+  | Proof_stale of { point : string; reason : string }
 
 type entry = { at_us : float; event : event }
 type t = { ring : entry Ring.t }
@@ -24,6 +25,7 @@ let counter_name = function
   | Handler_added _ -> "audit.handler_added"
   | Handler_failed _ -> "audit.handler_failed"
   | Flow_violation _ -> "audit.flow_violation"
+  | Proof_stale _ -> "audit.proof_stale"
 
 let record t ~now_us event =
   Trace.incr (counter_name event);
@@ -37,7 +39,8 @@ let dropped t = Ring.dropped t.ring
 let clear t = Ring.clear t.ring
 
 let is_failure = function
-  | Load_rejected _ | Graft_failed _ | Handler_failed _ | Flow_violation _ ->
+  | Load_rejected _ | Graft_failed _ | Handler_failed _ | Flow_violation _
+  | Proof_stale _ ->
       true
   | Graft_installed _ | Graft_removed _ | Handler_added _ -> false
 
@@ -58,6 +61,8 @@ let pp_event ppf = function
   | Flow_violation { point; last; next } ->
       Format.fprintf ppf "kcall-flow violation in %s: %s after %s" point next
         last
+  | Proof_stale { point; reason } ->
+      Format.fprintf ppf "stale safety proof for %s: %s" point reason
 
 let pp ppf t =
   (if dropped t > 0 then

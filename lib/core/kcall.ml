@@ -8,7 +8,7 @@ type ctx = {
 }
 
 type impl = ctx -> Cpu.kstatus
-type fn = { id : int; name : string; callable : bool; impl : impl }
+type fn = { id : int; name : string; mutable callable : bool; impl : impl }
 
 type registry = {
   mutable fns : fn list; (* newest first; ids are dense from 0 *)
@@ -32,6 +32,11 @@ let register r ~name ?(callable = true) impl =
   fn
 
 let find r id = Hashtbl.find_opt r.by_id id
+
+let set_callable r id v =
+  match find r id with
+  | None -> invalid_arg (Printf.sprintf "Kcall.set_callable: unknown id %d" id)
+  | Some fn -> fn.callable <- v
 let id_limit r = r.next_id
 let find_by_name r name = Hashtbl.find_opt r.by_name name
 

@@ -23,7 +23,12 @@ type ctx = {
 
 type impl = ctx -> Vino_vm.Cpu.kstatus
 
-type fn = private { id : int; name : string; callable : bool; impl : impl }
+type fn = private {
+  id : int;
+  name : string;
+  mutable callable : bool;  (** mutate via {!set_callable} only *)
+  impl : impl;
+}
 
 type registry
 
@@ -35,6 +40,12 @@ val register : registry -> name:string -> ?callable:bool -> impl -> fn
 
 val find : registry -> int -> fn option
 val find_by_name : registry -> string -> fn option
+
+val set_callable : registry -> int -> bool -> unit
+(** Re-flag an already-registered function (an operator pulling a function
+    off — or restoring it to — the graft-callable list at run time). Use
+    {!Kernel.set_callable} so the runtime call table stays in sync.
+    @raise Invalid_argument on an unknown id. *)
 
 val id_limit : registry -> int
 (** One past the highest assigned id (ids are dense from 0): the row space

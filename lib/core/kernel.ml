@@ -13,7 +13,8 @@ type t = {
   vm_costs : Vino_vm.Costs.t;
   costs : Vino_txn.Tcosts.t;
   audit : Audit.t;
-  translations : (Vino_misfit.Sign.t, Vino_vm.Jit.t) Hashtbl.t;
+  translations : (Vino_misfit.Sign.t * int, Vino_vm.Jit.t) Hashtbl.t;
+  translations_mu : Mutex.t;
   mutable exec_mode : Vino_vm.Jit.mode;
   mutable flow_enforce : bool;
   mutable flow_pin : Vino_verify.Kflow.table option;
@@ -42,6 +43,7 @@ let create ?(mem_words = 1 lsl 20) ?tick ?(key = default_key)
     costs;
     audit = Audit.create ();
     translations = Hashtbl.create 16;
+    translations_mu = Mutex.create ();
     exec_mode =
       (match exec_mode with
       | Some m -> m
@@ -53,24 +55,43 @@ let create ?(mem_words = 1 lsl 20) ?tick ?(key = default_key)
 (* Translations are cached per kernel, keyed by the signature of the
    post-link code (relocations already patched to concrete [Kcall] ids) —
    not the image signature, because the registry may assign different ids
-   to the same image across loads. *)
-let translate t code =
+   to the same image across loads — paired with the hash of the carried
+   proof (0 when there is none): the same post-link stream translated
+   with and without a certificate compiles differently, and a changed
+   proof must never serve a stale compiled graft. The mutex makes the
+   cache safe under concurrent loads from a domain pool ([Pool.map] /
+   [-j N]); OCaml's Hashtbl is not. Holding it across the translation
+   serialises same-kernel compiles, which is fine — translations are
+   pure and loads are not the hot path. *)
+let translate t ?proof code =
   let sign =
     Vino_misfit.Sign.digest ~key:t.key (Vino_vm.Encode.to_words code)
   in
-  match Hashtbl.find_opt t.translations sign with
+  let key = (sign, Vino_verify.Proof.hash_opt proof) in
+  Mutex.protect t.translations_mu @@ fun () ->
+  match Hashtbl.find_opt t.translations key with
   | Some tr -> tr
   | None ->
-      let tr = Vino_vm.Jit.translate ~costs:t.vm_costs code in
-      Hashtbl.add t.translations sign tr;
+      let safe = Option.map Vino_verify.Proof.safe proof in
+      let tr = Vino_vm.Jit.translate ~costs:t.vm_costs ?safe code in
+      Hashtbl.add t.translations key tr;
       tr
 
+(* Losslessly hex-format a digest or proof hash: [%x] prints the int as
+   unsigned 63-bit, so 16 digits are injective — masking with [max_int]
+   (the old bug) aliased values differing only in the top bit. *)
+let hex_int n = Printf.sprintf "%016x" n
+let digest_hex sign = hex_int (sign : Vino_misfit.Sign.t :> int)
+
 (* Stable, CI-diffable listing of the translation cache: sorted by digest,
-   not hash-table iteration order. *)
+   not hash-table iteration order. Proof-carrying entries render as
+   "<digest>/p<proof-hash>". *)
 let translation_stats t =
+  Mutex.protect t.translations_mu @@ fun () ->
   Hashtbl.fold
-    (fun sign tr acc ->
-      ( Printf.sprintf "%014x" ((sign : Vino_misfit.Sign.t :> int) land max_int),
+    (fun (sign, phash) tr acc ->
+      ( (digest_hex sign
+         ^ if phash = 0 then "" else "/p" ^ hex_int phash),
         Vino_vm.Jit.block_count tr,
         Vino_vm.Jit.fused_pairs tr )
       :: acc)
@@ -81,6 +102,11 @@ let register_kcall t ~name ?callable impl =
   let fn = Kcall.register t.registry ~name ?callable impl in
   if fn.Kcall.callable then Calltable.add t.calltable fn.Kcall.id;
   fn
+
+let set_callable t id callable =
+  Kcall.set_callable t.registry id callable;
+  if callable then Calltable.add t.calltable id
+  else Calltable.remove t.calltable id
 
 (* Offline callable predicate from the registry (not {!Calltable.mem},
    which records run-time probe statistics the benchmarks measure). *)

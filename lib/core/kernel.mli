@@ -18,8 +18,16 @@ type t = {
   vm_costs : Vino_vm.Costs.t;
   costs : Vino_txn.Tcosts.t;
   audit : Audit.t;  (** trail of graft security events *)
-  translations : (Vino_misfit.Sign.t, Vino_vm.Jit.t) Hashtbl.t;
-      (** translation cache, keyed by post-link code signature *)
+  translations : (Vino_misfit.Sign.t * int, Vino_vm.Jit.t) Hashtbl.t;
+      (** translation cache, keyed by post-link code signature plus the
+          carried proof's hash (0 when there is none): sandboxed and
+          proof-carrying translations of the same code coexist, and a
+          changed proof can never serve a stale compiled graft. Guarded
+          by [translations_mu]. *)
+  translations_mu : Mutex.t;
+      (** serialises cache access — concurrent [translate] on a shared
+          kernel under a domain pool would race the non-thread-safe
+          Hashtbl *)
   mutable exec_mode : Vino_vm.Jit.mode;
       (** how wrappers execute graft code (default
           {!Vino_vm.Jit.default_mode}) *)
@@ -49,18 +57,38 @@ val create :
     standard 10 ms timeout tick. *)
 
 val translation_stats : t -> (string * int * int) list
-(** Per-entry [(digest, blocks, fused pairs)] of the translation cache, in
-    a stable sorted order (by digest) so the listing is CI-diffable. *)
+(** Per-entry [(key, blocks, fused pairs)] of the translation cache, in a
+    stable sorted order so the listing is CI-diffable. The key renders the
+    code digest losslessly ([%016x] over the full 63-bit value — no
+    [max_int] masking, which aliased digests differing in the top bit)
+    and appends ["/p<hash>"] for proof-carrying entries. *)
 
-val translate : t -> Vino_vm.Insn.t array -> Vino_vm.Jit.t
+val digest_hex : Vino_misfit.Sign.t -> string
+(** The lossless digest rendering used by {!translation_stats}. *)
+
+val translate :
+  t -> ?proof:Vino_verify.Proof.t -> Vino_vm.Insn.t array -> Vino_vm.Jit.t
 (** Translation of [code] under this kernel's cost table, cached by the
-    {!Vino_misfit.Sign} digest of the post-link instruction words: loading
-    the same graft twice compiles it once. *)
+    {!Vino_misfit.Sign} digest of the post-link instruction words plus
+    the proof's {!Vino_verify.Proof.hash}: loading the same graft twice
+    compiles it once, and the same code with a different (or no)
+    certificate compiles separately. With [proof], accesses its safe map
+    marks are compiled to bare superinstructions
+    ({!Vino_vm.Jit.translate}'s [safe]); the caller must have validated
+    the proof's assumptions against this kernel first ({!Linker.load}
+    does). Thread-safe. *)
 
 val register_kcall :
   t -> name:string -> ?callable:bool -> Kcall.impl -> Kcall.fn
 (** Register a kernel function and, when callable, enter it in the runtime
     call table. *)
+
+val set_callable : t -> int -> bool -> unit
+(** Re-flag a registered function and keep the runtime call table in
+    sync. Loaded grafts are not revoked retroactively, but any image
+    whose proof assumed the old callable set is rejected at its next
+    {!Linker.load} (stale proof).
+    @raise Invalid_argument on an unknown id. *)
 
 val seal :
   ?optimize:bool ->

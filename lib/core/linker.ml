@@ -54,6 +54,52 @@ let static_check kernel ~words code =
       ("static verification failed: "
       ^ Vino_verify.Report.error_summary report)
 
+(* Load-time revalidation of a seal-time safety proof. The signature
+   already proves the proof is the one the toolchain derived for this
+   code; what it cannot prove is that the *assumptions* the verifier
+   discharged obligations against still hold in this kernel, now:
+
+   - every [Checkcall] the rewriter elided was justified by a constant id
+     the seal-time callable predicate accepted — if an operator has since
+     pulled that function off the graft-callable list, running the image
+     would place an unchecked indirect call;
+   - every [Sandbox] elision assumed the segment holds at least the
+     verifier config's [words] — loading into a smaller segment would
+     let a "proven" access land outside it.
+
+   Either staleness refuses the load (and leaves an audit trail): the
+   image must be re-sealed under the current configuration. *)
+let check_proof kernel ~words (image : Image.t) =
+  match image.Image.proof with
+  | None -> Ok ()
+  | Some p ->
+      let stale =
+        if words < Vino_verify.Proof.words p then
+          Some
+            (Printf.sprintf
+               "segment of %d words is smaller than the %d the proof assumes"
+               words (Vino_verify.Proof.words p))
+        else
+          List.find_opt
+            (fun id ->
+              match Kcall.find kernel.Kernel.registry id with
+              | Some fn -> not fn.Kcall.callable
+              | None -> true)
+            (Vino_verify.Proof.calls p)
+          |> Option.map
+               (Printf.sprintf
+                  "proof assumes function id %d is graft-callable; it no \
+                   longer is")
+      in
+      (match stale with
+      | None -> Ok ()
+      | Some reason ->
+          Kernel.audit_event kernel
+            (Audit.Proof_stale
+               { point = "image " ^ Kernel.digest_hex image.Image.signature;
+                 reason });
+          Error ("stale safety proof: " ^ reason))
+
 let load kernel ~words (image : Image.t) =
   if not (Image.verify ~key:kernel.Kernel.key image) then
     Error "signature verification failed: code was not processed by MiSFIT"
@@ -71,6 +117,7 @@ let load kernel ~words (image : Image.t) =
     Result.bind (patch image.relocs) @@ fun () ->
     Result.bind (check_direct_ids kernel code) @@ fun () ->
     Result.bind (static_check kernel ~words code) @@ fun () ->
+    Result.bind (check_proof kernel ~words image) @@ fun () ->
     match Segalloc.alloc kernel.Kernel.segalloc words with
     | Error `No_memory -> Error "out of graft memory"
     | Ok seg ->
@@ -81,7 +128,13 @@ let load kernel ~words (image : Image.t) =
             ~nfuncs:(Kcall.id_limit kernel.Kernel.registry)
             code
         in
-        Ok { code; seg; trans = Kernel.translate kernel code; flow }
+        Ok
+          {
+            code;
+            seg;
+            trans = Kernel.translate kernel ?proof:image.proof code;
+            flow;
+          }
 
 let flow_of_obj kernel (obj : Vino_vm.Asm.obj) =
   let code = Array.copy obj.code in

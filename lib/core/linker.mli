@@ -13,8 +13,17 @@
       and reject hard errors: provably out-of-bounds memory accesses,
       indirect calls through a provably unknown id, malformed or
       fall-through code;
+    - revalidate any carried safety proof's load-time assumptions: the
+      requested segment must be at least as large as the proof assumed,
+      and every kernel function a [Checkcall] elision relied on must
+      still be graft-callable — otherwise the proof is stale
+      ({!Audit.Proof_stale}) and the load is refused;
     - allocate the graft's segment (heap + stack + shared window) from
       kernel memory.
+
+    An image that passes with a proof is translated proof-carrying
+    ({!Kernel.translate} with the proof): proven-safe accesses compile to
+    bare superinstructions.
 
     Indirect calls cannot be checked statically; MiSFIT's [Checkcall]
     instructions handle those at run time against {!Calltable}. *)

@@ -2,14 +2,23 @@ module Insn = Vino_vm.Insn
 module Asm = Vino_vm.Asm
 module Encode = Vino_vm.Encode
 
+module Proof = Vino_verify.Proof
+
 type t = {
   code : Insn.t array;
   relocs : Asm.reloc list;
+  proof : Proof.t option;
   signature : Sign.t;
 }
 
-(* Canonical word stream covered by the signature: code then reloc table. *)
-let signed_words code relocs =
+(* Canonical word stream covered by the signature: code, reloc table, then
+   the serialised proof (if any) — so a tampered certificate is caught
+   exactly like tampered code. *)
+let proof_words = function
+  | None -> [||]
+  | Some p -> Proof.serialise p
+
+let signed_words code relocs proof =
   let code_words = Encode.to_words code in
   let reloc_words =
     List.concat_map
@@ -18,7 +27,8 @@ let signed_words code relocs =
         :: List.init (String.length name) (fun k -> Char.code name.[k]))
       relocs
   in
-  Array.append code_words (Array.of_list reloc_words)
+  Array.concat
+    [ code_words; Array.of_list reloc_words; proof_words proof ]
 
 (* After rewriting, the placeholder [Kcall (-1)] instructions appear in the
    same order as in the source; re-derive their indices. *)
@@ -39,44 +49,79 @@ let relocate_on rewritten (relocs : Asm.reloc list) =
          (fun index { Asm.name; _ } -> { Asm.index; name })
          placeholders relocs)
 
-let make ~key code relocs =
-  { code; relocs; signature = Sign.digest ~key (signed_words code relocs) }
+let make ~key ?proof code relocs =
+  {
+    code;
+    relocs;
+    proof;
+    signature = Sign.digest ~key (signed_words code relocs proof);
+  }
 
 let seal ?optimize ?verifier ~key (obj : Asm.obj) =
-  Result.bind (Rewrite.process ?optimize ?verifier obj.code) @@ fun code ->
-  Result.map (make ~key code) (relocate_on code obj.relocs)
+  Result.bind (Rewrite.process_proved ?optimize ?verifier obj.code)
+  @@ fun (code, proof) ->
+  Result.map (make ~key ?proof code) (relocate_on code obj.relocs)
 
 let seal_unsafe ~key (obj : Asm.obj) = make ~key obj.code obj.relocs
 
 let verify ~key t =
-  Sign.equal t.signature (Sign.digest ~key (signed_words t.code t.relocs))
+  Sign.equal t.signature
+    (Sign.digest ~key (signed_words t.code t.relocs t.proof))
 
 let tamper t =
   let code = Array.copy t.code in
   if Array.length code > 0 then code.(0) <- Insn.Li (0, 0xdead);
   { t with code }
 
+(* Inflate the proof's safe-access map without re-signing: models an
+   attacker upgrading a certificate to elide checks the verifier never
+   proved. [verify] must catch it. *)
+let tamper_proof t =
+  match t.proof with
+  | None -> t
+  | Some p ->
+      let safe = Array.map (fun _ -> true) (Proof.safe p) in
+      {
+        t with
+        proof = Some (Proof.make ~words:(Proof.words p) ~safe
+                        ~calls:(Proof.calls p));
+      }
+
 let serialise t =
-  let body = signed_words t.code t.relocs in
+  let body = signed_words t.code t.relocs None in
   let code_words = Array.length (Encode.to_words t.code) in
+  let pwords = proof_words t.proof in
   Array.concat
     [
       [| code_words; Array.length body |];
       body;
+      [| Array.length pwords |];
+      pwords;
       [| (t.signature :> int) |];
     ]
 
 let deserialise words =
   let n = Array.length words in
-  if n < 3 then Error "image too short"
+  if n < 4 then Error "image too short"
   else
     let code_words = words.(0) in
     let body_len = words.(1) in
-    if code_words < 0 || body_len < code_words || 2 + body_len + 1 <> n then
-      Error "malformed image header"
+    if
+      code_words < 0 || body_len < code_words || 2 + body_len + 2 > n
+      || words.(2 + body_len) < 0
+      || 2 + body_len + 1 + words.(2 + body_len) + 1 <> n
+    then Error "malformed image header"
     else
+      let proof_len = words.(2 + body_len) in
       let code_stream = Array.sub words 2 code_words in
       Result.bind (Encode.of_words code_stream) @@ fun code ->
+      (Result.bind
+         (if proof_len = 0 then Ok None
+          else
+            Result.map Option.some
+              (Proof.deserialise
+                 (Array.sub words (2 + body_len + 1) proof_len)))
+      @@ fun proof ->
       let rec read_relocs acc pos =
         if pos = 2 + body_len then Ok (List.rev acc)
         else if pos + 2 > 2 + body_len then Error "truncated relocation table"
@@ -92,10 +137,11 @@ let deserialise words =
             read_relocs ({ Asm.index; name } :: acc) (pos + 2 + len)
       in
       Result.map
-        (fun relocs -> { code; relocs; signature = Sign.forge words.(n - 1) })
-        (read_relocs [] (2 + code_words))
+        (fun relocs ->
+          { code; relocs; proof; signature = Sign.forge words.(n - 1) })
+        (read_relocs [] (2 + code_words)))
 
-let magic = "VINOIMG1"
+let magic = "VINOIMG2"
 
 let save t ~path =
   Out_channel.with_open_text path (fun oc ->

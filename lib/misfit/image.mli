@@ -10,6 +10,11 @@ type t = private {
   code : Vino_vm.Insn.t array;  (** SFI-rewritten program *)
   relocs : Vino_vm.Asm.reloc list;
       (** indices of unresolved [Kcall] placeholders, with target names *)
+  proof : Vino_verify.Proof.t option;
+      (** seal-time verification certificate ([seal ~verifier] only):
+          which surviving raw accesses are proven unable to fault, and the
+          callable-set / segment-size assumptions the linker must
+          re-validate at load time. Covered by [signature]. *)
   signature : Sign.t;
 }
 
@@ -36,6 +41,11 @@ val verify : key:string -> t -> bool
 val tamper : t -> t
 (** Flip one instruction without re-signing — for tests that check the
     linker rejects modified code. *)
+
+val tamper_proof : t -> t
+(** Mark every access proven-safe in the carried proof without re-signing —
+    for tests that check a forged certificate fails {!verify}. Identity on
+    proof-less images. *)
 
 val serialise : t -> int array
 val deserialise : int array -> (t, string) result

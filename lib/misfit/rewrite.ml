@@ -6,8 +6,11 @@ let uses_reserved_register prog =
     prog
 
 (* Expand each instruction into a list, then remap every control-flow target
-   from its old index to the start of that instruction's expansion. *)
-let expand_i f prog =
+   from its old index to the start of that instruction's expansion. The
+   mapped variant also returns the input-index -> output-index table (n + 1
+   entries, last one the output length) so a per-input-index fact — e.g. a
+   verifier verdict — can be carried over to the expanded program. *)
+let expand_i_mapped f prog =
   let expansions = Array.mapi f prog in
   let n = Array.length prog in
   let new_index = Array.make (n + 1) 0 in
@@ -22,7 +25,9 @@ let expand_i f prog =
         (fun j i -> out.(new_index.(k) + j) <- Insn.map_targets remap i)
         exp)
     expansions;
-  out
+  (out, new_index)
+
+let expand_i f prog = fst (expand_i_mapped f prog)
 
 let expand f prog = expand_i (fun _ i -> f i) prog
 
@@ -68,7 +73,7 @@ let writes_register (i : Insn.t) r =
    [Ld]/[St], a safe indirect call keeps its raw [Kcallr]. [guard_calls]
    folds the [Checkcall] insertion into this pass so both protections see
    the same index space. *)
-let sandbox_pass ~optimize ~safe_access ~safe_call ~guard_calls prog =
+let sandbox_pass_mapped ~optimize ~safe_access ~safe_call ~guard_calls prog =
   let s = Insn.scratch in
   let targets = branch_target_set prog in
   (* (base register, offset) whose sandboxed address scratch still holds *)
@@ -106,7 +111,10 @@ let sandbox_pass ~optimize ~safe_access ~safe_call ~guard_calls prog =
         if is_control_transfer i then known := None;
         [ i ]
   in
-  expand_i protect prog
+  expand_i_mapped protect prog
+
+let sandbox_pass ~optimize ~safe_access ~safe_call ~guard_calls prog =
+  fst (sandbox_pass_mapped ~optimize ~safe_access ~safe_call ~guard_calls prog)
 
 let never _ = false
 
@@ -130,7 +138,7 @@ let guard_indirect_calls ?(safe = never) prog =
   in
   expand_i guard prog
 
-let process ?(optimize = false) ?verifier prog =
+let process_proved ?(optimize = false) ?verifier prog =
   if uses_reserved_register prog then
     Error
       (Printf.sprintf "graft code uses reserved sandbox register r%d"
@@ -140,8 +148,9 @@ let process ?(optimize = false) ?verifier prog =
     match verifier with
     | None ->
         Ok
-          (sandbox_pass ~optimize ~safe_access:never ~safe_call:never
-             ~guard_calls:true lowered)
+          ( sandbox_pass ~optimize ~safe_access:never ~safe_call:never
+              ~guard_calls:true lowered,
+            None )
     | Some conf ->
         (* The analysis runs on the lowered program so the report's indices
            line up with the insertion pass's input. *)
@@ -155,8 +164,26 @@ let process ?(optimize = false) ?verifier prog =
             = Vino_verify.Report.(Access Access_safe)
           in
           let safe_call k =
-            classes.(k) = Vino_verify.Report.(Icall Call_safe)
+            match classes.(k) with
+            | Vino_verify.Report.(Icall (Call_safe _)) -> true
+            | _ -> false
           in
-          Ok
-            (sandbox_pass ~optimize ~safe_access ~safe_call ~guard_calls:true
-               lowered)
+          let out, new_index =
+            sandbox_pass_mapped ~optimize ~safe_access ~safe_call
+              ~guard_calls:true lowered
+          in
+          (* A proven-safe access expands to just its raw [Ld]/[St], so
+             [new_index] points the verdict straight at that instruction
+             in the rewritten stream. *)
+          let safe = Array.make (Array.length out) false in
+          Array.iteri
+            (fun k _ -> if safe_access k then safe.(new_index.(k)) <- true)
+            lowered;
+          let proof =
+            Vino_verify.Proof.make ~words:conf.Vino_verify.Verify.words ~safe
+              ~calls:(Vino_verify.Report.safe_call_ids report)
+          in
+          Ok (out, Some proof)
+
+let process ?optimize ?verifier prog =
+  Result.map fst (process_proved ?optimize ?verifier prog)

@@ -61,6 +61,18 @@ val process :
     graft point actually establishes; see the soundness contract in
     {!Vino_verify.Verify}. *)
 
+val process_proved :
+  ?optimize:bool ->
+  ?verifier:Vino_verify.Verify.config ->
+  Vino_vm.Insn.t array ->
+  (Vino_vm.Insn.t array * Vino_verify.Proof.t option, string) result
+(** Like {!process}, but with [verifier] also returns the verification
+    certificate mapped onto the rewritten code's indices: which surviving
+    raw [Ld]/[St] instructions are proven unable to fault, which kernel
+    ids the elided [Checkcall] probes assumed callable, and the segment
+    size the access proofs assumed. Without [verifier] the proof is
+    [None]. *)
+
 val expand :
   (Vino_vm.Insn.t -> Vino_vm.Insn.t list) ->
   Vino_vm.Insn.t array ->

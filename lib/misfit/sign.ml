@@ -19,4 +19,7 @@ let digest ~key words =
 
 let equal = Int.equal
 let forge n = n
-let pp ppf t = Format.fprintf ppf "%016x" (t land max_int)
+(* [%x] formats the int as unsigned (63-bit two's complement), so this is
+   lossless — masking with [max_int] would alias digests differing only in
+   the top bit. *)
+let pp ppf t = Format.fprintf ppf "%016x" t

@@ -1,5 +1,5 @@
 type access_class = Access_safe | Access_sandbox | Access_oob
-type call_class = Call_safe | Call_check | Call_bad of int
+type call_class = Call_safe of int | Call_check | Call_bad of int
 type insn_class = Plain | Access of access_class | Icall of call_class | Unreachable
 
 type severity = Error | Warning
@@ -18,7 +18,16 @@ let count p t = Array.fold_left (fun acc c -> if p c then acc + 1 else acc) 0 t.
 
 let safe_accesses = count (function Access Access_safe -> true | _ -> false)
 let total_accesses = count (function Access _ -> true | _ -> false)
-let safe_calls = count (function Icall Call_safe -> true | _ -> false)
+let safe_calls = count (function Icall (Call_safe _) -> true | _ -> false)
+
+(* Sorted, de-duplicated ids behind every [Call_safe] verdict: the callable
+   assumptions a proof that elides [Checkcall] rests on. *)
+let safe_call_ids t =
+  Array.fold_left
+    (fun acc c ->
+      match c with Icall (Call_safe id) -> id :: acc | _ -> acc)
+    [] t.classes
+  |> List.sort_uniq compare
 let total_icalls = count (function Icall _ -> true | _ -> false)
 
 let diag_to_string d =
@@ -37,7 +46,7 @@ let verdict = function
   | Access Access_safe -> "safe: provably in-segment"
   | Access Access_sandbox -> "needs sandbox"
   | Access Access_oob -> "REJECT: provably out of bounds"
-  | Icall Call_safe -> "safe: provably callable"
+  | Icall (Call_safe id) -> Printf.sprintf "safe: provably calls id %d" id
   | Icall Call_check -> "needs checkcall"
   | Icall (Call_bad id) -> Printf.sprintf "REJECT: id %d not graft-callable" id
   | Unreachable -> "unreachable"

@@ -13,7 +13,9 @@ type access_class =
   | Access_oob  (** provably outside the segment: reject at link time *)
 
 type call_class =
-  | Call_safe  (** id provably on the graft-callable list *)
+  | Call_safe of int
+      (** this id, provably on the graft-callable list — the payload is
+          the assumption a proof eliding [Checkcall] depends on *)
   | Call_check  (** not provable; keep the run-time [Checkcall] *)
   | Call_bad of int  (** id provably unknown / not callable: reject *)
 
@@ -49,6 +51,10 @@ val safe_accesses : t -> int
 val total_accesses : t -> int
 val safe_calls : t -> int
 val total_icalls : t -> int
+
+val safe_call_ids : t -> int list
+(** Sorted distinct ids proven callable at some [Kcallr] — the callable-set
+    assumption carried by a proof that elides [Checkcall] probes. *)
 
 val error_summary : t -> string
 (** One-line rendering of the errors, for [Result.Error] payloads. *)

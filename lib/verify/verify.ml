@@ -172,11 +172,11 @@ let exec_insn conf sinks st k (i : Insn.t) =
   | Kcallr r ->
       let c =
         match read r with
-        | Absval.Cid _ -> Report.Call_safe
+        | Absval.Cid id -> Report.Call_safe id
         | Absval.Num i -> (
             match (Absval.is_const i, conf.callable) with
             | Some id, Some f ->
-                if f id then Report.Call_safe else Report.Call_bad id
+                if f id then Report.Call_safe id else Report.Call_bad id
             | _ -> Report.Call_check)
         | _ -> Report.Call_check
       in

@@ -67,6 +67,9 @@ type t = {
   source : Insn.t array;
   nblocks : int;
   fused : int;
+  elided : int;
+  (* Accesses compiled as bare (non-flushing) superinstructions because a
+     carried proof marks them unable to fault. *)
   (* Per-pc tails: [body_of_pc.(pc)] executes from [pc] to the end of
      its basic block, charging [cost_of_pc.(pc)] cycles over
      [len_of_pc.(pc)] instructions. Compiling every suffix (not just
@@ -81,6 +84,7 @@ type t = {
 let source t = t.source
 let block_count t = t.nblocks
 let fused_pairs t = t.fused
+let elided_accesses t = t.elided
 
 (* -------------------------------------------------------------------- *)
 (* Pre-resolved operators                                                *)
@@ -135,18 +139,23 @@ let terminates : Insn.t -> bool = function
 (* -------------------------------------------------------------------- *)
 
 (* Compile instructions [start, stop) into one closure chain. [pend_c] /
-   [pend_i] are cycles/instructions executed since the last flush; they
-   are added to the cpu before anything that can fault, stop or observe
-   it, together with that instruction's own charge (the interpreter
-   charges an instruction before executing it). *)
-let compile_block ~costs prog ~start ~stop ~fused =
+   [pend_i] / [pend_a] are cycles/instructions/memory-accesses executed
+   since the last flush; they are added to the cpu before anything that
+   can fault, stop or observe it, together with that instruction's own
+   charge (the interpreter charges an instruction before executing it).
+   [safe_at pc] holds when a carried verification proof guarantees the
+   access at [pc] cannot fault: such a [Ld]/[St] is compiled like any
+   other non-faulting straight-line instruction — no flush, no pc store —
+   and its access count joins the pending accumulator. *)
+let compile_block ~costs ~safe_at prog ~start ~stop ~fused ~elided =
   let cost_of pc = Costs.insn costs prog.(pc) in
-  let rec comp pc pend_c pend_i : ctx -> int =
+  let rec comp pc pend_c pend_i pend_a : ctx -> int =
     if pc >= stop then
       fun ctx ->
         let t : Cpu.t = ctx.cpu in
         t.cycles <- t.cycles + pend_c;
         t.insns <- t.insns + pend_i;
+        t.accesses <- t.accesses + pend_a;
         pc
     else
       let own = cost_of pc in
@@ -167,9 +176,10 @@ let compile_block ~costs prog ~start ~stop ~fused =
           fused := !fused + 2;
           let sb = cost_of next in
           let dc = pend_c + own + sb + cost_of (pc + 2)
-          and di = pend_i + 3 in
+          and di = pend_i + 3
+          and da = pend_a + 1 in
           let acc_pc = pc + 2 in
-          let after = comp (pc + 3) 0 0 in
+          let after = comp (pc + 3) 0 0 0 in
           match (prog.(acc_pc) : Insn.t) with
           | Ld (rd, _, off) ->
               fun ctx ->
@@ -181,7 +191,7 @@ let compile_block ~costs prog ~start ~stop ~fused =
                 t.cycles <- t.cycles + dc;
                 t.insns <- t.insns + di;
                 t.pc <- acc_pc;
-                t.accesses <- t.accesses + 1;
+                t.accesses <- t.accesses + da;
                 r.(rd) <- Mem.load t.mem (x + off);
                 after ctx
           | St (rv, _, off) ->
@@ -194,7 +204,7 @@ let compile_block ~costs prog ~start ~stop ~fused =
                 t.cycles <- t.cycles + dc;
                 t.insns <- t.insns + di;
                 t.pc <- acc_pc;
-                t.accesses <- t.accesses + 1;
+                t.accesses <- t.accesses + da;
                 Mem.store t.mem (x + off) r.(rv);
                 after ctx
           | _ -> assert false)
@@ -204,8 +214,10 @@ let compile_block ~costs prog ~start ~stop ~fused =
                 | Ld _ | St _ -> true
                 | _ -> false) -> (
           incr fused;
-          let dc = pend_c + own + cost_of next and di = pend_i + 2 in
-          let after = comp (pc + 2) 0 0 in
+          let dc = pend_c + own + cost_of next
+          and di = pend_i + 2
+          and da = pend_a + 1 in
+          let after = comp (pc + 2) 0 0 0 in
           match (prog.(next) : Insn.t) with
           | Ld (rd, rb, off) ->
               fun ctx ->
@@ -216,7 +228,7 @@ let compile_block ~costs prog ~start ~stop ~fused =
                 t.cycles <- t.cycles + dc;
                 t.insns <- t.insns + di;
                 t.pc <- next;
-                t.accesses <- t.accesses + 1;
+                t.accesses <- t.accesses + da;
                 r.(rd) <- Mem.load t.mem (r.(rb) + off);
                 after ctx
           | St (rv, rb, off) ->
@@ -228,8 +240,42 @@ let compile_block ~costs prog ~start ~stop ~fused =
                 t.cycles <- t.cycles + dc;
                 t.insns <- t.insns + di;
                 t.pc <- next;
-                t.accesses <- t.accesses + 1;
+                t.accesses <- t.accesses + da;
                 Mem.store t.mem (r.(rb) + off) r.(rv);
+                after ctx
+          | _ -> assert false)
+      (* A proof-elided access followed by a non-faulting ALU op: both are
+         straight-line, so they fuse like [Li]+[Alu]. *)
+      | Ld (rd, rb, off)
+        when safe_at pc
+             && next < stop
+             && (match prog.(next) with
+                | Alu (op, _, _, _) | Alui (op, _, _, _) ->
+                    safe_alu op <> None
+                | _ -> false) -> (
+          incr fused;
+          incr elided;
+          let pend_c = pend_c + own + cost_of next
+          and pend_i = pend_i + 2
+          and pend_a = pend_a + 1 in
+          match (prog.(next) : Insn.t) with
+          | Alu (op, d2, a2, b2) ->
+              let f = Option.get (safe_alu op) in
+              let after = comp (pc + 2) pend_c pend_i pend_a in
+              fun ctx ->
+                let t : Cpu.t = ctx.cpu in
+                let r = t.regs in
+                r.(rd) <- Mem.load t.mem (r.(rb) + off);
+                r.(d2) <- f r.(a2) r.(b2);
+                after ctx
+          | Alui (op, d2, a2, i2) ->
+              let f = Option.get (safe_alu op) in
+              let after = comp (pc + 2) pend_c pend_i pend_a in
+              fun ctx ->
+                let t : Cpu.t = ctx.cpu in
+                let r = t.regs in
+                r.(rd) <- Mem.load t.mem (r.(rb) + off);
+                r.(d2) <- f r.(a2) i2;
                 after ctx
           | _ -> assert false)
       | Li (rd, v)
@@ -244,7 +290,7 @@ let compile_block ~costs prog ~start ~stop ~fused =
           match (prog.(next) : Insn.t) with
           | Alu (op, d2, a2, b2) ->
               let f = Option.get (safe_alu op) in
-              let after = comp (pc + 2) pend_c pend_i in
+              let after = comp (pc + 2) pend_c pend_i pend_a in
               fun ctx ->
                 let r = (ctx.cpu : Cpu.t).regs in
                 r.(rd) <- v;
@@ -252,7 +298,7 @@ let compile_block ~costs prog ~start ~stop ~fused =
                 after ctx
           | Alui (op, d2, a2, imm) ->
               let f = Option.get (safe_alu op) in
-              let after = comp (pc + 2) pend_c pend_i in
+              let after = comp (pc + 2) pend_c pend_i pend_a in
               fun ctx ->
                 let r = (ctx.cpu : Cpu.t).regs in
                 r.(rd) <- v;
@@ -267,7 +313,9 @@ let compile_block ~costs prog ~start ~stop ~fused =
           | Br (c, ba, bb, target) ->
               incr fused;
               let cmp = cond_fn c in
-              let dc = pend_c + own + cost_of next and di = pend_i + 2 in
+              let dc = pend_c + own + cost_of next
+              and di = pend_i + 2
+              and da = pend_a in
               let fall = pc + 2 in
               fun ctx ->
                 let t : Cpu.t = ctx.cpu in
@@ -275,6 +323,7 @@ let compile_block ~costs prog ~start ~stop ~fused =
                 r.(rd) <- v;
                 t.cycles <- t.cycles + dc;
                 t.insns <- t.insns + di;
+                t.accesses <- t.accesses + da;
                 if cmp r.(ba) r.(bb) then target else fall
           | _ -> assert false)
       | Alu (op, rd, ra, rb)
@@ -287,7 +336,9 @@ let compile_block ~costs prog ~start ~stop ~fused =
               incr fused;
               let f = Option.get (safe_alu op) in
               let cmp = cond_fn c in
-              let dc = pend_c + own + cost_of next and di = pend_i + 2 in
+              let dc = pend_c + own + cost_of next
+              and di = pend_i + 2
+              and da = pend_a in
               let fall = pc + 2 in
               fun ctx ->
                 let t : Cpu.t = ctx.cpu in
@@ -295,6 +346,7 @@ let compile_block ~costs prog ~start ~stop ~fused =
                 r.(rd) <- f r.(ra) r.(rb);
                 t.cycles <- t.cycles + dc;
                 t.insns <- t.insns + di;
+                t.accesses <- t.accesses + da;
                 if cmp r.(ba) r.(bb) then target else fall
           | _ -> assert false)
       | Alui (op, rd, ra, imm)
@@ -307,7 +359,9 @@ let compile_block ~costs prog ~start ~stop ~fused =
               incr fused;
               let f = Option.get (safe_alu op) in
               let cmp = cond_fn c in
-              let dc = pend_c + own + cost_of next and di = pend_i + 2 in
+              let dc = pend_c + own + cost_of next
+              and di = pend_i + 2
+              and da = pend_a in
               let fall = pc + 2 in
               fun ctx ->
                 let t : Cpu.t = ctx.cpu in
@@ -315,6 +369,7 @@ let compile_block ~costs prog ~start ~stop ~fused =
                 r.(rd) <- f r.(ra) imm;
                 t.cycles <- t.cycles + dc;
                 t.insns <- t.insns + di;
+                t.accesses <- t.accesses + da;
                 if cmp r.(ba) r.(bb) then target else fall
           | _ -> assert false)
       | Alu (op, rd, ra, rb)
@@ -325,13 +380,16 @@ let compile_block ~costs prog ~start ~stop ~fused =
           | Jmp target ->
               incr fused;
               let f = Option.get (safe_alu op) in
-              let dc = pend_c + own + cost_of next and di = pend_i + 2 in
+              let dc = pend_c + own + cost_of next
+              and di = pend_i + 2
+              and da = pend_a in
               fun ctx ->
                 let t : Cpu.t = ctx.cpu in
                 let r = t.regs in
                 r.(rd) <- f r.(ra) r.(rb);
                 t.cycles <- t.cycles + dc;
                 t.insns <- t.insns + di;
+                t.accesses <- t.accesses + da;
                 target
           | _ -> assert false)
       | Alui (op, rd, ra, imm)
@@ -342,13 +400,16 @@ let compile_block ~costs prog ~start ~stop ~fused =
           | Jmp target ->
               incr fused;
               let f = Option.get (safe_alu op) in
-              let dc = pend_c + own + cost_of next and di = pend_i + 2 in
+              let dc = pend_c + own + cost_of next
+              and di = pend_i + 2
+              and da = pend_a in
               fun ctx ->
                 let t : Cpu.t = ctx.cpu in
                 let r = t.regs in
                 r.(rd) <- f r.(ra) imm;
                 t.cycles <- t.cycles + dc;
                 t.insns <- t.insns + di;
+                t.accesses <- t.accesses + da;
                 target
           | _ -> assert false)
       | Alu (op1, d1, a1, b1)
@@ -365,7 +426,7 @@ let compile_block ~costs prog ~start ~stop ~fused =
           match (prog.(next) : Insn.t) with
           | Alu (op2, d2, a2, b2) ->
               let f2 = Option.get (safe_alu op2) in
-              let after = comp (pc + 2) pend_c pend_i in
+              let after = comp (pc + 2) pend_c pend_i pend_a in
               fun ctx ->
                 let r = (ctx.cpu : Cpu.t).regs in
                 r.(d1) <- f1 r.(a1) r.(b1);
@@ -373,7 +434,7 @@ let compile_block ~costs prog ~start ~stop ~fused =
                 after ctx
           | Alui (op2, d2, a2, i2) ->
               let f2 = Option.get (safe_alu op2) in
-              let after = comp (pc + 2) pend_c pend_i in
+              let after = comp (pc + 2) pend_c pend_i pend_a in
               fun ctx ->
                 let r = (ctx.cpu : Cpu.t).regs in
                 r.(d1) <- f1 r.(a1) r.(b1);
@@ -394,7 +455,7 @@ let compile_block ~costs prog ~start ~stop ~fused =
           match (prog.(next) : Insn.t) with
           | Alu (op2, d2, a2, b2) ->
               let f2 = Option.get (safe_alu op2) in
-              let after = comp (pc + 2) pend_c pend_i in
+              let after = comp (pc + 2) pend_c pend_i pend_a in
               fun ctx ->
                 let r = (ctx.cpu : Cpu.t).regs in
                 r.(d1) <- f1 r.(a1) i1;
@@ -402,7 +463,7 @@ let compile_block ~costs prog ~start ~stop ~fused =
                 after ctx
           | Alui (op2, d2, a2, i2) ->
               let f2 = Option.get (safe_alu op2) in
-              let after = comp (pc + 2) pend_c pend_i in
+              let after = comp (pc + 2) pend_c pend_i pend_a in
               fun ctx ->
                 let r = (ctx.cpu : Cpu.t).regs in
                 r.(d1) <- f1 r.(a1) i1;
@@ -411,18 +472,18 @@ let compile_block ~costs prog ~start ~stop ~fused =
           | _ -> assert false)
       (* ---- straight-line instructions ---- *)
       | Li (rd, v) ->
-          let after = comp next (pend_c + own) (pend_i + 1) in
+          let after = comp next (pend_c + own) (pend_i + 1) pend_a in
           fun ctx ->
             (ctx.cpu : Cpu.t).regs.(rd) <- v;
             after ctx
       | Mov (rd, rs) ->
-          let after = comp next (pend_c + own) (pend_i + 1) in
+          let after = comp next (pend_c + own) (pend_i + 1) pend_a in
           fun ctx ->
             let r = (ctx.cpu : Cpu.t).regs in
             r.(rd) <- r.(rs);
             after ctx
       | Sandbox rr ->
-          let after = comp next (pend_c + own) (pend_i + 1) in
+          let after = comp next (pend_c + own) (pend_i + 1) pend_a in
           fun ctx ->
             let t : Cpu.t = ctx.cpu in
             t.regs.(rr) <- Mem.sandbox t.seg t.regs.(rr);
@@ -431,18 +492,21 @@ let compile_block ~costs prog ~start ~stop ~fused =
       | Alu (op, rd, ra, rb) -> (
           match safe_alu op with
           | Some f ->
-              let after = comp next (pend_c + own) (pend_i + 1) in
+              let after = comp next (pend_c + own) (pend_i + 1) pend_a in
               fun ctx ->
                 let r = (ctx.cpu : Cpu.t).regs in
                 r.(rd) <- f r.(ra) r.(rb);
                 after ctx
           | None ->
-              let dc = pend_c + own and di = pend_i + 1 in
-              let after = comp next 0 0 in
+              let dc = pend_c + own
+              and di = pend_i + 1
+              and da = pend_a in
+              let after = comp next 0 0 0 in
               fun ctx ->
                 let t : Cpu.t = ctx.cpu in
                 t.cycles <- t.cycles + dc;
                 t.insns <- t.insns + di;
+                t.accesses <- t.accesses + da;
                 t.pc <- pc;
                 let r = t.regs in
                 r.(rd) <- faulting_alu op r.(ra) r.(rb);
@@ -450,77 +514,110 @@ let compile_block ~costs prog ~start ~stop ~fused =
       | Alui (op, rd, ra, imm) -> (
           match safe_alu op with
           | Some f ->
-              let after = comp next (pend_c + own) (pend_i + 1) in
+              let after = comp next (pend_c + own) (pend_i + 1) pend_a in
               fun ctx ->
                 let r = (ctx.cpu : Cpu.t).regs in
                 r.(rd) <- f r.(ra) imm;
                 after ctx
           | None ->
-              let dc = pend_c + own and di = pend_i + 1 in
-              let after = comp next 0 0 in
+              let dc = pend_c + own
+              and di = pend_i + 1
+              and da = pend_a in
+              let after = comp next 0 0 0 in
               fun ctx ->
                 let t : Cpu.t = ctx.cpu in
                 t.cycles <- t.cycles + dc;
                 t.insns <- t.insns + di;
+                t.accesses <- t.accesses + da;
                 t.pc <- pc;
                 let r = t.regs in
                 r.(rd) <- faulting_alu op r.(ra) imm;
                 after ctx)
+      (* Proof-elided accesses: the address is provably in-segment for the
+         running segment, so the access can never fault and is compiled
+         like [Mov] — no counter flush, no pc store. The pending access
+         count keeps it observable exactly where the interpreter would
+         expose it (the next fault, kernel call or block exit). *)
+      | Ld (rd, rb, off) when safe_at pc ->
+          incr elided;
+          let after = comp next (pend_c + own) (pend_i + 1) (pend_a + 1) in
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            t.regs.(rd) <- Mem.load t.mem (t.regs.(rb) + off);
+            after ctx
+      | St (rv, rb, off) when safe_at pc ->
+          incr elided;
+          let after = comp next (pend_c + own) (pend_i + 1) (pend_a + 1) in
+          fun ctx ->
+            let t : Cpu.t = ctx.cpu in
+            Mem.store t.mem (t.regs.(rb) + off) t.regs.(rv);
+            after ctx
       | Ld (rd, rb, off) ->
-          let dc = pend_c + own and di = pend_i + 1 in
-          let after = comp next 0 0 in
+          let dc = pend_c + own
+          and di = pend_i + 1
+          and da = pend_a + 1 in
+          let after = comp next 0 0 0 in
           fun ctx ->
             let t : Cpu.t = ctx.cpu in
             t.cycles <- t.cycles + dc;
             t.insns <- t.insns + di;
             t.pc <- pc;
-            t.accesses <- t.accesses + 1;
+            t.accesses <- t.accesses + da;
             t.regs.(rd) <- Mem.load t.mem (t.regs.(rb) + off);
             after ctx
       | St (rv, rb, off) ->
-          let dc = pend_c + own and di = pend_i + 1 in
-          let after = comp next 0 0 in
+          let dc = pend_c + own
+          and di = pend_i + 1
+          and da = pend_a + 1 in
+          let after = comp next 0 0 0 in
           fun ctx ->
             let t : Cpu.t = ctx.cpu in
             t.cycles <- t.cycles + dc;
             t.insns <- t.insns + di;
             t.pc <- pc;
-            t.accesses <- t.accesses + 1;
+            t.accesses <- t.accesses + da;
             Mem.store t.mem (t.regs.(rb) + off) t.regs.(rv);
             after ctx
       | Push rv ->
-          let dc = pend_c + own and di = pend_i + 1 in
-          let after = comp next 0 0 in
+          let dc = pend_c + own
+          and di = pend_i + 1
+          and da = pend_a + 1 in
+          let after = comp next 0 0 0 in
           fun ctx ->
             let t : Cpu.t = ctx.cpu in
             t.cycles <- t.cycles + dc;
             t.insns <- t.insns + di;
             t.pc <- pc;
-            t.accesses <- t.accesses + 1;
+            t.accesses <- t.accesses + da;
             let r = t.regs in
             r.(Insn.sp) <- r.(Insn.sp) - 1;
             Mem.store t.mem r.(Insn.sp) r.(rv);
             after ctx
       | Pop rd ->
-          let dc = pend_c + own and di = pend_i + 1 in
-          let after = comp next 0 0 in
+          let dc = pend_c + own
+          and di = pend_i + 1
+          and da = pend_a + 1 in
+          let after = comp next 0 0 0 in
           fun ctx ->
             let t : Cpu.t = ctx.cpu in
             t.cycles <- t.cycles + dc;
             t.insns <- t.insns + di;
             t.pc <- pc;
-            t.accesses <- t.accesses + 1;
+            t.accesses <- t.accesses + da;
             let r = t.regs in
             r.(rd) <- Mem.load t.mem r.(Insn.sp);
             r.(Insn.sp) <- r.(Insn.sp) + 1;
             after ctx
       | Checkcall rr ->
-          let dc = pend_c + own and di = pend_i + 1 in
-          let after = comp next 0 0 in
+          let dc = pend_c + own
+          and di = pend_i + 1
+          and da = pend_a in
+          let after = comp next 0 0 0 in
           fun ctx ->
             let t : Cpu.t = ctx.cpu in
             t.cycles <- t.cycles + dc;
             t.insns <- t.insns + di;
+            t.accesses <- t.accesses + da;
             t.checkcall_cy <- t.checkcall_cy + own;
             t.pc <- pc;
             let id = t.regs.(rr) in
@@ -532,14 +629,17 @@ let compile_block ~costs prog ~start ~stop ~fused =
              flush, record the unexecuted remainder for the driver's
              poll counter, and exit early. *)
           let cmp = cond_fn c in
-          let dc = pend_c + own and di = pend_i + 1 in
+          let dc = pend_c + own
+          and di = pend_i + 1
+          and da = pend_a in
           let back = stop - next in
-          let after = comp next (pend_c + own) (pend_i + 1) in
+          let after = comp next (pend_c + own) (pend_i + 1) pend_a in
           fun ctx ->
             let t : Cpu.t = ctx.cpu in
             if cmp t.regs.(ra) t.regs.(rb) then begin
               t.cycles <- t.cycles + dc;
               t.insns <- t.insns + di;
+              t.accesses <- t.accesses + da;
               ctx.back <- back;
               target
             end
@@ -547,25 +647,34 @@ let compile_block ~costs prog ~start ~stop ~fused =
       (* ---- terminators ---- *)
       | Br (c, ra, rb, target) ->
           let cmp = cond_fn c in
-          let dc = pend_c + own and di = pend_i + 1 in
+          let dc = pend_c + own
+          and di = pend_i + 1
+          and da = pend_a in
           fun ctx ->
             let t : Cpu.t = ctx.cpu in
             t.cycles <- t.cycles + dc;
             t.insns <- t.insns + di;
+            t.accesses <- t.accesses + da;
             if cmp t.regs.(ra) t.regs.(rb) then target else next
       | Jmp target ->
-          let dc = pend_c + own and di = pend_i + 1 in
+          let dc = pend_c + own
+          and di = pend_i + 1
+          and da = pend_a in
           fun ctx ->
             let t : Cpu.t = ctx.cpu in
             t.cycles <- t.cycles + dc;
             t.insns <- t.insns + di;
+            t.accesses <- t.accesses + da;
             target
       | Call target ->
-          let dc = pend_c + own and di = pend_i + 1 in
+          let dc = pend_c + own
+          and di = pend_i + 1
+          and da = pend_a in
           fun ctx ->
             let t : Cpu.t = ctx.cpu in
             t.cycles <- t.cycles + dc;
             t.insns <- t.insns + di;
+            t.accesses <- t.accesses + da;
             t.pc <- pc;
             if t.depth >= Cpu.max_call_depth then
               raise (Cpu.Fault_exn Cpu.Call_stack_overflow);
@@ -573,11 +682,14 @@ let compile_block ~costs prog ~start ~stop ~fused =
             t.depth <- t.depth + 1;
             target
       | Callr rr ->
-          let dc = pend_c + own and di = pend_i + 1 in
+          let dc = pend_c + own
+          and di = pend_i + 1
+          and da = pend_a in
           fun ctx ->
             let t : Cpu.t = ctx.cpu in
             t.cycles <- t.cycles + dc;
             t.insns <- t.insns + di;
+            t.accesses <- t.accesses + da;
             t.pc <- pc;
             if t.depth >= Cpu.max_call_depth then
               raise (Cpu.Fault_exn Cpu.Call_stack_overflow);
@@ -585,11 +697,14 @@ let compile_block ~costs prog ~start ~stop ~fused =
             t.depth <- t.depth + 1;
             t.regs.(rr)
       | Ret ->
-          let dc = pend_c + own and di = pend_i + 1 in
+          let dc = pend_c + own
+          and di = pend_i + 1
+          and da = pend_a in
           fun ctx ->
             let t : Cpu.t = ctx.cpu in
             t.cycles <- t.cycles + dc;
             t.insns <- t.insns + di;
+            t.accesses <- t.accesses + da;
             (match t.callstack with
             | [] ->
                 t.pc <- pc;
@@ -599,37 +714,46 @@ let compile_block ~costs prog ~start ~stop ~fused =
                 t.depth <- t.depth - 1;
                 ret)
       | Kcall id ->
-          let dc = pend_c + own and di = pend_i + 1 in
+          let dc = pend_c + own
+          and di = pend_i + 1
+          and da = pend_a in
           fun ctx ->
             let t : Cpu.t = ctx.cpu in
             t.cycles <- t.cycles + dc;
             t.insns <- t.insns + di;
+            t.accesses <- t.accesses + da;
             t.pc <- pc;
             (match ctx.env.kcall id t with
             | Cpu.K_ok -> next
             | Cpu.K_abort reason -> finish ctx (Cpu.Aborted reason)
             | Cpu.K_fault f -> finish ctx (Cpu.Faulted f))
       | Kcallr rr ->
-          let dc = pend_c + own and di = pend_i + 1 in
+          let dc = pend_c + own
+          and di = pend_i + 1
+          and da = pend_a in
           fun ctx ->
             let t : Cpu.t = ctx.cpu in
             t.cycles <- t.cycles + dc;
             t.insns <- t.insns + di;
+            t.accesses <- t.accesses + da;
             t.pc <- pc;
             (match ctx.env.kcall t.regs.(rr) t with
             | Cpu.K_ok -> next
             | Cpu.K_abort reason -> finish ctx (Cpu.Aborted reason)
             | Cpu.K_fault f -> finish ctx (Cpu.Faulted f))
       | Halt ->
-          let dc = pend_c + own and di = pend_i + 1 in
+          let dc = pend_c + own
+          and di = pend_i + 1
+          and da = pend_a in
           fun ctx ->
             let t : Cpu.t = ctx.cpu in
             t.cycles <- t.cycles + dc;
             t.insns <- t.insns + di;
+            t.accesses <- t.accesses + da;
             t.pc <- pc;
             finish ctx Cpu.Halted
   in
-  comp start 0 0
+  comp start 0 0 0
 
 (* -------------------------------------------------------------------- *)
 (* Careful path: one interpreter-exact closure per instruction           *)
@@ -819,10 +943,18 @@ let compile_slow ~costs pc (i : Insn.t) : ctx -> int =
 (* Translation                                                           *)
 (* -------------------------------------------------------------------- *)
 
-let translate ?(costs = Costs.default) prog =
+let translate ?(costs = Costs.default) ?safe prog =
   let source = Array.copy prog in
   let prog = source in
   let n = Array.length prog in
+  (* [safe.(pc)] licenses compiling the access at [pc] without fault
+     handling. A map of the wrong length means the proof was derived from
+     different code; ignore it rather than mis-align indices. *)
+  let safe_at =
+    match safe with
+    | Some m when Array.length m = n -> fun pc -> Array.unsafe_get m pc
+    | Some _ | None -> fun _ -> false
+  in
   let leader = Array.make (max n 1) false in
   if n > 0 then leader.(0) <- true;
   Array.iteri
@@ -839,6 +971,7 @@ let translate ?(costs = Costs.default) prog =
       | i -> if terminates i && pc + 1 < n then leader.(pc + 1) <- true)
     prog;
   let fused = ref 0 in
+  let elided = ref 0 in
   let nblocks = ref 0 in
   let slow = Array.mapi (fun k i -> compile_slow ~costs k i) prog in
   let body_of_pc = Array.make n (fun ctx -> finish ctx Cpu.Halted) in
@@ -868,7 +1001,10 @@ let translate ?(costs = Costs.default) prog =
     for k = start to stop - 1 do
       if stop - k <= tail_cap then begin
         let f = if k = start then fused else scrap in
-        body_of_pc.(k) <- compile_block ~costs prog ~start:k ~stop ~fused:f;
+        let e = if k = start then elided else scrap in
+        body_of_pc.(k) <-
+          compile_block ~costs ~safe_at prog ~start:k ~stop ~fused:f
+            ~elided:e;
         len_of_pc.(k) <- stop - k;
         let cost = ref 0 in
         for m = k to stop - 1 do
@@ -896,6 +1032,7 @@ let translate ?(costs = Costs.default) prog =
     source;
     nblocks = !nblocks;
     fused = !fused;
+    elided = !elided;
     body_of_pc;
     cost_of_pc;
     len_of_pc;

@@ -560,7 +560,8 @@ let test_audit_trail () =
             | Audit.Graft_failed _ -> "failed"
             | Audit.Graft_removed _ -> "removed"
             | Audit.Handler_added _ | Audit.Handler_failed _ -> "handler"
-            | Audit.Flow_violation _ -> "flow-violation")
+            | Audit.Flow_violation _ -> "flow-violation"
+            | Audit.Proof_stale _ -> "proof-stale")
           (Audit.entries fx.kernel.Kernel.audit)
       in
       Alcotest.(check (list string))
@@ -617,6 +618,93 @@ let test_cred_and_namespace_basics () =
   Namespace.unregister ns "adder.compute";
   Alcotest.(check (list string)) "unregistered" [] (Namespace.names ns)
 
+(* ---- stale safety proofs (proof-carrying translation) ---- *)
+
+let seal_verified_exn kernel items verify =
+  match Kernel.seal ~verify kernel (Asm.assemble_exn items) with
+  | Ok image -> image
+  | Error e -> Alcotest.fail e
+
+let proof_stale_audited kernel =
+  List.exists
+    (fun e ->
+      match e.Vino_core.Audit.event with
+      | Vino_core.Audit.Proof_stale _ -> true
+      | _ -> false)
+    (Vino_core.Audit.entries kernel.Kernel.audit)
+
+let check_stale_error e =
+  Alcotest.(check bool)
+    (Printf.sprintf "error %S names the stale proof" e)
+    true
+    (String.length e >= 5 && String.sub e 0 5 = "stale")
+
+(* An indirect call whose id the seal-time verifier proved constant and
+   callable from an entry fact (r1 = 0, counter.incr) — so the
+   [Checkcall] was elided and the proof records the callable-set
+   assumption. Load-time static analysis has no entry facts and cannot
+   re-derive the constant, so only the proof revalidation can notice the
+   function was pulled off the graft-callable list after sealing. *)
+let test_stale_proof_callable_rejected () =
+  let fx = make_fixture () in
+  let verify =
+    Vino_verify.Verify.config
+      ~entry:[ (1, Vino_verify.Verify.arg_at_most 0) ]
+      ~words:64 ()
+  in
+  let image =
+    seal_verified_exn fx.kernel [ Kcallr Asm.r1; Ret ] verify
+  in
+  let proof = Option.get image.Vino_misfit.Image.proof in
+  Alcotest.(check (list int))
+    "proof assumes id 0 is callable" [ 0 ]
+    (Vino_verify.Proof.calls proof);
+  Alcotest.(check bool) "checkcall elided from the sealed stream" false
+    (Array.exists
+       (function Insn.Checkcall _ -> true | _ -> false)
+       image.Vino_misfit.Image.code);
+  (match Vino_core.Linker.load fx.kernel ~words:64 image with
+  | Ok loaded -> Vino_core.Linker.unload fx.kernel loaded
+  | Error e -> Alcotest.failf "fresh proof rejected: %s" e);
+  Kernel.set_callable fx.kernel 0 false;
+  (match Vino_core.Linker.load fx.kernel ~words:64 image with
+  | Ok _ -> Alcotest.fail "stale proof accepted after set_callable"
+  | Error e -> check_stale_error e);
+  Alcotest.(check bool) "Proof_stale audited" true
+    (proof_stale_audited fx.kernel);
+  (* restoring the function makes the same image loadable again *)
+  Kernel.set_callable fx.kernel 0 true;
+  match Vino_core.Linker.load fx.kernel ~words:64 image with
+  | Ok loaded -> Vino_core.Linker.unload fx.kernel loaded
+  | Error e -> Alcotest.failf "restored callable still rejected: %s" e
+
+(* A proof discharged against a 1024-word segment must not license
+   check elision in a 64-word one. *)
+let test_stale_proof_words_rejected () =
+  let fx = make_fixture () in
+  let verify =
+    Vino_verify.Verify.config
+      ~entry:[ (1, Vino_verify.Verify.seg_window ()) ]
+      ~words:1024 ()
+  in
+  let image =
+    seal_verified_exn fx.kernel [ Ld (Asm.r2, Asm.r1, 0); Ret ] verify
+  in
+  Alcotest.(check int) "proof assumes 1024 words" 1024
+    (Vino_verify.Proof.words (Option.get image.Vino_misfit.Image.proof));
+  Alcotest.(check bool) "sandbox elided from the sealed stream" false
+    (Array.exists
+       (function Insn.Sandbox _ -> true | _ -> false)
+       image.Vino_misfit.Image.code);
+  (match Vino_core.Linker.load fx.kernel ~words:1024 image with
+  | Ok loaded -> Vino_core.Linker.unload fx.kernel loaded
+  | Error e -> Alcotest.failf "matching segment rejected: %s" e);
+  (match Vino_core.Linker.load fx.kernel ~words:64 image with
+  | Ok _ -> Alcotest.fail "undersized segment accepted against the proof"
+  | Error e -> check_stale_error e);
+  Alcotest.(check bool) "Proof_stale audited" true
+    (proof_stale_audited fx.kernel)
+
 let test_audit_pp_total () =
   let a = Vino_core.Audit.create () in
   Vino_core.Audit.record a ~now_us:1.
@@ -631,8 +719,10 @@ let test_audit_pp_total () =
     (Vino_core.Audit.Handler_added { point = "p"; handler = 1; user = "u" });
   Vino_core.Audit.record a ~now_us:6.
     (Vino_core.Audit.Handler_failed { point = "p"; handler = 1; reason = "r" });
-  Alcotest.(check int) "count" 6 (Vino_core.Audit.count a);
-  Alcotest.(check int) "failures" 3
+  Vino_core.Audit.record a ~now_us:7.
+    (Vino_core.Audit.Proof_stale { point = "p"; reason = "r" });
+  Alcotest.(check int) "count" 7 (Vino_core.Audit.count a);
+  Alcotest.(check int) "failures" 4
     (List.length (Vino_core.Audit.failures a));
   ignore (Format.asprintf "%a" Vino_core.Audit.pp a);
   Vino_core.Audit.clear a;
@@ -685,6 +775,10 @@ let suite =
           test_audit_trail;
         Alcotest.test_case "cred and namespace basics" `Quick
           test_cred_and_namespace_basics;
+        Alcotest.test_case "stale proof: revoked callable rejected" `Quick
+          test_stale_proof_callable_rejected;
+        Alcotest.test_case "stale proof: undersized segment rejected" `Quick
+          test_stale_proof_words_rejected;
         Alcotest.test_case "audit pp is total" `Quick test_audit_pp_total;
         Alcotest.test_case "event payload clipped to window" `Quick
           test_event_payload_truncated_to_window;

@@ -123,6 +123,65 @@ let test_save_load_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing file accepted"
 
+(* ---- proof-carrying images ---- *)
+
+let verifier =
+  Vino_verify.Verify.config
+    ~entry:[ (1, Vino_verify.Verify.seg_window ()) ]
+    ~words:64 ()
+
+let verified_obj () =
+  Asm.assemble_exn
+    [
+      Ld (Asm.r2, Asm.r1, 0);
+      Alui (Insn.Add, Asm.r2, Asm.r2, 1);
+      St (Asm.r2, Asm.r1, 1);
+      Kcall "mem.free";
+      Halt;
+    ]
+
+let seal_verified_exn obj =
+  match Image.seal ~verifier ~key obj with
+  | Ok image -> image
+  | Error e -> Alcotest.fail e
+
+let test_proof_carried_and_roundtripped () =
+  let image = seal_verified_exn (verified_obj ()) in
+  let proof =
+    match image.Image.proof with
+    | Some p -> p
+    | None -> Alcotest.fail "verified seal carried no proof"
+  in
+  Alcotest.(check bool) "some access proven safe" true
+    (Vino_verify.Proof.safe_count proof > 0);
+  Alcotest.(check int) "safe map covers the rewritten code"
+    (Array.length image.Image.code)
+    (Vino_verify.Proof.length proof);
+  Alcotest.(check bool) "verifies" true (Image.verify ~key image);
+  match Image.deserialise (Image.serialise image) with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+      (match back.Image.proof with
+      | Some q ->
+          Alcotest.(check bool) "proof equal after roundtrip" true
+            (Vino_verify.Proof.equal proof q)
+      | None -> Alcotest.fail "roundtrip dropped the proof");
+      Alcotest.(check bool) "still verifies after roundtrip" true
+        (Image.verify ~key back)
+
+(* A forged certificate — every access marked proven-safe without
+   re-sealing — must fail signature verification exactly like tampered
+   code: the signature covers the serialised proof. *)
+let test_proof_tamper_detected () =
+  let image = seal_verified_exn (verified_obj ()) in
+  let forged = Image.tamper_proof image in
+  Alcotest.(check bool) "inflated certificate fails verification" false
+    (Image.verify ~key forged);
+  (* proof-less images are unaffected *)
+  let plain = seal_exn (sample_obj ()) in
+  Alcotest.(check bool) "tamper_proof is identity without a proof" true
+    (Image.verify ~key (Image.tamper_proof plain))
+
 let test_signature_sensitivity () =
   (* Any single-word change to the stream must change the digest. *)
   let words = [| 1; 2; 3; 4; 5 |] in
@@ -158,5 +217,9 @@ let suite =
           test_save_load_roundtrip;
         Alcotest.test_case "digest is sensitive to every word" `Quick
           test_signature_sensitivity;
+        Alcotest.test_case "proof carried, covering, round-tripped" `Quick
+          test_proof_carried_and_roundtripped;
+        Alcotest.test_case "forged certificate detected" `Quick
+          test_proof_tamper_detected;
       ] );
   ]

@@ -99,23 +99,53 @@ let gen_fragment st : Asm.item list =
   | 1 -> [ Asm.St (Asm.r1, Asm.r2, 1); Kcall_id 1 ]
   | _ -> [ Asm.Push Asm.r3; Pop Asm.r3 ]
 
+(* Entry facts mirroring [init_for]'s fixed registers (r1..r4 all point
+   into the segment, sp at the top) and the differential environment's
+   [call_ok] predicate — so the static verifier can prove some of the
+   random accesses safe and the corpus exercises proof-carrying
+   translation on real (not hand-picked) programs. *)
+let fuzz_verifier =
+  Vino_verify.Verify.config
+    ~entry:
+      [
+        (1, Vino_verify.Verify.seg_window ());
+        (2, Vino_verify.Verify.seg_window ~off:17 ());
+        (3, Vino_verify.Verify.seg_window ~off:(seg_size - 3) ());
+        (4, Vino_verify.Verify.seg_window ~off:5 ());
+      ]
+    ~callable:(fun id -> id land 1 = 0)
+    ~words:seg_size ()
+
 (* The variants of one generated program that the corpus compares:
-   Mutate-derived source surgery and the MiSFIT-rewritten safe path. *)
+   Mutate-derived source surgery, the MiSFIT-rewritten safe path, and —
+   when the static verifier accepts the program — the proof-carrying
+   variant, translated with the proof's safe-access map. Most random
+   programs are verifier-rejected (a random access is genuinely
+   out-of-bounds on some path); [test_corpus] asserts the corpus still
+   yields a healthy number of verified variants. *)
 let variants st source =
   let frag = gen_fragment st in
   let asm items = (Asm.assemble_exn items).Asm.code in
   let base = asm source in
   let muts =
     [
-      ("base", base);
-      ("prelude", asm (Mutate.splice_prelude ~prelude:frag source));
-      ("returns", asm (Mutate.before_returns ~payload:frag source));
-      ("diverge", asm (Mutate.splice_prelude ~prelude:Mutate.diverge source));
+      ("base", base, None);
+      ("prelude", asm (Mutate.splice_prelude ~prelude:frag source), None);
+      ("returns", asm (Mutate.before_returns ~payload:frag source), None);
+      ( "diverge",
+        asm (Mutate.splice_prelude ~prelude:Mutate.diverge source),
+        None );
     ]
   in
-  match Rewrite.process base with
-  | Ok rewritten -> muts @ [ ("rewritten", rewritten) ]
-  | Error _ -> muts
+  let muts =
+    match Rewrite.process base with
+    | Ok rewritten -> muts @ [ ("rewritten", rewritten, None) ]
+    | Error _ -> muts
+  in
+  match Rewrite.process_proved ~verifier:fuzz_verifier base with
+  | Ok (code, Some proof) ->
+      muts @ [ ("verified", code, Some (Vino_verify.Proof.safe proof)) ]
+  | Ok (_, None) | Error _ -> muts
 
 (* ------------------------------------------------------------------ *)
 (* Instrumented environment and differential runner                    *)
@@ -217,13 +247,13 @@ let interp_step env cpu code ~poll_every () = Cpu.run ~poll_every env cpu code
 let trans_step trans env cpu _code ~poll_every () =
   Jit.run ~poll_every env cpu trans
 
-let differential ~seed ~vname ~cfg ~init_regs ~init_mem code =
+let differential ~seed ~vname ~cfg ~init_regs ~init_mem ?safe code =
   let a =
     run_mode ~init_regs ~init_mem cfg
       (fun env cpu code () -> interp_step env cpu code ~poll_every:cfg.poll_every ())
       code
   in
-  let trans = Jit.translate code in
+  let trans = Jit.translate ?safe code in
   let b =
     run_mode ~init_regs ~init_mem cfg
       (fun env cpu code () ->
@@ -261,17 +291,34 @@ let init_for st =
    shard across domains (VINO_TEST_DOMAINS=N) with no shared state. A
    failing differential raises out of its domain and Pool.map re-raises
    the lowest-index failure in the runner. *)
+(* VINO_JIT_VARIANTS narrows the corpus to a comma-separated set of
+   variant names ("all" or unset runs everything) — the CI matrix uses
+   it to give the proof-carrying variant its own visible job. *)
+let variant_enabled =
+  match Sys.getenv_opt "VINO_JIT_VARIANTS" with
+  | None | Some "" | Some "all" -> fun _ -> true
+  | Some s ->
+      let names = String.split_on_char ',' s in
+      fun v -> List.mem v names
+
 let run_seed seed =
   let st = Random.State.make [| 0xD1FF; seed |] in
   let source = gen_program st in
   let vs = variants st source in
   let init_regs, init_mem = init_for st in
   List.iter
-    (fun (vname, code) ->
-      List.iter
-        (fun cfg -> differential ~seed ~vname ~cfg ~init_regs ~init_mem code)
-        configs)
-    vs
+    (fun (vname, code, safe) ->
+      if variant_enabled vname then
+        List.iter
+          (fun cfg ->
+            differential ~seed ~vname ~cfg ~init_regs ~init_mem ?safe code)
+          configs)
+    vs;
+  (* how many variants actually carried a proof (before filtering), so
+     the corpus test can assert the proof-carrying path is exercised,
+     not silently skipped *)
+  List.length
+    (List.filter (fun (_, _, safe) -> Option.is_some safe) vs)
 
 let test_domains =
   match Sys.getenv_opt "VINO_TEST_DOMAINS" with
@@ -279,12 +326,17 @@ let test_domains =
   | None -> 1
 
 let test_corpus () =
-  if test_domains <= 1 then List.iter run_seed corpus_seeds
-  else
-    let pool = Vino_par.Pool.create ~domains:test_domains () in
-    Fun.protect
-      ~finally:(fun () -> Vino_par.Pool.shutdown pool)
-      (fun () -> ignore (Vino_par.Pool.map ~pool run_seed corpus_seeds))
+  let proved =
+    if test_domains <= 1 then List.map run_seed corpus_seeds
+    else
+      let pool = Vino_par.Pool.create ~domains:test_domains () in
+      Fun.protect
+        ~finally:(fun () -> Vino_par.Pool.shutdown pool)
+        (fun () -> Vino_par.Pool.map ~pool run_seed corpus_seeds)
+  in
+  Alcotest.(check bool)
+    "corpus exercises the proof-carrying variant" true
+    (List.fold_left ( + ) 0 proved > 0)
 
 (* ------------------------------------------------------------------ *)
 (* Edge cases                                                          *)
@@ -370,6 +422,72 @@ let test_tables_golden () =
   let translated = with_mode Jit.Translated render_tables in
   Alcotest.(check string) "tables 3-7 byte-identical" interp translated
 
+(* ------------------------------------------------------------------ *)
+(* Translation cache: proof-hash keying, concurrency, digest rendering *)
+(* ------------------------------------------------------------------ *)
+
+module Kernel = Vino_core.Kernel
+module Proof = Vino_verify.Proof
+
+let cache_code = [| Insn.Li (1, seg_base); Ld (2, 1, 0); Halt |]
+
+(* The same post-link code translated with and without a certificate must
+   occupy distinct cache entries (Sign digest alone no longer keys the
+   cache), and each entry must be served back on a repeat lookup. *)
+let test_cache_proof_key () =
+  let k = Kernel.create ~mem_words:(1 lsl 16) () in
+  let proof =
+    Proof.make ~words:seg_size ~safe:[| false; true; false |] ~calls:[]
+  in
+  let t0 = Kernel.translate k cache_code in
+  let t1 = Kernel.translate k ~proof cache_code in
+  Alcotest.(check bool) "distinct translations" true (t0 != t1);
+  Alcotest.(check int) "plain translation elides nothing" 0
+    (Jit.elided_accesses t0);
+  Alcotest.(check int) "proof-carrying elides the proven load" 1
+    (Jit.elided_accesses t1);
+  let stats = Kernel.translation_stats k in
+  Alcotest.(check int) "two cache entries" 2 (List.length stats);
+  Alcotest.(check int) "exactly one proof-keyed entry" 1
+    (List.length
+       (List.filter (fun (key, _, _) -> String.contains key '/') stats));
+  Alcotest.(check bool) "same proof hits its entry" true
+    (Kernel.translate k ~proof cache_code == t1);
+  Alcotest.(check bool) "no proof hits its entry" true
+    (Kernel.translate k cache_code == t0)
+
+(* The per-kernel cache under concurrent loads from a domain pool: 128
+   translate calls over 8 distinct programs from 4 domains must neither
+   crash (the unsynchronised-Hashtbl bug) nor duplicate entries. *)
+let test_cache_concurrent () =
+  let k = Kernel.create ~mem_words:(1 lsl 16) () in
+  let codes = List.init 8 (fun i -> [| Insn.Li (1, i); Insn.Halt |]) in
+  let jobs = List.concat (List.init 16 (fun _ -> codes)) in
+  let pool = Vino_par.Pool.create ~domains:(max 4 test_domains) () in
+  Fun.protect
+    ~finally:(fun () -> Vino_par.Pool.shutdown pool)
+    (fun () ->
+      ignore
+        (Vino_par.Pool.map ~pool
+           (fun code -> ignore (Kernel.translate k code : Jit.t))
+           jobs));
+  Alcotest.(check int) "one entry per distinct program" 8
+    (List.length (Kernel.translation_stats k))
+
+(* [translation_stats] digests must be injective: the old rendering
+   masked with [land max_int], aliasing values that differ only in the
+   top bit. *)
+let test_digest_hex_lossless () =
+  let hex n = Kernel.digest_hex (Vino_misfit.Sign.forge n) in
+  Alcotest.(check string) "-1 renders as 63-bit unsigned" "7fffffffffffffff"
+    (hex (-1));
+  Alcotest.(check string) "max_int keeps its distinct rendering"
+    "3fffffffffffffff" (hex max_int);
+  Alcotest.(check string) "min_int renders its top bit" "4000000000000000"
+    (hex min_int);
+  Alcotest.(check bool) "no top-bit aliasing" true (hex (-1) <> hex max_int);
+  Alcotest.(check bool) "no zero aliasing" true (hex min_int <> hex 0)
+
 let suite =
   [
     ( "jit",
@@ -381,5 +499,11 @@ let suite =
         Alcotest.test_case "translation shape" `Quick test_translation_shape;
         Alcotest.test_case "tables 3-7 golden across modes" `Quick
           test_tables_golden;
+        Alcotest.test_case "cache keyed by digest + proof hash" `Quick
+          test_cache_proof_key;
+        Alcotest.test_case "cache safe under a domain pool" `Quick
+          test_cache_concurrent;
+        Alcotest.test_case "cache digests render losslessly" `Quick
+          test_digest_hex_lossless;
       ] );
   ]

@@ -211,7 +211,7 @@ let test_kcallr_proved_callable () =
   Alcotest.(check bool) "accepted" true (Report.ok report);
   Alcotest.(check int) "checkcall elidable" 1 (Report.safe_calls report);
   match report.Report.classes.(1) with
-  | Report.Icall Report.Call_safe -> ()
+  | Report.Icall (Report.Call_safe 7) -> ()
   | _ -> Alcotest.fail "constant callable id not proved"
 
 let test_kcallr_unknown_id_rejected () =
