@@ -381,15 +381,28 @@ let all ~iterations ?pool () =
   ablations ~iterations ();
   bechamel_suite ()
 
+let serve ?pool () =
+  emit ~name:"serve"
+    ~title:
+      "Serve: multi-tenant graft server (throughput + latency SLOs, by \
+       path and tenant count)"
+    ~notes:
+      "Arrival-to-response latency of an open-loop multi-tenant workload\n\
+       (admission control, inherited per-tenant rlimits, bounded LRU\n\
+       translation cache). Throughput lines are informational (req/s, not\n\
+       us); percentile and makespan lines are gated."
+    (fun () -> Sc_serve.table ?pool ())
+
 (* The tables the bench gate watches: every paper table plus the
-   disaster recovery-cost table. *)
+   disaster recovery-cost table and the multi-tenant serve table. *)
 let tables ~iterations ?pool () =
   table3 ~iterations ?pool ();
   table4 ~iterations ?pool ();
   table5 ~iterations ?pool ();
   table6 ~iterations ?pool ();
   table7 ~iterations ?pool ();
-  disaster ?pool ()
+  disaster ?pool ();
+  serve ?pool ()
 
 (* Time the gated tables serial vs fanned-out and report the ratio.
    Table output is squelched; only the timing summary survives. *)
@@ -429,7 +442,7 @@ let speedup ~jobs () =
 let usage () =
   prerr_endline
     "usage: main.exe [--json] [-j N] \
-     [quick|tables|table3|table4|table5|table6|table7|disaster|abortmodel|lockfactor|costbenefit|ablations|calibrate|speedup|bechamel]";
+     [quick|tables|table3|table4|table5|table6|table7|disaster|serve|abortmodel|lockfactor|costbenefit|ablations|calibrate|speedup|bechamel]";
   exit 1
 
 let () =
@@ -480,6 +493,7 @@ let () =
   | [ _; "table6" ] -> with_pool (table6 ~iterations)
   | [ _; "table7" ] -> with_pool (table7 ~iterations)
   | [ _; "disaster" ] -> with_pool (fun ?pool () -> disaster ?pool ())
+  | [ _; "serve" ] -> with_pool (fun ?pool () -> serve ?pool ())
   | [ _; "abortmodel" ] -> with_pool (abortmodel ~iterations)
   | [ _; "lockfactor" ] -> with_pool (lockfactor ~iterations)
   | [ _; "costbenefit" ] -> costbenefit ~iterations ()

@@ -507,6 +507,113 @@ let disaster seed count costs jobs mode =
         exit 1
       end)
 
+(* -------------------------------- serve ------------------------------- *)
+
+module Serve = Vino_net.Serve
+
+(* Hand-rolled, field-ordered JSON: the serve-determinism CI job diffs
+   two of these byte-for-byte (-j 1 vs -j 4), so the encoding must not
+   depend on anything but the report. *)
+let serve_json r =
+  let cfg = r.Serve.config in
+  let b = Buffer.create 4096 in
+  let f fmt = Printf.bprintf b fmt in
+  f "{\n";
+  f
+    "  \"config\": {\"tenants\": %d, \"requests\": %d, \"interval\": %d, \
+     \"pause\": %d, \"max_inflight\": %d, \"jit_cache_cap\": %d, \
+     \"reinstall_every\": %d, \"shards\": %d, \"path\": %S, \"seed\": %d, \
+     \"runaway\": %s, \"net_quota\": %d},\n"
+    cfg.Serve.tenants cfg.Serve.requests cfg.Serve.interval cfg.Serve.pause
+    cfg.Serve.max_inflight cfg.Serve.jit_cache_cap cfg.Serve.reinstall_every
+    cfg.Serve.shards
+    (Serve.path_name cfg.Serve.path)
+    cfg.Serve.seed
+    (match cfg.Serve.runaway with
+    | None -> "null"
+    | Some i -> string_of_int i)
+    cfg.Serve.net_quota;
+  f "  \"served\": %d,\n" r.Serve.served;
+  f "  \"rejected\": %d,\n" r.Serve.rejected;
+  f "  \"admission_audited\": %d,\n" r.Serve.admission_audited;
+  f "  \"handler_failures\": %d,\n" r.Serve.handler_failures;
+  f "  \"transmitted\": %d,\n" r.Serve.transmitted;
+  f "  \"quota_denials\": %d,\n" r.Serve.quota_denials;
+  f "  \"jit\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d},\n"
+    r.Serve.jit_hits r.Serve.jit_misses r.Serve.jit_evictions;
+  f "  \"drain_us\": %.6f,\n" r.Serve.drain_us;
+  f "  \"throughput_rps\": %.6f,\n" r.Serve.throughput_rps;
+  let st = Vino_sim.Stats.create () in
+  List.iter (Vino_sim.Stats.add st) (Serve.latencies r);
+  f "  \"latency_us\": {\"p50\": %.6f, \"p99\": %.6f, \"p999\": %.6f},\n"
+    (Vino_sim.Stats.percentile st 50.)
+    (Vino_sim.Stats.percentile st 99.)
+    (Vino_sim.Stats.percentile st 99.9);
+  f "  \"per_tenant\": [";
+  List.iteri
+    (fun k (t, fam, served, rejected) ->
+      if k > 0 then f ", ";
+      f "{\"tenant\": %d, \"family\": %S, \"served\": %d, \"rejected\": %d}" t
+        fam served rejected)
+    r.Serve.per_tenant;
+  f "],\n";
+  f "  \"samples\": [";
+  List.iteri
+    (fun k (t, req, lat) ->
+      if k > 0 then f ", ";
+      f "[%d, %d, %.6f]" t req lat)
+    r.Serve.samples;
+  f "]\n}\n";
+  Buffer.contents b
+
+let serve_print r =
+  let cfg = r.Serve.config in
+  Printf.printf "serve: %d tenants x %d requests on %d shards (%s path)\n"
+    cfg.Serve.tenants cfg.Serve.requests cfg.Serve.shards
+    (Serve.path_name cfg.Serve.path);
+  Printf.printf "  served %d, rejected %d (audited %d), handler failures %d\n"
+    r.Serve.served r.Serve.rejected r.Serve.admission_audited
+    r.Serve.handler_failures;
+  Printf.printf "  net: %d transmitted, %d quota denials\n" r.Serve.transmitted
+    r.Serve.quota_denials;
+  Printf.printf "  jit cache: %d hits, %d misses, %d evictions\n"
+    r.Serve.jit_hits r.Serve.jit_misses r.Serve.jit_evictions;
+  let st = Vino_sim.Stats.create () in
+  List.iter (Vino_sim.Stats.add st) (Serve.latencies r);
+  Printf.printf "  makespan %.2f us, throughput %.1f req/s\n" r.Serve.drain_us
+    r.Serve.throughput_rps;
+  Printf.printf "  latency p50 %.2f us, p99 %.2f us, p999 %.2f us\n"
+    (Vino_sim.Stats.percentile st 50.)
+    (Vino_sim.Stats.percentile st 99.)
+    (Vino_sim.Stats.percentile st 99.9);
+  Printf.printf "  %-8s %-6s %8s %9s\n" "tenant" "family" "served" "rejected";
+  List.iter
+    (fun (t, fam, served, rejected) ->
+      Printf.printf "  %-8d %-6s %8d %9d\n" t fam served rejected)
+    r.Serve.per_tenant
+
+let serve tenants requests interval pause inflight cache reinstall shards path
+    seed runaway net_quota json jobs =
+  let cfg =
+    {
+      Serve.tenants;
+      requests;
+      interval;
+      pause;
+      max_inflight = inflight;
+      jit_cache_cap = cache;
+      reinstall_every = reinstall;
+      shards;
+      path;
+      seed;
+      runaway;
+      net_quota;
+    }
+  in
+  with_pool jobs (fun pool ->
+      let r = Serve.run ?pool cfg in
+      if json then print_string (serve_json r) else serve_print r)
+
 (* -------------------------------- trace ------------------------------- *)
 
 module Trace = Vino_trace.Trace
@@ -836,6 +943,85 @@ let disaster_cmd =
           (exit 1 on any violation)")
     Term.(const disaster $ seed $ count $ costs $ jobs_arg $ mode_arg)
 
+let serve_cmd =
+  let d = Serve.default in
+  let opt_int name dflt doc =
+    Arg.(value & opt int dflt & info [ name ] ~doc)
+  in
+  let tenants = opt_int "tenants" d.Serve.tenants "Tenant count." in
+  let requests =
+    opt_int "requests" d.Serve.requests "Arrivals per tenant."
+  in
+  let interval =
+    opt_int "interval" d.Serve.interval
+      "Cycles between a tenant's arrivals (open loop)."
+  in
+  let pause =
+    opt_int "pause" d.Serve.pause
+      "Extra idle cycles after each reinstall burst."
+  in
+  let inflight =
+    opt_int "inflight" d.Serve.max_inflight
+      "Per-tenant admission cap (arrivals beyond it are shed and audited)."
+  in
+  let cache =
+    opt_int "cache" d.Serve.jit_cache_cap
+      "Per-shard-kernel translation cache capacity (LRU)."
+  in
+  let reinstall =
+    opt_int "reinstall" d.Serve.reinstall_every
+      "Reinstall a tenant's handler every k-th arrival (0 = never)."
+  in
+  let shards =
+    opt_int "shards" d.Serve.shards
+      "Shard count — part of the workload definition, not the $(b,-j) level."
+  in
+  let path =
+    let path_conv =
+      Arg.enum
+        (List.map (fun p -> (Serve.path_name p, p)) Serve.all_paths)
+    in
+    Arg.(
+      value
+      & opt path_conv d.Serve.path
+      & info [ "path" ] ~docv:"PATH"
+          ~doc:
+            "Execution path for every tenant handler: $(b,interp), \
+             $(b,translated) or $(b,verified-translated).")
+  in
+  let seed = opt_int "seed" d.Serve.seed "Per-tenant work perturbation." in
+  let runaway =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "runaway" ] ~docv:"TENANT"
+          ~doc:
+            "Turn tenant $(docv) into a net.send flooder, capped by its \
+             inherited packet slice.")
+  in
+  let net_quota =
+    opt_int "net-quota" d.Serve.net_quota "Per-tenant Net_packets slice."
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the full report as stable JSON (byte-identical at any \
+             $(b,-j) level).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the multi-tenant graft server: N tenants' event grafts under \
+          open-loop traffic, with admission control, inherited resource \
+          limits and a bounded translation cache; report throughput and \
+          latency percentiles")
+    Term.(
+      const serve $ tenants $ requests $ interval $ pause $ inflight $ cache
+      $ reinstall $ shards $ path $ seed $ runaway $ net_quota $ json
+      $ jobs_arg)
+
 let trace_cmd =
   let scenario =
     Arg.(
@@ -895,7 +1081,7 @@ let main_cmd =
   Cmd.group info
     [
       inspect_cmd; dump_cmd; seal_cmd; verify_cmd; run_cmd; tables_cmd;
-      disaster_cmd; trace_cmd; rules_cmd; points_cmd;
+      disaster_cmd; serve_cmd; trace_cmd; rules_cmd; points_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

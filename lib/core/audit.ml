@@ -10,6 +10,7 @@ type event =
   | Handler_failed of { point : string; handler : int; reason : string }
   | Flow_violation of { point : string; last : string; next : string }
   | Proof_stale of { point : string; reason : string }
+  | Admission_rejected of { point : string; tenant : string; reason : string }
 
 type entry = { at_us : float; event : event }
 type t = { ring : entry Ring.t }
@@ -26,6 +27,7 @@ let counter_name = function
   | Handler_failed _ -> "audit.handler_failed"
   | Flow_violation _ -> "audit.flow_violation"
   | Proof_stale _ -> "audit.proof_stale"
+  | Admission_rejected _ -> "audit.admission_rejected"
 
 let record t ~now_us event =
   Trace.incr (counter_name event);
@@ -40,7 +42,7 @@ let clear t = Ring.clear t.ring
 
 let is_failure = function
   | Load_rejected _ | Graft_failed _ | Handler_failed _ | Flow_violation _
-  | Proof_stale _ ->
+  | Proof_stale _ | Admission_rejected _ ->
       true
   | Graft_installed _ | Graft_removed _ | Handler_added _ -> false
 
@@ -63,6 +65,9 @@ let pp_event ppf = function
         last
   | Proof_stale { point; reason } ->
       Format.fprintf ppf "stale safety proof for %s: %s" point reason
+  | Admission_rejected { point; tenant; reason } ->
+      Format.fprintf ppf "admission rejected at %s for %s: %s" point tenant
+        reason
 
 let pp ppf t =
   (if dropped t > 0 then

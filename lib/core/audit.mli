@@ -27,6 +27,11 @@ type event =
           (callable set, segment size) no longer hold against this
           kernel — the load is refused rather than run with elided
           checks the proof can no longer justify *)
+  | Admission_rejected of { point : string; tenant : string; reason : string }
+      (** the admission controller refused a request at [point] on
+          behalf of [tenant] — e.g. the multi-tenant serve scenario's
+          per-tenant in-flight cap. Counted as a failure: an operator
+          reading the trail sees exactly which tenants were shed. *)
 
 type entry = { at_us : float; event : event }
 type t

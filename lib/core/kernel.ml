@@ -1,5 +1,15 @@
 module Engine = Vino_sim.Engine
 module Tick = Vino_sim.Tick
+module Trace = Vino_trace.Trace
+
+type cached = { tr : Vino_vm.Jit.t; mutable last_use : int }
+
+type jit_cache_stats = {
+  jit_hits : int;
+  jit_misses : int;
+  jit_evictions : int;
+  jit_entries : int;
+}
 
 type t = {
   engine : Engine.t;
@@ -13,18 +23,25 @@ type t = {
   vm_costs : Vino_vm.Costs.t;
   costs : Vino_txn.Tcosts.t;
   audit : Audit.t;
-  translations : (Vino_misfit.Sign.t * int, Vino_vm.Jit.t) Hashtbl.t;
+  translations : (Vino_misfit.Sign.t * int, cached) Hashtbl.t;
   translations_mu : Mutex.t;
+  mutable jit_cache_cap : int;
+  mutable jit_clock : int;
+  mutable jit_hits : int;
+  mutable jit_misses : int;
+  mutable jit_evictions : int;
   mutable exec_mode : Vino_vm.Jit.mode;
   mutable flow_enforce : bool;
   mutable flow_pin : Vino_verify.Kflow.table option;
 }
 
 let default_key = "vino-misfit-toolchain"
+let default_jit_cache_cap = 256
 
 let create ?(mem_words = 1 lsl 20) ?tick ?(key = default_key)
     ?(vm_costs = Vino_vm.Costs.default) ?(costs = Vino_txn.Tcosts.default)
-    ?exec_mode ?(flow_enforce = false) () =
+    ?(jit_cache_cap = default_jit_cache_cap) ?exec_mode
+    ?(flow_enforce = false) () =
   let engine = Engine.create () in
   let wheel = Tick.create engine ?tick () in
   {
@@ -44,6 +61,11 @@ let create ?(mem_words = 1 lsl 20) ?tick ?(key = default_key)
     audit = Audit.create ();
     translations = Hashtbl.create 16;
     translations_mu = Mutex.create ();
+    jit_cache_cap = max 1 jit_cache_cap;
+    jit_clock = 0;
+    jit_hits = 0;
+    jit_misses = 0;
+    jit_evictions = 0;
     exec_mode =
       (match exec_mode with
       | Some m -> m
@@ -62,20 +84,71 @@ let create ?(mem_words = 1 lsl 20) ?tick ?(key = default_key)
    cache safe under concurrent loads from a domain pool ([Pool.map] /
    [-j N]); OCaml's Hashtbl is not. Holding it across the translation
    serialises same-kernel compiles, which is fine — translations are
-   pure and loads are not the hot path. *)
+   pure and loads are not the hot path.
+
+   The cache is bounded: [jit_cache_cap] entries, LRU eviction. Evicting
+   an entry never invalidates running grafts — {!Linker.load} stores the
+   [Jit.t] in its [loaded] record, so eviction only forces a later load
+   of the same code to re-translate. Use stamps come from [jit_clock],
+   advanced under the mutex, so a serial run's eviction order is a pure
+   function of the load sequence. Hit/miss/eviction counts are kept both
+   per kernel (deterministic, readable without a trace sink) and as
+   {!Vino_trace.Trace} counters ([jit.hits] / [jit.misses] /
+   [jit.evictions]) for traced reports. *)
+let evict_over_cap t =
+  (* caller holds [translations_mu] *)
+  while Hashtbl.length t.translations > t.jit_cache_cap do
+    let victim =
+      Hashtbl.fold
+        (fun key c acc ->
+          match acc with
+          | Some (_, best) when best <= c.last_use -> acc
+          | _ -> Some (key, c.last_use))
+        t.translations None
+    in
+    match victim with
+    | Some (key, _) ->
+        Hashtbl.remove t.translations key;
+        t.jit_evictions <- t.jit_evictions + 1;
+        Trace.incr "jit.evictions"
+    | None -> assert false
+  done
+
 let translate t ?proof code =
   let sign =
     Vino_misfit.Sign.digest ~key:t.key (Vino_vm.Encode.to_words code)
   in
   let key = (sign, Vino_verify.Proof.hash_opt proof) in
   Mutex.protect t.translations_mu @@ fun () ->
+  t.jit_clock <- t.jit_clock + 1;
   match Hashtbl.find_opt t.translations key with
-  | Some tr -> tr
+  | Some c ->
+      t.jit_hits <- t.jit_hits + 1;
+      Trace.incr "jit.hits";
+      c.last_use <- t.jit_clock;
+      c.tr
   | None ->
+      t.jit_misses <- t.jit_misses + 1;
+      Trace.incr "jit.misses";
       let safe = Option.map Vino_verify.Proof.safe proof in
       let tr = Vino_vm.Jit.translate ~costs:t.vm_costs ?safe code in
-      Hashtbl.add t.translations key tr;
+      Hashtbl.add t.translations key { tr; last_use = t.jit_clock };
+      evict_over_cap t;
       tr
+
+let set_jit_cache_cap t cap =
+  Mutex.protect t.translations_mu @@ fun () ->
+  t.jit_cache_cap <- max 1 cap;
+  evict_over_cap t
+
+let jit_cache_stats t =
+  Mutex.protect t.translations_mu @@ fun () ->
+  {
+    jit_hits = t.jit_hits;
+    jit_misses = t.jit_misses;
+    jit_evictions = t.jit_evictions;
+    jit_entries = Hashtbl.length t.translations;
+  }
 
 (* Losslessly hex-format a digest or proof hash: [%x] prints the int as
    unsigned 63-bit, so 16 digits are injective — masking with [max_int]
@@ -89,11 +162,11 @@ let digest_hex sign = hex_int (sign : Vino_misfit.Sign.t :> int)
 let translation_stats t =
   Mutex.protect t.translations_mu @@ fun () ->
   Hashtbl.fold
-    (fun (sign, phash) tr acc ->
+    (fun (sign, phash) c acc ->
       ( (digest_hex sign
          ^ if phash = 0 then "" else "/p" ^ hex_int phash),
-        Vino_vm.Jit.block_count tr,
-        Vino_vm.Jit.fused_pairs tr )
+        Vino_vm.Jit.block_count c.tr,
+        Vino_vm.Jit.fused_pairs c.tr )
       :: acc)
     t.translations []
   |> List.sort compare

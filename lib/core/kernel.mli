@@ -6,6 +6,18 @@
     on top of this record: they register their graft-callable accessor
     functions here and create graft points in the {!Namespace}. *)
 
+type cached = { tr : Vino_vm.Jit.t; mutable last_use : int }
+(** A translation-cache entry: the compiled graft plus its LRU use stamp
+    (a [jit_clock] value, not virtual time — cache management costs no
+    simulated cycles). *)
+
+type jit_cache_stats = {
+  jit_hits : int;
+  jit_misses : int;
+  jit_evictions : int;
+  jit_entries : int;  (** live entries, [<= jit_cache_cap] *)
+}
+
 type t = {
   engine : Vino_sim.Engine.t;
   wheel : Vino_sim.Tick.t;
@@ -18,16 +30,25 @@ type t = {
   vm_costs : Vino_vm.Costs.t;
   costs : Vino_txn.Tcosts.t;
   audit : Audit.t;  (** trail of graft security events *)
-  translations : (Vino_misfit.Sign.t * int, Vino_vm.Jit.t) Hashtbl.t;
+  translations : (Vino_misfit.Sign.t * int, cached) Hashtbl.t;
       (** translation cache, keyed by post-link code signature plus the
           carried proof's hash (0 when there is none): sandboxed and
           proof-carrying translations of the same code coexist, and a
           changed proof can never serve a stale compiled graft. Guarded
-          by [translations_mu]. *)
+          by [translations_mu]; bounded by [jit_cache_cap] with LRU
+          eviction. *)
   translations_mu : Mutex.t;
       (** serialises cache access — concurrent [translate] on a shared
           kernel under a domain pool would race the non-thread-safe
           Hashtbl *)
+  mutable jit_cache_cap : int;
+      (** capacity of [translations] (>= 1); reaching it evicts the
+          least-recently-used entry. Set via {!create} or
+          {!set_jit_cache_cap}. *)
+  mutable jit_clock : int;  (** LRU use-stamp source, under the mutex *)
+  mutable jit_hits : int;
+  mutable jit_misses : int;
+  mutable jit_evictions : int;
   mutable exec_mode : Vino_vm.Jit.mode;
       (** how wrappers execute graft code (default
           {!Vino_vm.Jit.default_mode}) *)
@@ -49,12 +70,29 @@ val create :
   ?key:string ->
   ?vm_costs:Vino_vm.Costs.t ->
   ?costs:Vino_txn.Tcosts.t ->
+  ?jit_cache_cap:int ->
   ?exec_mode:Vino_vm.Jit.mode ->
   ?flow_enforce:bool ->
   unit ->
   t
-(** A fresh kernel with [mem_words] (default 2^20) of graft memory and the
-    standard 10 ms timeout tick. *)
+(** A fresh kernel with [mem_words] (default 2^20) of graft memory, the
+    standard 10 ms timeout tick and a translation cache of
+    [jit_cache_cap] entries (default {!default_jit_cache_cap}, clamped
+    to >= 1). *)
+
+val default_jit_cache_cap : int
+(** 256 entries. *)
+
+val set_jit_cache_cap : t -> int -> unit
+(** Re-bound the translation cache (clamped to >= 1), evicting
+    least-recently-used entries immediately if the new capacity is
+    exceeded. *)
+
+val jit_cache_stats : t -> jit_cache_stats
+(** Lifetime hit/miss/eviction counts and the current entry count of the
+    translation cache. Deterministic — kept per kernel, independent of
+    any installed trace sink (which receives the same counts as
+    [jit.hits] / [jit.misses] / [jit.evictions] counters). *)
 
 val translation_stats : t -> (string * int * int) list
 (** Per-entry [(key, blocks, fused pairs)] of the translation cache, in a

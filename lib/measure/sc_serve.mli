@@ -1,0 +1,37 @@
+(** Serve scenario — multi-tenant throughput and latency SLO table.
+
+    Runs {!Vino_net.Serve} at several tenant counts on each execution
+    path and reports, per [(tenant count, path)] cell, the makespan and
+    the p50/p99/p999 arrival-to-response latency (gated rows) plus the
+    throughput in requests per second (informational row — not a
+    microsecond quantity, so it is emitted as an incremental line the
+    bench gate skips). Fully deterministic: cycle-exact across hosts and
+    across [-j] levels. *)
+
+val default_tenant_counts : int list
+(** [[1; 4; 12]]. *)
+
+val report :
+  ?pool:Vino_par.Pool.t ->
+  tenants:int ->
+  path:Vino_net.Serve.path ->
+  unit ->
+  Vino_net.Serve.report
+(** One cell's raw report ({!Vino_net.Serve.default} with [tenants] and
+    [path] substituted). *)
+
+val rows :
+  ?pool:Vino_par.Pool.t ->
+  tenants:int ->
+  path:Vino_net.Serve.path ->
+  unit ->
+  Table.row list
+(** The five rows of one cell. *)
+
+val table :
+  ?tenant_counts:int list ->
+  ?paths:Vino_net.Serve.path list ->
+  ?pool:Vino_par.Pool.t ->
+  unit ->
+  Table.row list
+(** The full table, tenant-count major, path minor. *)

@@ -67,6 +67,40 @@ let transfer ~src ~dst r amount =
       Ok ()
     end
 
+(* Child accounts are funded by moving limit out of the parent, so the
+   sum of limits across a tenant tree is invariant: a runaway child can
+   never spend more than the slice it was granted, and the parent's
+   remaining headroom shrinks by exactly that slice. On any denial the
+   already-moved resources are returned and the parent is untouched. *)
+let derive ~parent ?(memory_words = 0) ?(wired_pages = 0) ?(io_slots = 0)
+    ?(net_packets = 0) () =
+  let child = create () in
+  let wants =
+    [
+      (Memory_words, memory_words);
+      (Wired_pages, wired_pages);
+      (Io_slots, io_slots);
+      (Net_packets, net_packets);
+    ]
+  in
+  let rec fund granted = function
+    | [] -> Ok child
+    | (_, 0) :: rest -> fund granted rest
+    | (r, amount) :: rest -> (
+        if amount < 0 then invalid_arg "Rlimit.derive: negative amount";
+        match transfer ~src:parent ~dst:child r amount with
+        | Ok () -> fund ((r, amount) :: granted) rest
+        | Error `Denied ->
+            List.iter
+              (fun (r, amount) ->
+                match transfer ~src:child ~dst:parent r amount with
+                | Ok () -> ()
+                | Error `Denied -> assert false)
+              granted;
+            Error `Denied)
+  in
+  fund [] wants
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   List.iter

@@ -52,4 +52,21 @@ val transfer : src:t -> dst:t -> resource -> int -> (unit, [ `Denied ]) result
     with a limit below its current usage, or if the handles share an
     account (transfer would be meaningless). *)
 
+val derive :
+  parent:t ->
+  ?memory_words:int ->
+  ?wired_pages:int ->
+  ?io_slots:int ->
+  ?net_packets:int ->
+  unit ->
+  (t, [ `Denied ]) result
+(** A fresh child account funded by {!transfer}s out of [parent]:
+    resource-limit inheritance for multi-tenant admission. The sum of
+    limits across parent and children is invariant, so a runaway child
+    is capped at its granted slice and cannot dip into a sibling's.
+    Denied (with [parent] rolled back to its prior state) if any
+    requested amount exceeds the parent's free headroom. Unspecified
+    resources default to 0.
+    @raise Invalid_argument on a negative amount. *)
+
 val pp : Format.formatter -> t -> unit

@@ -27,6 +27,7 @@ let () =
          Test_sched.suite;
          Test_stream.suite;
          Test_net.suite;
+         Test_serve.suite;
          Test_jit.suite;
          Test_wrapper.suite;
          Test_measure.suite;

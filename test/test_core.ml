@@ -561,7 +561,8 @@ let test_audit_trail () =
             | Audit.Graft_removed _ -> "removed"
             | Audit.Handler_added _ | Audit.Handler_failed _ -> "handler"
             | Audit.Flow_violation _ -> "flow-violation"
-            | Audit.Proof_stale _ -> "proof-stale")
+            | Audit.Proof_stale _ -> "proof-stale"
+            | Audit.Admission_rejected _ -> "admission")
           (Audit.entries fx.kernel.Kernel.audit)
       in
       Alcotest.(check (list string))

@@ -268,7 +268,19 @@ let differential ~seed ~vname ~cfg ~init_regs ~init_mem ?safe code =
 (* The corpus                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let corpus_seeds = List.init 30 (fun k -> k + 1)
+(* VINO_JIT_SEEDS widens (or narrows) the fixed-seed corpus: the default
+   30 keeps the tier-1 run fast; the nightly workflow sets 100 for a
+   deeper sweep. Seeds are always 1..n, so a nightly failure replays
+   locally with the same env var. *)
+let corpus_size =
+  match Sys.getenv_opt "VINO_JIT_SEEDS" with
+  | None | Some "" -> 30
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> n
+      | _ -> invalid_arg "VINO_JIT_SEEDS must be a positive integer")
+
+let corpus_seeds = List.init corpus_size (fun k -> k + 1)
 
 let init_for st =
   let init_regs =
@@ -474,6 +486,49 @@ let test_cache_concurrent () =
   Alcotest.(check int) "one entry per distinct program" 8
     (List.length (Kernel.translation_stats k))
 
+(* The LRU bound under churn: a capacity-1 cache alternating between two
+   programs re-translates on every lookup (4 misses, 3 evictions, never
+   a hit), while capacity 2 holds both; shrinking the bound evicts
+   immediately, least-recently-used first. The stats listing must stay
+   sorted so [vino inspect]-style dumps are CI-diffable. *)
+let test_cache_lru_eviction () =
+  let a = [| Insn.Li (1, 100); Insn.Halt |] in
+  let b = [| Insn.Li (1, 200); Insn.Halt |] in
+  let k = Kernel.create ~mem_words:(1 lsl 16) ~jit_cache_cap:1 () in
+  List.iter (fun c -> ignore (Kernel.translate k c : Jit.t)) [ a; b; a; b ];
+  let s = Kernel.jit_cache_stats k in
+  Alcotest.(check int) "alternation misses every time" 4 s.Kernel.jit_misses;
+  Alcotest.(check int) "each miss evicts the resident entry" 3
+    s.Kernel.jit_evictions;
+  Alcotest.(check int) "no hits at capacity 1" 0 s.Kernel.jit_hits;
+  Alcotest.(check int) "one live entry" 1 s.Kernel.jit_entries;
+  let k2 = Kernel.create ~mem_words:(1 lsl 16) ~jit_cache_cap:2 () in
+  let t_a = Kernel.translate k2 a in
+  ignore (Kernel.translate k2 b : Jit.t);
+  Alcotest.(check bool) "repeat lookup hits at capacity 2" true
+    (Kernel.translate k2 a == t_a);
+  let s2 = Kernel.jit_cache_stats k2 in
+  Alcotest.(check int) "capacity 2: two misses" 2 s2.Kernel.jit_misses;
+  Alcotest.(check int) "capacity 2: one hit" 1 s2.Kernel.jit_hits;
+  Alcotest.(check int) "capacity 2: no evictions" 0 s2.Kernel.jit_evictions;
+  Kernel.set_jit_cache_cap k2 1;
+  let s3 = Kernel.jit_cache_stats k2 in
+  Alcotest.(check int) "shrink evicts to the new bound" 1
+    s3.Kernel.jit_entries;
+  Alcotest.(check int) "shrink counts its eviction" 1 s3.Kernel.jit_evictions;
+  Alcotest.(check bool) "most recently used survives the shrink" true
+    (Kernel.translate k2 a == t_a);
+  let k3 = Kernel.create ~mem_words:(1 lsl 16) ~jit_cache_cap:8 () in
+  List.iter
+    (fun i ->
+      ignore (Kernel.translate k3 [| Insn.Li (1, i); Insn.Halt |] : Jit.t))
+    [ 5; 3; 9; 1 ];
+  let keys =
+    List.map (fun (key, _, _) -> key) (Kernel.translation_stats k3)
+  in
+  Alcotest.(check (list string)) "stats listing sorted for CI diffing"
+    (List.sort compare keys) keys
+
 (* [translation_stats] digests must be injective: the old rendering
    masked with [land max_int], aliasing values that differ only in the
    top bit. *)
@@ -501,6 +556,8 @@ let suite =
           test_tables_golden;
         Alcotest.test_case "cache keyed by digest + proof hash" `Quick
           test_cache_proof_key;
+        Alcotest.test_case "cache LRU bound: eviction, shrink, sorted stats"
+          `Quick test_cache_lru_eviction;
         Alcotest.test_case "cache safe under a domain pool" `Quick
           test_cache_concurrent;
         Alcotest.test_case "cache digests render losslessly" `Quick
