@@ -8,6 +8,11 @@ module Image = Vino_misfit.Image
 module Trace = Vino_trace.Trace
 module Span = Vino_trace.Span
 
+(* Counter handles, interned once at load: the emit sites below
+   bump a flat per-sink array instead of hashing a dotted name. *)
+let h_graft_invocations = Vino_trace.Counters.handle "graft.invocations"
+let h_graft_runs = Vino_trace.Counters.handle "graft.runs"
+
 let trace_ctx () = Engine.proc_id (Engine.self ())
 
 type grafted = {
@@ -118,7 +123,7 @@ let invoke t kernel ~cred:_ arg =
   t.n_invocations <- t.n_invocations + 1;
   Engine.delay t.indirection_cost;
   if Trace.enabled () then begin
-    Trace.incr "graft.invocations";
+    Trace.incr_h h_graft_invocations;
     Trace.span Span.Dispatch ~label:t.gname
       ~start:(Engine.now kernel.Kernel.engine - t.indirection_cost)
       ~dur:t.indirection_cost
@@ -129,7 +134,7 @@ let invoke t kernel ~cred:_ arg =
       t.n_graft_runs <- t.n_graft_runs + 1;
       let inv_start = Engine.now kernel.Kernel.engine in
       if Trace.enabled () then begin
-        Trace.incr "graft.runs";
+        Trace.incr_h h_graft_runs;
         Trace.push_frame ~ctx:(trace_ctx ()) ~point:t.gname ~now:inv_start
       end;
       (* Close this invocation's profiler frame. Called exactly once per
@@ -166,6 +171,9 @@ let invoke t kernel ~cred:_ arg =
       cancel_watchdog ();
       let abandon reason =
         if Txn.is_active txn then Txn.abort txn ~reason;
+        (* this invocation owns the frame outright: nothing below holds
+           onto [txn], so its frame goes back to the manager's arena *)
+        Txn.recycle txn;
         finish ();
         fail t kernel reason;
         t.default arg
@@ -177,9 +185,11 @@ let invoke t kernel ~cred:_ arg =
           | Ok result -> (
               match Txn.commit txn with
               | Ok () ->
+                  Txn.recycle txn;
                   finish ();
                   result
               | Error reason ->
+                  Txn.recycle txn;
                   finish ();
                   fail t kernel reason;
                   t.default arg)

@@ -2,6 +2,12 @@ module Engine = Vino_sim.Engine
 module Tick = Vino_sim.Tick
 module Trace = Vino_trace.Trace
 
+(* Counter handles, interned once at load: the emit sites below
+   bump a flat per-sink array instead of hashing a dotted name. *)
+let h_jit_evictions = Vino_trace.Counters.handle "jit.evictions"
+let h_jit_hits = Vino_trace.Counters.handle "jit.hits"
+let h_jit_misses = Vino_trace.Counters.handle "jit.misses"
+
 type cached = { tr : Vino_vm.Jit.t; mutable last_use : int }
 
 type jit_cache_stats = {
@@ -110,7 +116,7 @@ let evict_over_cap t =
     | Some (key, _) ->
         Hashtbl.remove t.translations key;
         t.jit_evictions <- t.jit_evictions + 1;
-        Trace.incr "jit.evictions"
+        Trace.incr_h h_jit_evictions
     | None -> assert false
   done
 
@@ -124,12 +130,12 @@ let translate t ?proof code =
   match Hashtbl.find_opt t.translations key with
   | Some c ->
       t.jit_hits <- t.jit_hits + 1;
-      Trace.incr "jit.hits";
+      Trace.incr_h h_jit_hits;
       c.last_use <- t.jit_clock;
       c.tr
   | None ->
       t.jit_misses <- t.jit_misses + 1;
-      Trace.incr "jit.misses";
+      Trace.incr_h h_jit_misses;
       let safe = Option.map Vino_verify.Proof.safe proof in
       let tr = Vino_vm.Jit.translate ~costs:t.vm_costs ?safe code in
       Hashtbl.add t.translations key { tr; last_use = t.jit_clock };

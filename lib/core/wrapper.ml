@@ -5,6 +5,13 @@ module Trace = Vino_trace.Trace
 module Span = Vino_trace.Span
 module Profile = Vino_trace.Profile
 
+(* Counter handles, interned once at load: the emit sites below
+   bump a flat per-sink array instead of hashing a dotted name. *)
+let h_kflow_checks = Vino_trace.Counters.handle "kflow.checks"
+let h_kflow_violations = Vino_trace.Counters.handle "kflow.violations"
+let h_sfi_sandbox_cycles = Vino_trace.Counters.handle "sfi.sandbox_cycles"
+let h_sfi_checkcall_cycles = Vino_trace.Counters.handle "sfi.checkcall_cycles"
+
 let env ?flow kernel ~txn ~cred ~limits =
   let dispatch id cpu =
     match Kcall.find kernel.Kernel.registry id with
@@ -30,13 +37,13 @@ let env ?flow kernel ~txn ~cred ~limits =
         in
         fun id cpu ->
           Cpu.charge cpu kernel.Kernel.vm_costs.Vino_vm.Costs.flow_check;
-          Trace.incr "kflow.checks";
+          Trace.incr_h h_kflow_checks;
           if Vino_verify.Kflow.permits table ~last:!last ~next:id then begin
             last := id;
             dispatch id cpu
           end
           else begin
-            Trace.incr "kflow.violations";
+            Trace.incr_h h_kflow_violations;
             let point =
               match txn with Some t -> Txn.name t | None -> "<no-txn>"
             in
@@ -112,11 +119,11 @@ let exec kernel ~txn ~cred ~limits ~seg ~code ?flow ?trans ?mode
     let label = Txn.name txn in
     let sb = Cpu.sandbox_cycles cpu and cc = Cpu.checkcall_cycles cpu in
     if sb > 0 then begin
-      Trace.incr ~by:sb "sfi.sandbox_cycles";
+      Trace.add_h h_sfi_sandbox_cycles sb;
       Trace.span Span.Sfi_sandbox ~label ~start:(now - sb) ~dur:sb
     end;
     if cc > 0 then begin
-      Trace.incr ~by:cc "sfi.checkcall_cycles";
+      Trace.add_h h_sfi_checkcall_cycles cc;
       Trace.span Span.Sfi_checkcall ~label ~start:(now - cc) ~dur:cc
     end;
     if sb + cc > 0 then

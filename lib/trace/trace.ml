@@ -41,6 +41,16 @@ let incr ?by name =
   | None -> ()
   | Some t -> Counters.incr t.ctrs ?by name
 
+let incr_h h =
+  match Domain.DLS.get sink with
+  | None -> ()
+  | Some t -> Counters.incr_h t.ctrs h
+
+let add_h h n =
+  match Domain.DLS.get sink with
+  | None -> ()
+  | Some t -> Counters.add_h t.ctrs h n
+
 let push_frame ~ctx ~point ~now =
   match Domain.DLS.get sink with
   | None -> ()

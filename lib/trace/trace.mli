@@ -57,6 +57,15 @@ val absorb : t -> unit
 
 val span : Span.kind -> label:string -> start:int -> dur:int -> unit
 val incr : ?by:int -> string -> unit
+
+(** Handle-based counter bumps: one domain-local load, one array add —
+    no hashing, no allocation. Intern the handle once at module load
+    with {!Counters.handle}; [add_h] takes its non-negative amount as a
+    bare [int] (no option boxing on the call site). *)
+
+val incr_h : Counters.handle -> unit
+
+val add_h : Counters.handle -> int -> unit
 val push_frame : ctx:int -> point:string -> now:int -> unit
 val charge : ctx:int -> Profile.bucket -> int -> unit
 val pop_frame : ctx:int -> now:int -> unit

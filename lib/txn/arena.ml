@@ -1,0 +1,38 @@
+type 'a t = {
+  mutable slots : 'a array; (* [0, free) are parked, ready for reuse *)
+  mutable free : int;
+  mutable outstanding : int;
+  capacity : int;
+}
+
+let create ~slots () =
+  if slots < 0 then invalid_arg "Arena.create: negative slot count";
+  { slots = [||]; free = 0; outstanding = 0; capacity = slots }
+
+let take t ~otherwise =
+  t.outstanding <- t.outstanding + 1;
+  if t.free > 0 then begin
+    let i = t.free - 1 in
+    t.free <- i;
+    t.slots.(i)
+  end
+  else otherwise ()
+
+let put t x =
+  t.outstanding <- t.outstanding - 1;
+  (* The first returned object seeds the backing array, so the pool
+     needs no dummy element for its type. *)
+  if Array.length t.slots = 0 && t.capacity > 0 then
+    t.slots <- Array.make t.capacity x;
+  if t.free < Array.length t.slots then begin
+    t.slots.(t.free) <- x;
+    t.free <- t.free + 1
+  end
+
+let outstanding t = t.outstanding
+let retained t = t.free
+let capacity t = t.capacity
+
+let slots_for limits =
+  let words = Rlimit.limit limits Rlimit.Memory_words in
+  max 16 (min 1024 (words / 256))

@@ -1,0 +1,52 @@
+(** Fixed-capacity slot pools for the transaction hot path.
+
+    Every graft invocation begins a transaction and (usually) pushes a
+    few undo entries; allocating a fresh frame and log nodes per
+    invocation makes the invoke path minor-heap-bound. An arena keeps a
+    bounded stash of retired objects and hands them back on the next
+    {!take}, so the steady-state invoke path recycles one frame and its
+    embedded undo arrays instead of allocating. Pools are per-manager
+    and managers are per-domain (the parallel fan-out gives each worker
+    its own kernel), so an arena is never shared across domains and
+    takes no lock.
+
+    The pool is pure storage: it never constructs objects itself —
+    {!take} runs the caller's [otherwise] thunk on a miss — so a pool
+    over a cyclic record type (a transaction frame that points at its
+    manager) needs no dummy value. *)
+
+type 'a t
+
+val create : slots:int -> unit -> 'a t
+(** A pool retaining at most [slots] retired objects. The backing array
+    is materialized lazily on the first {!put} (the element itself
+    seeds it), so an unused pool costs nothing.
+    @raise Invalid_argument on a negative [slots]. *)
+
+val take : 'a t -> otherwise:(unit -> 'a) -> 'a
+(** Pop a retired object, or build a fresh one with [otherwise] when
+    the pool is empty. Either way the object counts as outstanding
+    until {!put} returns it. *)
+
+val put : 'a t -> 'a -> unit
+(** Return an object to the pool. Beyond [slots] retained objects the
+    arena drops it for the GC instead — the pool bounds retained
+    memory, it is not a leak amplifier. The caller must already have
+    cleared any references the object holds (a parked object pins
+    whatever it still points at). *)
+
+val outstanding : 'a t -> int
+(** Objects taken and not yet returned. Balanced take/put traffic
+    holds this at the live-object count — the disaster-rig invariant
+    that a storm of aborted invocations does not strand frames. *)
+
+val retained : 'a t -> int
+(** Objects parked in the pool, ready for reuse. *)
+
+val capacity : 'a t -> int
+
+val slots_for : Rlimit.t -> int
+(** Derive a pool size from a resource-limit set: one slot per 256
+    memory words of headroom, clamped to [16, 1024] — enough that a
+    graft within its memory budget never misses, without letting an
+    unlimited account pin an unbounded stash. *)

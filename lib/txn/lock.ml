@@ -4,6 +4,14 @@ module Trace = Vino_trace.Trace
 module Span = Vino_trace.Span
 module Profile = Vino_trace.Profile
 
+(* Counter handles, interned once at load: the emit sites below
+   bump a flat per-sink array instead of hashing a dotted name. *)
+let h_lock_acquisitions = Vino_trace.Counters.handle "lock.acquisitions"
+let h_lock_holder_aborts = Vino_trace.Counters.handle "lock.holder_aborts"
+let h_lock_contentions = Vino_trace.Counters.handle "lock.contentions"
+let h_lock_timeouts = Vino_trace.Counters.handle "lock.timeouts"
+let h_lock_fruitless_giveups = Vino_trace.Counters.handle "lock.fruitless_giveups"
+
 let trace_ctx () = Engine.proc_id (Engine.self ())
 
 type owner = { name : string; request_abort : (string -> unit) option }
@@ -134,7 +142,7 @@ let grant t mode owner =
   in
   t.holders <- h :: t.holders;
   t.n_acquisitions <- t.n_acquisitions + 1;
-  Trace.incr "lock.acquisitions";
+  Trace.incr_h h_lock_acquisitions;
   h
 
 (* Ask every abortable holder's transaction to abort: the paper's
@@ -146,7 +154,7 @@ let abort_holders t =
       match h.howner.request_abort with
       | Some f ->
           t.n_holder_aborts <- t.n_holder_aborts + 1;
-          Trace.incr "lock.holder_aborts";
+          Trace.incr_h h_lock_holder_aborts;
           f (Printf.sprintf "lock %S held past its time-out" t.lname);
           asked + 1
       | None -> asked)
@@ -197,7 +205,7 @@ let acquire t mode owner ?(poll = fun () -> None) () =
       then Granted (grant t mode owner)
       else begin
         t.n_contentions <- t.n_contentions + 1;
-        Trace.incr "lock.contentions";
+        Trace.incr_h h_lock_contentions;
         let wait_start = Engine.now t.engine in
         let end_wait () =
           if Trace.enabled () then
@@ -234,14 +242,14 @@ let acquire t mode owner ?(poll = fun () -> None) () =
                 | Timeout_fired ->
                     t.n_timeouts <- t.n_timeouts + 1;
                     if Trace.enabled () then begin
-                      Trace.incr "lock.timeouts";
+                      Trace.incr_h h_lock_timeouts;
                       Trace.span Span.Lock_timeout ~label:t.lname
                         ~start:(Engine.now t.engine) ~dur:0
                     end;
                     if abort_holders t > 0 then wait_loop 0
                     else if fruitless + 1 >= fruitless_timeout_bound then begin
                       t.n_fruitless_giveups <- t.n_fruitless_giveups + 1;
-                      Trace.incr "lock.fruitless_giveups";
+                      Trace.incr_h h_lock_fruitless_giveups;
                       dequeue t w;
                       end_wait ();
                       Gave_up

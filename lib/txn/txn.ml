@@ -4,6 +4,16 @@ module Trace = Vino_trace.Trace
 module Span = Vino_trace.Span
 module Profile = Vino_trace.Profile
 
+(* Counter handles, interned once at load: the emit sites below
+   bump a flat per-sink array instead of hashing a dotted name. *)
+let h_txn_begins = Vino_trace.Counters.handle "txn.begins"
+let h_undo_pushes = Vino_trace.Counters.handle "undo.pushes"
+let h_txn_aborts = Vino_trace.Counters.handle "txn.aborts"
+let h_undo_replays = Vino_trace.Counters.handle "undo.replays"
+let h_txn_commits_nested = Vino_trace.Counters.handle "txn.commits_nested"
+let h_txn_commits = Vino_trace.Counters.handle "txn.commits"
+let h_txn_deferred_failures = Vino_trace.Counters.handle "txn.deferred_failures"
+
 (* The engine process this code runs on behalf of — the profiler's frame
    key. Only called when a sink is installed, and only from code that
    already performs engine effects (so always inside a process). *)
@@ -24,23 +34,35 @@ type mgr = {
   mutable n_undo_failures : int; (* undo entries that raised during replay *)
   mutable n_deferred_failures : int; (* deferred actions that raised *)
   current : (int, tref) Hashtbl.t; (* engine proc id -> innermost txn *)
+  undo_slots : int; (* undo entries preallocated per frame *)
+  frames : tref Arena.t; (* retired frames, recycled by [begin_] *)
 }
 and tref = T : t -> tref
 
+(* Every field a [begin_] must re-initialize is mutable so a retired
+   frame can be recycled in place (see [recycle]); the embedded undo
+   log keeps its backing arrays across reuse. [mgr] is immutable: the
+   arena is per-manager, so a frame never migrates. *)
 and t = {
   mgr : mgr;
-  tid : int;
-  tname : string;
-  tparent : t option;
+  mutable tid : int;
+  mutable tname : string;
+  mutable tparent : t option;
   undo : Undo_log.t;
   mutable locks : Lock.held list; (* most recently acquired first *)
   mutable tstate : state;
   mutable abort_reason : string option;
   mutable active_children : int;
   mutable deferred : (unit -> unit) list; (* run at top-level commit only *)
+  mutable parked : bool; (* already returned to the arena *)
 }
 
-let create_mgr engine ~wheel ?(costs = Tcosts.default) () =
+let default_undo_slots = 64
+let default_frame_slots = 64
+
+let create_mgr engine ~wheel ?(costs = Tcosts.default)
+    ?(undo_slots = default_undo_slots) () =
+  if undo_slots < 0 then invalid_arg "Txn.create_mgr: negative undo_slots";
   {
     engine;
     wheel;
@@ -54,7 +76,12 @@ let create_mgr engine ~wheel ?(costs = Tcosts.default) () =
     n_undo_failures = 0;
     n_deferred_failures = 0;
     current = Hashtbl.create 16;
+    undo_slots;
+    frames = Arena.create ~slots:default_frame_slots ();
   }
+
+let frames_outstanding m = Arena.outstanding m.frames
+let frames_retained m = Arena.retained m.frames
 
 let engine m = m.engine
 let wheel m = m.wheel
@@ -94,24 +121,59 @@ let begin_ m ?parent ~name () =
   in
   Engine.delay cost;
   if Trace.enabled () then begin
-    Trace.incr "txn.begins";
+    Trace.incr_h h_txn_begins;
     Trace.span Span.Txn_begin ~label:name
       ~start:(Engine.now m.engine - cost)
       ~dur:cost;
     Trace.charge ~ctx:(trace_ctx ()) Profile.Txn cost
   end;
-  {
-    mgr = m;
-    tid;
-    tname = name;
-    tparent = parent;
-    undo = Undo_log.create ();
-    locks = [];
-    tstate = Active;
-    abort_reason = None;
-    active_children = 0;
-    deferred = [];
-  }
+  let (T t) =
+    Arena.take m.frames ~otherwise:(fun () ->
+        T
+          {
+            mgr = m;
+            tid;
+            tname = name;
+            tparent = parent;
+            undo = Undo_log.create ~slots:m.undo_slots ();
+            locks = [];
+            tstate = Active;
+            abort_reason = None;
+            active_children = 0;
+            deferred = [];
+            parked = false;
+          })
+  in
+  (* A recycled frame comes back with its undo log, locks and deferred
+     list already empty (resolution emptied them; [recycle] checks). *)
+  t.tid <- tid;
+  t.tname <- name;
+  t.tparent <- parent;
+  t.tstate <- Active;
+  t.abort_reason <- None;
+  t.active_children <- 0;
+  t.parked <- false;
+  t
+
+(* Return a resolved frame to its manager's arena for the next
+   [begin_]. Only for callers that know no reference to [t] survives —
+   the graft invocation path owns its transaction outright; a frame
+   handed to user code must simply never be recycled (the GC takes it,
+   exactly as before arenas). *)
+let recycle t =
+  match t.tstate with
+  | Active -> invalid_arg "Txn.recycle: transaction is still active"
+  | Committed | Aborted _ ->
+      if not t.parked then begin
+        t.parked <- true;
+        (* a parked frame must pin nothing *)
+        t.tparent <- None;
+        t.tname <- "";
+        t.abort_reason <- None;
+        assert (Undo_log.is_empty t.undo);
+        assert (t.locks == [] && t.deferred == []);
+        Arena.put t.mgr.frames (T t)
+      end
 
 let defer t action =
   if not (is_active t) then invalid_arg "Txn.defer: transaction is not active";
@@ -124,7 +186,7 @@ let push_undo t ?cost ~label undo =
   t.mgr.n_undo_live <- t.mgr.n_undo_live + 1;
   Engine.delay t.mgr.costs.undo_push;
   if Trace.enabled () then begin
-    Trace.incr "undo.pushes";
+    Trace.incr_h h_undo_pushes;
     Trace.charge ~ctx:(trace_ctx ()) Profile.Undo t.mgr.costs.undo_push
   end
 
@@ -176,12 +238,12 @@ let abort t ~reason =
       Engine.delay (t.mgr.costs.txn_abort + replay_cost);
       if Trace.enabled () then begin
         let now = Engine.now t.mgr.engine in
-        Trace.incr "txn.aborts";
+        Trace.incr_h h_txn_aborts;
         Trace.span Span.Txn_abort ~label:t.tname
           ~start:(now - t.mgr.costs.txn_abort - replay_cost)
           ~dur:t.mgr.costs.txn_abort;
         if pending > 0 then begin
-          Trace.incr ~by:pending "undo.replays";
+          Trace.add_h h_undo_replays pending;
           Trace.span Span.Undo_replay ~label:t.tname
             ~start:(now - replay_cost) ~dur:replay_cost
         end;
@@ -220,7 +282,7 @@ let commit t =
                 t.deferred <- [];
                 Engine.delay t.mgr.costs.nested_commit;
                 if Trace.enabled () then begin
-                  Trace.incr "txn.commits_nested";
+                  Trace.incr_h h_txn_commits_nested;
                   Trace.span Span.Txn_commit ~label:t.tname
                     ~start:(Engine.now t.mgr.engine - t.mgr.costs.nested_commit)
                     ~dur:t.mgr.costs.nested_commit;
@@ -238,7 +300,7 @@ let commit t =
                 t.deferred <- [];
                 Engine.delay t.mgr.costs.txn_commit;
                 if Trace.enabled () then begin
-                  Trace.incr "txn.commits";
+                  Trace.incr_h h_txn_commits;
                   Trace.span Span.Txn_commit ~label:t.tname
                     ~start:(Engine.now t.mgr.engine - t.mgr.costs.txn_commit)
                     ~dur:t.mgr.costs.txn_commit;
@@ -260,7 +322,7 @@ let commit t =
               try action () with
               | Engine.Stopped as stop -> raise stop
               | _exn ->
-                  Trace.incr "txn.deferred_failures";
+                  Trace.incr_h h_txn_deferred_failures;
                   t.mgr.n_deferred_failures <- t.mgr.n_deferred_failures + 1)
             deferred;
           Ok ())

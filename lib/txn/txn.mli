@@ -21,7 +21,17 @@ type t
 type state = Active | Committed | Aborted of string
 
 val create_mgr :
-  Vino_sim.Engine.t -> wheel:Vino_sim.Tick.t -> ?costs:Tcosts.t -> unit -> mgr
+  Vino_sim.Engine.t ->
+  wheel:Vino_sim.Tick.t ->
+  ?costs:Tcosts.t ->
+  ?undo_slots:int ->
+  unit ->
+  mgr
+(** [undo_slots] (default 64) is the per-frame undo-log preallocation:
+    transactions pushing at most that many undo entries never grow
+    their log, so a recycled frame runs allocation-free. Size it with
+    {!Arena.slots_for} when admission is governed by an {!Rlimit}
+    account. *)
 
 val engine : mgr -> Vino_sim.Engine.t
 val wheel : mgr -> Vino_sim.Tick.t
@@ -110,6 +120,24 @@ val with_current : mgr -> t -> (unit -> 'a) -> 'a
 (** Run a computation with [t] as the calling process's current
     transaction, restoring the previous binding afterwards (also on
     exceptions). *)
+
+val recycle : t -> unit
+(** Return a resolved frame to the manager's arena; the next {!begin_}
+    reuses it (and its preallocated undo log) in place of a fresh
+    allocation. Only for owners certain that no reference to [t]
+    survives the call — the graft invocation path, which creates and
+    resolves its transaction internally, recycles every frame; code
+    that hands transaction handles outward just lets the GC take them.
+    Idempotent on an already-recycled frame.
+    @raise Invalid_argument if [t] is still active. *)
+
+val frames_outstanding : mgr -> int
+(** Frames taken from the arena (or freshly built) and not yet
+    recycled. The disaster-rig invariant: balanced begin/recycle
+    traffic keeps this at the live-transaction count. *)
+
+val frames_retained : mgr -> int
+(** Frames parked in the arena, ready for reuse. *)
 
 (* Manager-wide statistics. *)
 

@@ -1,30 +1,89 @@
-type entry = { label : string; undo : unit -> unit; cost : int }
-type t = { mutable entries : entry list (* most recent first *) }
+(* A flat stack: three parallel arrays indexed by [0, len), most recent
+   entry at [len - 1]. Pushing into spare capacity allocates nothing,
+   and the arrays survive clear/replay, so a recycled transaction frame
+   (see {!Txn.recycle}) reuses them invocation after invocation instead
+   of consing a node per undo entry. *)
 
-let create () = { entries = [] }
-let length t = List.length t.entries
-let is_empty t = t.entries = []
+let nop () = ()
+
+type t = {
+  mutable labels : string array;
+  mutable undos : (unit -> unit) array;
+  mutable costs : int array;
+  mutable len : int;
+}
+
+let create ?(slots = 0) () =
+  if slots < 0 then invalid_arg "Undo_log.create: negative slot count";
+  {
+    labels = Array.make slots "";
+    undos = Array.make slots nop;
+    costs = Array.make slots 0;
+    len = 0;
+  }
+
+let length t = t.len
+let is_empty t = t.len = 0
+let capacity t = Array.length t.undos
+
+let grow t =
+  let cap = Array.length t.undos in
+  let ncap = max 8 (2 * cap) in
+  let labels = Array.make ncap "" in
+  let undos = Array.make ncap nop in
+  let costs = Array.make ncap 0 in
+  Array.blit t.labels 0 labels 0 t.len;
+  Array.blit t.undos 0 undos 0 t.len;
+  Array.blit t.costs 0 costs 0 t.len;
+  t.labels <- labels;
+  t.undos <- undos;
+  t.costs <- costs
 
 let push t ?(cost = 0) ~label undo =
-  t.entries <- { label; undo; cost } :: t.entries
+  if t.len = Array.length t.undos then grow t;
+  let i = t.len in
+  t.labels.(i) <- label;
+  t.undos.(i) <- undo;
+  t.costs.(i) <- cost;
+  t.len <- i + 1
 
 let replay ?(on_error = fun ~label:_ _exn -> ()) t =
   let rec go total =
-    match t.entries with
-    | [] -> total
-    | e :: rest ->
-        t.entries <- rest;
-        (try e.undo () with
-        | Vino_sim.Engine.Stopped as stop -> raise stop
-        | exn -> on_error ~label:e.label exn);
-        go (total + e.cost)
+    if t.len = 0 then total
+    else begin
+      let i = t.len - 1 in
+      let label = t.labels.(i) in
+      let undo = t.undos.(i) in
+      let cost = t.costs.(i) in
+      (* Remove the entry before running it, so a process kill
+         ([Engine.Stopped]) escaping mid-entry leaves exactly the
+         entries already run removed. *)
+      t.len <- i;
+      t.labels.(i) <- "";
+      t.undos.(i) <- nop;
+      (try undo () with
+      | Vino_sim.Engine.Stopped as stop -> raise stop
+      | exn -> on_error ~label exn);
+      go (total + cost)
+    end
   in
   go 0
 
-let clear t = t.entries <- []
+let clear t =
+  (* Release the captured closures; keep the arrays for reuse. *)
+  for i = 0 to t.len - 1 do
+    t.labels.(i) <- "";
+    t.undos.(i) <- nop
+  done;
+  t.len <- 0
 
 let merge_into ~parent t =
-  parent.entries <- t.entries @ parent.entries;
-  t.entries <- []
+  (* The child's entries are more recent than anything in the parent:
+     restacking them in push order puts the child's newest on top, so
+     replaying the parent runs the child's entries first. *)
+  for i = 0 to t.len - 1 do
+    push parent ~cost:t.costs.(i) ~label:t.labels.(i) t.undos.(i)
+  done;
+  clear t
 
-let labels t = List.map (fun e -> e.label) t.entries
+let labels t = List.init t.len (fun i -> t.labels.(t.len - 1 - i))

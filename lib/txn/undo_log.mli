@@ -8,9 +8,18 @@
 
 type t
 
-val create : unit -> t
+val create : ?slots:int -> unit -> t
+(** [slots] (default 0) preallocates entry slots: pushes within the
+    preallocated capacity allocate nothing, and the backing arrays
+    survive {!clear}/{!replay}, so a log embedded in a recycled
+    transaction frame settles into zero-allocation operation. The log
+    still grows past [slots] on demand. *)
+
 val length : t -> int
 val is_empty : t -> bool
+
+val capacity : t -> int
+(** Current entry capacity (>= [slots] at creation, grown as needed). *)
 
 val push : t -> ?cost:int -> label:string -> (unit -> unit) -> unit
 (** [cost] (cycles) is what replaying this entry will charge; it defaults to

@@ -19,7 +19,7 @@ type t = {
   mutable fuel : int;
   mutable pc : int;
   mutable cycles : int;
-  mutable callstack : int list;
+  mutable callstack : int array;
   mutable depth : int;
   mutable insns : int;
   mutable accesses : int;
@@ -59,7 +59,7 @@ let make ~mem ~seg ?(costs = Costs.default) ?(checked = false)
       fuel;
       pc = 0;
       cycles = 0;
-      callstack = [];
+      callstack = [||];
       depth = 0;
       insns = 0;
       accesses = 0;
@@ -69,6 +69,21 @@ let make ~mem ~seg ?(costs = Costs.default) ?(checked = false)
   in
   t.regs.(Insn.sp) <- seg.Mem.base + seg.Mem.size;
   t
+
+(* Rewind to the state [make] would produce, without allocating: the
+   invoke hot path recycles one cpu per (graft, path) instead of churning
+   a fresh record + register file per invocation. *)
+let reset ?(fuel = max_int) t =
+  Array.fill t.regs 0 (Array.length t.regs) 0;
+  t.regs.(Insn.sp) <- t.seg.Mem.base + t.seg.Mem.size;
+  t.fuel <- fuel;
+  t.pc <- 0;
+  t.cycles <- 0;
+  t.depth <- 0;
+  t.insns <- 0;
+  t.accesses <- 0;
+  t.sandbox_cy <- 0;
+  t.checkcall_cy <- 0
 
 let reg t r = t.regs.(r)
 let set_reg t r v = t.regs.(r) <- v
@@ -87,6 +102,24 @@ let segment t = t.seg
 type step = Next | Goto of int | Stop of outcome
 
 exception Fault_exn of fault
+
+(* The call stack is a preallocated int array indexed by [depth] — an
+   [int list] would cons one cell per [Call], which the zero-allocation
+   invoke path (bench/wall.ml --check) forbids. The array grows by
+   doubling on first use and is retained across [reset], so after warmup
+   pushes never allocate; entries above [depth] are stale garbage. *)
+let push_call t ret =
+  if t.depth >= max_call_depth then raise (Fault_exn Call_stack_overflow);
+  if t.depth >= Array.length t.callstack then begin
+    let grown = Array.make (max 16 (2 * Array.length t.callstack)) 0 in
+    Array.blit t.callstack 0 grown 0 t.depth;
+    t.callstack <- grown
+  end;
+  t.callstack.(t.depth) <- ret;
+  t.depth <- t.depth + 1
+
+(* Top-of-stack-first, matching what the old list representation held. *)
+let call_stack t = List.init t.depth (fun i -> t.callstack.(t.depth - 1 - i))
 
 (* In checked mode every access is bounds-checked against the segment by
    the execution environment itself — the "interpreted extension" model of
@@ -134,22 +167,18 @@ let step env t (i : Insn.t) : step =
       if Insn.eval_cond c r.(ra) r.(rb) then Goto target else Next
   | Jmp target -> Goto target
   | Call target ->
-      if t.depth >= max_call_depth then raise (Fault_exn Call_stack_overflow);
-      t.callstack <- (t.pc + 1) :: t.callstack;
-      t.depth <- t.depth + 1;
+      push_call t (t.pc + 1);
       Goto target
   | Callr rr ->
-      if t.depth >= max_call_depth then raise (Fault_exn Call_stack_overflow);
-      t.callstack <- (t.pc + 1) :: t.callstack;
-      t.depth <- t.depth + 1;
+      push_call t (t.pc + 1);
       Goto r.(rr)
-  | Ret -> (
-      match t.callstack with
-      | [] -> Stop Halted (* top-level return: graft entry completed *)
-      | ret :: rest ->
-          t.callstack <- rest;
-          t.depth <- t.depth - 1;
-          Goto ret)
+  | Ret ->
+      if t.depth = 0 then Stop Halted
+        (* top-level return: graft entry completed *)
+      else begin
+        t.depth <- t.depth - 1;
+        Goto t.callstack.(t.depth)
+      end
   | Kcall id -> (
       match env.kcall id t with
       | K_ok -> Next

@@ -32,7 +32,10 @@ type t = {
   mutable fuel : int;
   mutable pc : int;
   mutable cycles : int;
-  mutable callstack : int list;
+  mutable callstack : int array;
+      (** Preallocated return-address stack; only the first [depth]
+          entries are live. Push through {!push_call} — it grows the
+          array and enforces {!max_call_depth}. *)
   mutable depth : int;
   mutable insns : int;
   mutable accesses : int;
@@ -66,6 +69,15 @@ exception Fault_exn of fault
 val max_call_depth : int
 val default_check_access_cost : int
 
+val push_call : t -> int -> unit
+(** Push a return address, growing the stack array if needed (amortised
+    allocation-free: the array is retained across {!reset}).
+    @raise Fault_exn on {!max_call_depth} overflow. *)
+
+val call_stack : t -> int list
+(** The live return addresses, most recent first. For tests and
+    debugging; the hot path never materialises this list. *)
+
 val make :
   mem:Mem.t ->
   seg:Mem.segment ->
@@ -84,6 +96,12 @@ val make :
     charges [check_access_cost] cycles per access — safety through
     interpretation, at interpretation prices. Off by default (MiSFIT-style
     protection is the paper's mechanism). *)
+
+val reset : ?fuel:int -> t -> unit
+(** Rewind to the state {!make} would produce (zeroed registers and
+    counters, stack pointer at the top of the segment, pc 0) without
+    allocating, so a hot loop can recycle one cpu across invocations.
+    [fuel] defaults to unlimited, like {!make}. *)
 
 val run : ?poll_every:int -> env -> t -> Insn.t array -> outcome
 (** Execute from instruction 0 until an {!outcome} is reached. [poll_every]

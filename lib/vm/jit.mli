@@ -30,10 +30,19 @@ val default_mode : mode ref
 (** Execution mode newly created kernels pick up ([Translated] unless the
     CLI's [--mode interp] flag says otherwise). *)
 
-val translate : ?costs:Costs.t -> ?safe:bool array -> Insn.t array -> t
+val translate :
+  ?costs:Costs.t -> ?safe:bool array -> ?xblock:bool -> Insn.t array -> t
 (** Compile a validated program against a cost table. [costs] must equal
     the table the executing {!Cpu.t} was created with, or cycle accounting
     diverges from the interpreter.
+
+    [xblock] (default [true]) widens superinstruction fusion across
+    basic-block boundaries: a block that ends only because its successor
+    is a branch target (an unconditional fallthrough into a join point)
+    compiles through the join into one segment with a single tail
+    fuel/poll check, capped at the poll interval. The join pc keeps its
+    own tail for entries that arrive by branching, so every pc remains a
+    valid entry point and the equivalence argument is unchanged.
 
     [safe] is a per-pc proof map (one entry per instruction): [true] at a
     [Ld]/[St] asserts a static verifier proved the access in-segment for
@@ -53,7 +62,14 @@ val run : ?poll_every:int -> Cpu.env -> Cpu.t -> t -> Cpu.outcome
     stopped after a refuel). Checked-mode cpus fall back to the
     interpreter: per-access bounds checking is the interpretation model
     the paper compares against, so translating it away would be
-    measurement fraud. *)
+    measurement fraud. A cpu whose segment is malformed or not contained
+    in its memory also falls back (the sandboxed-access
+    superinstructions assume confinement; see DESIGN.md §16).
+
+    Allocation-free in steady state on the translated path: the driver
+    context is recycled through a per-domain pool, so a translated
+    invocation that neither faults nor aborts performs zero minor-heap
+    allocations (the [bench/wall.ml --check] allocation gate). *)
 
 val source : t -> Insn.t array
 (** The program the translation was built from. *)

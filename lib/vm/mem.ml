@@ -19,6 +19,13 @@ let store t addr v =
     raise (Fault { addr; write = true })
   else t.data.(addr) <- v
 
+(* For callers that can prove the address in bounds — the JIT's
+   confined sandboxed accesses, where [sandbox] plus a validated segment
+   makes the bounds argument airtight. Not for code acting on behalf of
+   an unproven graft address. *)
+let unsafe_load t addr = Array.unsafe_get t.data addr
+let unsafe_store t addr v = Array.unsafe_set t.data addr v
+
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
 let segment ~base ~size =

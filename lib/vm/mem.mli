@@ -23,6 +23,13 @@ val size : t -> int
 val load : t -> int -> int
 val store : t -> int -> int -> unit
 
+val unsafe_load : t -> int -> int
+val unsafe_store : t -> int -> int -> unit
+(** Unchecked accesses for callers that can prove the address in bounds.
+    {!Jit} uses them for sandboxed accesses after validating once per run
+    that the segment lies inside memory: [sandbox] confines the address
+    to the segment, so the bounds proof is structural, not trusted. *)
+
 val segment : base:int -> size:int -> segment
 (** @raise Invalid_argument if the alignment/power-of-two invariant fails. *)
 

@@ -18,6 +18,7 @@ let () =
          Test_rlimit.suite;
          Test_lock.suite;
          Test_txn.suite;
+         Test_arena.suite;
          Test_calltable.suite;
          Test_segalloc.suite;
          Test_core.suite;

@@ -209,7 +209,7 @@ let pp_snap buf tag outcome (c : Cpu.t) =
        (Cpu.insns_executed c) (Cpu.mem_accesses c) (Cpu.sandbox_cycles c)
        (Cpu.checkcall_cycles c)
        c.Cpu.depth
-       (String.concat ";" (List.map string_of_int c.Cpu.callstack))
+       (String.concat ";" (List.map string_of_int (Cpu.call_stack c)))
        (String.concat ";"
           (Array.to_list (Array.map string_of_int c.Cpu.regs))))
 
@@ -332,6 +332,41 @@ let run_seed seed =
   List.length
     (List.filter (fun (_, _, safe) -> Option.is_some safe) vs)
 
+(* The fused-xblock mode: cross-block fusion on versus off, both
+   translated. Fusion must be invisible to every observable — same
+   snapshots, same counters, same memory — it may only change how many
+   closures the program compiles to. This pins the widened fusion
+   (access groups, mega loop passes, exact-window unrolling) to the
+   unfused translation over the whole corpus. *)
+let differential_xblock ~seed ~vname ~cfg ~init_regs ~init_mem ?safe code =
+  let run trans =
+    run_mode ~init_regs ~init_mem cfg
+      (fun env cpu code () ->
+        trans_step trans env cpu code ~poll_every:cfg.poll_every ())
+      code
+  in
+  let fused = run (Jit.translate ?safe ~xblock:true code) in
+  let unfused = run (Jit.translate ?safe ~xblock:false code) in
+  Alcotest.(check string)
+    (Printf.sprintf "seed=%d %s %s fused-xblock" seed vname cfg.cname)
+    fused unfused
+
+let run_seed_xblock seed =
+  let st = Random.State.make [| 0xD1FF; seed |] in
+  let source = gen_program st in
+  let vs = variants st source in
+  let init_regs, init_mem = init_for st in
+  List.iter
+    (fun (vname, code, safe) ->
+      if variant_enabled vname then
+        List.iter
+          (fun cfg ->
+            differential_xblock ~seed ~vname ~cfg ~init_regs ~init_mem ?safe
+              code)
+          configs)
+    vs;
+  0
+
 let test_domains =
   match Sys.getenv_opt "VINO_TEST_DOMAINS" with
   | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
@@ -349,6 +384,17 @@ let test_corpus () =
   Alcotest.(check bool)
     "corpus exercises the proof-carrying variant" true
     (List.fold_left ( + ) 0 proved > 0)
+
+let test_corpus_xblock () =
+  let results =
+    if test_domains <= 1 then List.map run_seed_xblock corpus_seeds
+    else
+      let pool = Vino_par.Pool.create ~domains:test_domains () in
+      Fun.protect
+        ~finally:(fun () -> Vino_par.Pool.shutdown pool)
+        (fun () -> Vino_par.Pool.map ~pool run_seed_xblock corpus_seeds)
+  in
+  ignore (results : int list)
 
 (* ------------------------------------------------------------------ *)
 (* Edge cases                                                          *)
@@ -548,6 +594,8 @@ let suite =
     ( "jit",
       [
         Alcotest.test_case "differential fuzz corpus" `Quick test_corpus;
+        Alcotest.test_case "fused-xblock differential over corpus" `Quick
+          test_corpus_xblock;
         Alcotest.test_case "empty program" `Quick test_empty_program;
         Alcotest.test_case "checked-mode fallback" `Quick
           test_checked_fallback;
