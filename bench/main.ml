@@ -77,14 +77,49 @@ let table7 ~iterations ?pool () =
     ~title:"Table 7: Graft abort costs (null vs full abort; §4.5)" (fun () ->
       Abort_model.table7 ~iterations ?pool ())
 
-let disaster ?pool () =
+(* [wall:true] appends wall-clock rows comparing forked (snapshot-restored
+   warmed sites) and fresh (site rebuilt per trial) campaigns. Only the
+   standalone `disaster` dispatch passes it: the rows are host timings, so
+   they are incremental (ungated) and must not appear in the `tables` run
+   the parallel-determinism CI job byte-diffs. *)
+let disaster ?(wall = false) ?pool () =
   emit ~name:"disaster"
     ~title:"Disaster rig: recovery cost by fault class (stream site; seeded)"
     ~notes:
       "Delta over the healthy row is detection + abort + removal. Lock-hog\n\
        and nested-fault rows include the contender whose time-out triggers\n\
        the abort; loop rows are budget-bound (200k cycles)."
-    (fun () -> Sc_disaster.table ?pool ())
+    (fun () ->
+      let rows = Sc_disaster.table ?pool () in
+      if not wall then rows
+      else begin
+        let time f =
+          let t0 = Unix.gettimeofday () in
+          ignore (f ());
+          Unix.gettimeofday () -. t0
+        in
+        let count = 400 in
+        let campaign ~fork ?pool () =
+          Vino_disaster.Campaign.run ?pool ~fork ~seed:42 ~count ()
+        in
+        let fresh = time (fun () -> campaign ~fork:false ()) in
+        let forked = time (fun () -> campaign ~fork:true ()) in
+        let piped = time (fun () -> campaign ~fork:true ?pool ()) in
+        rows
+        @ [
+            Table.overhead
+              (Printf.sprintf "wall: fresh campaign, %d trials" count)
+              (fresh *. 1e6);
+            Table.overhead
+              (Printf.sprintf "wall: forked campaign, %d trials" count)
+              (forked *. 1e6);
+            Table.overhead "wall: forked speedup over fresh (x)"
+              (fresh /. forked);
+            Table.overhead
+              "wall: forked -jN pipeline speedup over fresh -j1 (x)"
+              (fresh /. piped);
+          ]
+      end)
 
 let abortmodel ~iterations ?pool () =
   Table.print
@@ -492,7 +527,7 @@ let () =
   | [ _; "table5" ] -> with_pool (table5 ~iterations)
   | [ _; "table6" ] -> with_pool (table6 ~iterations)
   | [ _; "table7" ] -> with_pool (table7 ~iterations)
-  | [ _; "disaster" ] -> with_pool (fun ?pool () -> disaster ?pool ())
+  | [ _; "disaster" ] -> with_pool (fun ?pool () -> disaster ~wall:true ?pool ())
   | [ _; "serve" ] -> with_pool (fun ?pool () -> serve ?pool ())
   | [ _; "abortmodel" ] -> with_pool (abortmodel ~iterations)
   | [ _; "lockfactor" ] -> with_pool (lockfactor ~iterations)

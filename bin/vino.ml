@@ -490,11 +490,58 @@ let all_tables =
 
 (* ------------------------------ disaster ------------------------------ *)
 
-let disaster seed count costs jobs mode =
+(* Hand-rolled, field-ordered JSON: the snapshot-determinism CI job diffs
+   forked (-j 1 and -j 4) and fresh campaign reports byte-for-byte, so the
+   encoding must be a pure function of the report — in particular it must
+   not mention whether trials were forked. *)
+let disaster_json (r : Vino_disaster.Campaign.report) =
+  let module C = Vino_disaster.Campaign in
+  let b = Buffer.create 4096 in
+  let f fmt = Printf.bprintf b fmt in
+  f "{\n";
+  f "  \"seed\": %d,\n" r.C.seed;
+  f "  \"count\": %d,\n" r.C.count;
+  f "  \"records\": [";
+  List.iteri
+    (fun k (rc : C.record) ->
+      if k > 0 then f ",";
+      f "\n    {\"index\": %d, \"family\": %S, \"kind\": %S, \"note\": %S, "
+        rc.C.index
+        (Vino_disaster.Site.family_name rc.C.family)
+        (Vino_disaster.Injector.name rc.C.kind)
+        rc.C.note;
+      f "\"expect\": %S, \"observed\": %S, \"vtime\": %d, "
+        (Vino_disaster.Injector.expectation_name rc.C.expect)
+        (Vino_disaster.Injector.expectation_name rc.C.observed)
+        rc.C.vtime;
+      f "\"fingerprint\": %S, \"violations\": [" rc.C.fingerprint;
+      List.iteri
+        (fun j v ->
+          if j > 0 then f ", ";
+          f "%S" v)
+        rc.C.violations;
+      f "]}")
+    r.C.records;
+  f "\n  ]\n}\n";
+  Buffer.contents b
+
+let disaster seed count costs jobs mode fork recheck strategy json =
   set_mode mode;
+  let strategy =
+    match strategy with
+    | "txn" -> Vino_core.Kernel.Txn_undo
+    | "snapshot" -> Vino_core.Kernel.Snapshot_rollback
+    | other ->
+        Printf.eprintf "unknown strategy %S; try txn or snapshot\n" other;
+        exit 2
+  in
   with_pool jobs (fun pool ->
-      let report = Vino_disaster.Campaign.run ?pool ~seed ~count () in
-      Format.printf "%a@." Vino_disaster.Campaign.pp report;
+      let report =
+        Vino_disaster.Campaign.run ?pool ~fork ~recheck_every:recheck
+          ~strategy ~seed ~count ()
+      in
+      if json then print_string (disaster_json report)
+      else Format.printf "%a@." Vino_disaster.Campaign.pp report;
       if costs then
         Vino_measure.Table.print
           ~title:"Disaster rig: recovery cost by fault class (stream site)"
@@ -647,12 +694,17 @@ let trace_stream ~transfers () =
          done));
   Vino_core.Kernel.run kernel
 
+(* Traced campaigns never fork: a warmed site's JIT translation cache
+   survives restore (translations are pure and cost no virtual cycles), so
+   forked trials would report different translate/hit trace counters than
+   fresh ones. *)
 let run_trace_scenario ?pool ~transfers ~seed ~count = function
   | "stream" -> trace_stream ~transfers ()
-  | "disaster" -> ignore (Vino_disaster.Campaign.run ?pool ~seed ~count ())
+  | "disaster" ->
+      ignore (Vino_disaster.Campaign.run ?pool ~fork:false ~seed ~count ())
   | "both" ->
       trace_stream ~transfers ();
-      ignore (Vino_disaster.Campaign.run ?pool ~seed ~count ())
+      ignore (Vino_disaster.Campaign.run ?pool ~fork:false ~seed ~count ())
   | other ->
       Printf.eprintf "unknown scenario %S; try stream, disaster or both\n"
         other;
@@ -935,13 +987,55 @@ let disaster_cmd =
       & info [ "costs" ]
           ~doc:"Also print the per-fault-class recovery cost table.")
   in
+  let fork =
+    Arg.(
+      value
+      & vflag true
+          [
+            ( true,
+              info [ "fork" ]
+                ~doc:
+                  "Fork each trial from a per-domain warmed kernel snapshot \
+                   (default)." );
+            ( false,
+              info [ "no-fork" ]
+                ~doc:
+                  "Build a fresh site per trial; the report is \
+                   byte-identical either way." );
+          ])
+  in
+  let recheck =
+    Arg.(
+      value & opt int 1
+      & info [ "recheck" ]
+          ~doc:
+            "Re-run every Nth trial with the same seed and flag differing \
+             fingerprints as nondeterminism (default 1: every trial; 0 \
+             disables).")
+  in
+  let strategy =
+    Arg.(
+      value & opt string "txn"
+      & info [ "strategy" ]
+          ~doc:
+            "Recovery cost model: $(b,txn) (per-write undo log, the \
+             default) or $(b,snapshot) (whole-kernel checkpoint before \
+             dispatch, restore on fault).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the campaign report as JSON.")
+  in
   Cmd.v
     (Cmd.info "disaster"
        ~doc:
          "Run a seeded fault-injection campaign — misbehaving grafts across \
           every graft-point family — and check the post-recovery invariants \
           (exit 1 on any violation)")
-    Term.(const disaster $ seed $ count $ costs $ jobs_arg $ mode_arg)
+    Term.(
+      const disaster $ seed $ count $ costs $ jobs_arg $ mode_arg $ fork
+      $ recheck $ strategy $ json)
 
 let serve_cmd =
   let d = Serve.default in

@@ -47,6 +47,7 @@ let is_failure = function
   | Graft_installed _ | Graft_removed _ | Handler_added _ -> false
 
 let failures t = List.filter (fun e -> is_failure e.event) (entries t)
+let saver t = Ring.saver t.ring
 
 let pp_event ppf = function
   | Load_rejected { point; reason } ->

@@ -64,5 +64,9 @@ val clear : t -> unit
 val failures : t -> entry list
 (** Only rejections/failures. *)
 
+val saver : t -> unit -> unit -> unit
+(** [saver t ()] captures the ring's contents and accounting; the
+    returned thunk restores them (re-runnable). For kernel snapshots. *)
+
 val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit

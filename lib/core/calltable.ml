@@ -104,3 +104,18 @@ let probes_recorded t = t.probes
 let average_probes t =
   if t.lookups = 0 then 0.
   else float_of_int t.probes /. float_of_int t.lookups
+
+(* [mem] mutates probes/lookups, so even read-only trials dirty the
+   table; capture everything. *)
+let saver t () =
+  let slots = Array.copy t.slots
+  and count = t.count
+  and dead = t.dead
+  and probes = t.probes
+  and lookups = t.lookups in
+  fun () ->
+    t.slots <- Array.copy slots;
+    t.count <- count;
+    t.dead <- dead;
+    t.probes <- probes;
+    t.lookups <- lookups

@@ -20,3 +20,8 @@ val load_factor : t -> float
 
 val probes_recorded : t -> int
 val average_probes : t -> float
+
+val saver : t -> unit -> unit -> unit
+(** [saver t ()] captures slots and statistics ({!mem} mutates both);
+    the returned thunk restores them (re-runnable). For kernel
+    snapshots. *)

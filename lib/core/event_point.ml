@@ -37,6 +37,21 @@ let create ~name ?(restricted = false) ?(budget = Wrapper.default_budget) () =
     last_results = [];
   }
 
+let saver t () =
+  let handlers = t.handlers
+  and dead_flags = List.map (fun h -> (h, h.dead)) t.handlers
+  and next_hid = t.next_hid
+  and n_events = t.n_events
+  and n_failures = t.n_failures
+  and last_results = t.last_results in
+  fun () ->
+    t.handlers <- handlers;
+    List.iter (fun (h, dead) -> h.dead <- dead) dead_flags;
+    t.next_hid <- next_hid;
+    t.n_events <- n_events;
+    t.n_failures <- n_failures;
+    t.last_results <- last_results
+
 let name t = t.ename
 let handler_count t = List.length t.handlers
 let events_delivered t = t.n_events

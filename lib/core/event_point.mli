@@ -43,3 +43,8 @@ val handler_failures : t -> int
 val results : t -> (int * int) list
 (** [(handler_id, r0)] pairs from the most recent dispatch, completion
     order. *)
+
+val saver : t -> unit -> unit -> unit
+(** [saver t ()] captures the handler list (with per-handler liveness)
+    and statistics; the returned thunk restores them (re-runnable). For
+    kernel snapshots. *)

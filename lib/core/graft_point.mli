@@ -73,3 +73,9 @@ val invocations : ('a, 'b) t -> int
 val graft_runs : ('a, 'b) t -> int
 val graft_failures : ('a, 'b) t -> int
 val last_failure : ('a, 'b) t -> string option
+
+val saver : ('a, 'b) t -> unit -> unit -> unit
+(** [saver t ()] captures the installed graft and the statistics; the
+    returned thunk restores them (re-runnable). For kernel snapshots —
+    register with {!Kernel.on_snapshot} wherever the point's kernel is
+    in scope. *)

@@ -44,6 +44,17 @@ let callable_ids r =
   r.fns |> List.filter (fun f -> f.callable) |> List.rev_map (fun f -> f.id)
 
 let names r = List.rev_map (fun f -> f.name) r.fns
+
+(* Trials toggle callable flags (graft install/remove) but never register
+   new kcalls; still capture the registration lists for safety. *)
+let saver r () =
+  let fns = r.fns
+  and next_id = r.next_id
+  and flags = List.map (fun f -> (f, f.callable)) r.fns in
+  fun () ->
+    r.fns <- fns;
+    r.next_id <- next_id;
+    List.iter (fun (f, callable) -> f.callable <- callable) flags
 let arg cpu k = Cpu.reg cpu (1 + k)
 let return cpu v = Cpu.set_reg cpu 0 v
 let ok = Cpu.K_ok

@@ -54,6 +54,11 @@ val id_limit : registry -> int
 val callable_ids : registry -> int list
 val names : registry -> string list
 
+val saver : registry -> unit -> unit -> unit
+(** [saver r ()] captures the registration lists and every function's
+    [callable] flag; the returned thunk restores them (re-runnable).
+    For kernel snapshots. *)
+
 (* Argument/result register conventions. *)
 
 val arg : Vino_vm.Cpu.t -> int -> int

@@ -17,6 +17,8 @@ type jit_cache_stats = {
   jit_entries : int;
 }
 
+type strategy = Txn_undo | Snapshot_rollback
+
 type t = {
   engine : Engine.t;
   wheel : Tick.t;
@@ -39,6 +41,8 @@ type t = {
   mutable exec_mode : Vino_vm.Jit.mode;
   mutable flow_enforce : bool;
   mutable flow_pin : Vino_verify.Kflow.table option;
+  mutable strategy : strategy;
+  mutable snap_savers : (unit -> unit -> unit) list; (* newest first *)
 }
 
 let default_key = "vino-misfit-toolchain"
@@ -50,35 +54,94 @@ let create ?(mem_words = 1 lsl 20) ?tick ?(key = default_key)
     ?(flow_enforce = false) () =
   let engine = Engine.create () in
   let wheel = Tick.create engine ?tick () in
-  {
-    engine;
-    wheel;
-    mem = Vino_vm.Mem.create mem_words;
-    txn_mgr = Vino_txn.Txn.create_mgr engine ~wheel ~costs ();
-    registry = Kcall.create ();
-    calltable = Calltable.create ();
-    (* the lower half of memory is kernel-reserved; graft segments are
-       carved from the upper half, so no graft segment can cover kernel
-       data *)
-    segalloc = Segalloc.create ~base:(mem_words / 2) ~size:(mem_words / 2);
-    key;
-    vm_costs;
-    costs;
-    audit = Audit.create ();
-    translations = Hashtbl.create 16;
-    translations_mu = Mutex.create ();
-    jit_cache_cap = max 1 jit_cache_cap;
-    jit_clock = 0;
-    jit_hits = 0;
-    jit_misses = 0;
-    jit_evictions = 0;
-    exec_mode =
-      (match exec_mode with
-      | Some m -> m
-      | None -> !Vino_vm.Jit.default_mode);
-    flow_enforce;
-    flow_pin = None;
-  }
+  let t =
+    {
+      engine;
+      wheel;
+      mem = Vino_vm.Mem.create mem_words;
+      txn_mgr = Vino_txn.Txn.create_mgr engine ~wheel ~costs ();
+      registry = Kcall.create ();
+      calltable = Calltable.create ();
+      (* the lower half of memory is kernel-reserved; graft segments are
+         carved from the upper half, so no graft segment can cover kernel
+         data *)
+      segalloc = Segalloc.create ~base:(mem_words / 2) ~size:(mem_words / 2);
+      key;
+      vm_costs;
+      costs;
+      audit = Audit.create ();
+      translations = Hashtbl.create 16;
+      translations_mu = Mutex.create ();
+      jit_cache_cap = max 1 jit_cache_cap;
+      jit_clock = 0;
+      jit_hits = 0;
+      jit_misses = 0;
+      jit_evictions = 0;
+      exec_mode =
+        (match exec_mode with
+        | Some m -> m
+        | None -> !Vino_vm.Jit.default_mode);
+      flow_enforce;
+      flow_pin = None;
+      strategy = Txn_undo;
+      snap_savers = [];
+    }
+  in
+  (* Built-in savers, registered oldest-first so restore replays them in
+     this order (engine first: everything else assumes virtual time is
+     already rewound). The JIT translation cache is deliberately NOT
+     captured: translations are pure functions of (code, proof, costs),
+     cost no virtual cycles, and staying warm across restores is the
+     point of forking — only the trace-level hit/miss counters differ,
+     which no fingerprint reads. *)
+  let engine_saver () =
+    let s = Engine.snapshot t.engine in
+    fun () -> Engine.restore t.engine s
+  in
+  (* Graft memory restores in O(dirty): only chunks the segment allocator
+     ever handed out can be non-zero (all graft stores are sandboxed into
+     allocated segments and [Mem.create] zeroes). Capture their images;
+     on restore zero every *currently* touched chunk (the cumulative
+     journal guarantees captured ⊆ current — read it before the allocator
+     tables are rewound), then lay the captured images back in. *)
+  let seg_mem_saver () =
+    let seg = Segalloc.snapshot t.segalloc in
+    let images =
+      List.map
+        (fun addr -> (addr, Vino_vm.Mem.blit_out t.mem addr Segalloc.chunk_words))
+        (Segalloc.touched_chunks t.segalloc)
+    in
+    fun () ->
+      List.iter
+        (fun addr -> Vino_vm.Mem.fill t.mem addr Segalloc.chunk_words 0)
+        (Segalloc.touched_chunks t.segalloc);
+      Segalloc.restore t.segalloc seg;
+      List.iter (fun (addr, img) -> Vino_vm.Mem.blit_in t.mem addr img) images
+  in
+  let fields_saver () =
+    let exec_mode = t.exec_mode
+    and flow_enforce = t.flow_enforce
+    and flow_pin = t.flow_pin
+    and strategy = t.strategy
+    and savers = t.snap_savers in
+    fun () ->
+      t.exec_mode <- exec_mode;
+      t.flow_enforce <- flow_enforce;
+      t.flow_pin <- flow_pin;
+      t.strategy <- strategy;
+      t.snap_savers <- savers
+  in
+  t.snap_savers <-
+    [
+      fields_saver;
+      Audit.saver t.audit;
+      Calltable.saver t.calltable;
+      Kcall.saver t.registry;
+      Vino_txn.Txn.saver t.txn_mgr;
+      seg_mem_saver;
+      engine_saver;
+    ];
+  t
 
 (* Translations are cached per kernel, keyed by the signature of the
    post-link code (relocations already patched to concrete [Kcall] ids) —
@@ -210,6 +273,38 @@ let now_us t = Engine.now_us t.engine
 
 let audit_event t event = Audit.record t.audit ~now_us:(now_us t) event
 
+let on_snapshot t f = t.snap_savers <- f :: t.snap_savers
+
+let set_strategy t s =
+  t.strategy <- s;
+  Vino_txn.Txn.set_charge_undo t.txn_mgr (s = Txn_undo)
+
+let strategy t = t.strategy
+
+type snap = { owner : t; restores : (unit -> unit) list }
+
+let snapshot t =
+  if Vino_txn.Txn.live t.txn_mgr > 0 then
+    invalid_arg
+      "Kernel.snapshot: refused mid-transaction (live transactions would \
+       fork parked continuations)";
+  if Engine.has_run t.engine then
+    invalid_arg
+      "Kernel.snapshot: engine has already run; snapshot a freshly built \
+       kernel before driving it";
+  (* rev_map replays savers oldest-first: the engine rewinds before any
+     subsystem state is laid back down *)
+  { owner = t; restores = List.rev_map (fun f -> f ()) t.snap_savers }
+
+let restore t s =
+  if s.owner != t then
+    invalid_arg "Kernel.restore: snapshot belongs to a different kernel";
+  List.iter (fun f -> f ()) s.restores
+
 let make_lock t ?policy ?timeout ~name () =
-  Vino_txn.Lock.create t.engine ~wheel:t.wheel ~costs:t.costs ?policy ?timeout
-    ~name ()
+  let lock =
+    Vino_txn.Lock.create t.engine ~wheel:t.wheel ~costs:t.costs ?policy
+      ?timeout ~name ()
+  in
+  on_snapshot t (Vino_txn.Lock.saver lock);
+  lock

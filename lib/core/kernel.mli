@@ -18,6 +18,17 @@ type jit_cache_stats = {
   jit_entries : int;  (** live entries, [<= jit_cache_cap] *)
 }
 
+type strategy =
+  | Txn_undo
+      (** the paper's recovery: per-change undo records, replayed on
+          abort (default) *)
+  | Snapshot_rollback
+      (** checkpoint the kernel's dirty set before each graft dispatch
+          and restore it wholesale on fault: per-record undo charges are
+          suppressed and checkpoint/restore copy charges
+          ({!Vino_txn.Tcosts.t.snap_word}/[restore_word] over the
+          allocator's touched words) are levied at dispatch instead *)
+
 type t = {
   engine : Vino_sim.Engine.t;
   wheel : Vino_sim.Tick.t;
@@ -62,6 +73,14 @@ type t = {
           (SFIP-style) that the running code must honour. Disaster
           campaigns use it to pin a witness protocol and then install a
           hijacked variant. *)
+  mutable strategy : strategy;
+      (** recovery strategy charged at graft dispatch; set via
+          {!set_strategy} so the transaction manager's undo charging
+          stays in sync *)
+  mutable snap_savers : (unit -> unit -> unit) list;
+      (** snapshot registry, newest first: each saver captures one
+          component's state and returns its restore thunk. Register via
+          {!on_snapshot}. *)
 }
 
 val create :
@@ -160,3 +179,47 @@ val make_lock :
   name:string ->
   unit ->
   Vino_txn.Lock.t
+(** A lock on this kernel's engine/wheel/costs, automatically enrolled
+    in the snapshot registry. *)
+
+(* Crash-consistent snapshots. *)
+
+type snap
+(** A captured kernel: every registered saver's state, taken together.
+    O(dirty), not O(world) — graft memory saves only the segment
+    allocator's touched chunks, and subsystem savers copy counters and
+    small tables. *)
+
+val on_snapshot : t -> (unit -> unit -> unit) -> unit
+(** [on_snapshot t saver] enrolls a component: at {!snapshot} time
+    [saver ()] captures its state and returns the thunk {!restore} will
+    run. Restore thunks run oldest-registration-first (the engine's
+    built-in saver first) and must be re-runnable — every call restores
+    from the capture, enabling double-restore. Subsystem constructors
+    that receive the kernel enroll themselves here. *)
+
+val snapshot : t -> snap
+(** Capture a warmed, never-run kernel. Raises [Invalid_argument] if any
+    transaction is live (mid-transaction snapshot refused) or if the
+    engine has already executed events — one-shot continuations cannot
+    be forked, so only the pre-run state (daemons spawned, workloads
+    scheduled, grafts not yet driven) is a valid fork point.
+
+    The JIT translation cache is deliberately not captured: translations
+    are pure, cost no virtual cycles, and staying warm across restores
+    is the point of forking. *)
+
+val restore : t -> snap -> unit
+(** Rewind the kernel to the snapshot. Safe to call repeatedly with the
+    same snapshot (each restore copies from the capture).
+    @raise Invalid_argument if [snap] was taken from a different kernel. *)
+
+val set_strategy : t -> strategy -> unit
+(** Select the recovery strategy charged at graft dispatch, keeping the
+    transaction manager's undo charging in sync: [Snapshot_rollback]
+    suppresses per-undo-record charges in favour of dispatch-time
+    checkpoint/restore copy charges. State recovery itself still runs
+    through the undo log either way — the strategy changes the cost
+    model, not the mechanism's correctness. *)
+
+val strategy : t -> strategy

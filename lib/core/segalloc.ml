@@ -5,8 +5,18 @@ type t = {
   size : int;
   (* free.(k) = addresses of free blocks of size [min_block lsl k] *)
   free : (int, unit) Hashtbl.t array;
-  allocated : (int, int) Hashtbl.t; (* address -> order *)
+  mutable allocated : (int, int) Hashtbl.t; (* address -> order *)
   mutable used : int;
+  (* Cumulative dirty journal: every min_block-aligned chunk ever handed
+     out by [alloc], across the allocator's whole life (frees do not
+     un-touch). An untouched chunk was never allocated, hence never
+     written (all graft stores are sandboxed into allocated segments),
+     hence still zero — so a snapshot need only save touched chunks:
+     O(dirty), not O(world). Chunk granularity (not block granularity)
+     keeps the journal exact when an address is later re-allocated at a
+     different buddy order. *)
+  mutable touched : (int, unit) Hashtbl.t;
+  mutable touched_words : int;
 }
 
 let min_block = 8
@@ -37,6 +47,8 @@ let create ~base ~size =
       free = Array.init orders (fun _ -> Hashtbl.create 8);
       allocated = Hashtbl.create 16;
       used = 0;
+      touched = Hashtbl.create 64;
+      touched_words = 0;
     }
   in
   Hashtbl.replace t.free.(orders - 1) base ();
@@ -68,6 +80,15 @@ let alloc t words =
     | Some addr ->
         Hashtbl.replace t.allocated addr order;
         t.used <- t.used + block_size order;
+        let limit = addr + block_size order in
+        let chunk = ref addr in
+        while !chunk < limit do
+          if not (Hashtbl.mem t.touched !chunk) then begin
+            Hashtbl.replace t.touched !chunk ();
+            t.touched_words <- t.touched_words + min_block
+          end;
+          chunk := !chunk + min_block
+        done;
         Ok (Mem.segment ~base:addr ~size:(block_size order))
 
 let buddy_of t addr order =
@@ -98,3 +119,41 @@ let free t (seg : Mem.segment) =
 
 let free_words t = t.size - t.used
 let used_words t = t.used
+let chunk_words = min_block
+let touched_words t = t.touched_words
+
+let touched_chunks t =
+  let chunks = Hashtbl.fold (fun addr () acc -> addr :: acc) t.touched [] in
+  List.sort compare chunks
+
+(* ------------------------- snapshot / restore ------------------------- *)
+
+(* [take_block] picks the first free block via [Hashtbl.fold], which is
+   bucket-order sensitive — so the snapshot must preserve bucket structure
+   exactly, not just the key set. [Hashtbl.copy] copies structure
+   verbatim, and copy-of-copy is structurally identical, so a restored
+   allocator replays the same allocation addresses a fresh one would. *)
+
+type snap = {
+  s_free : (int, unit) Hashtbl.t array;
+  s_allocated : (int, int) Hashtbl.t;
+  s_used : int;
+  s_touched : (int, unit) Hashtbl.t;
+  s_touched_words : int;
+}
+
+let snapshot t =
+  {
+    s_free = Array.map Hashtbl.copy t.free;
+    s_allocated = Hashtbl.copy t.allocated;
+    s_used = t.used;
+    s_touched = Hashtbl.copy t.touched;
+    s_touched_words = t.touched_words;
+  }
+
+let restore t s =
+  Array.iteri (fun k bucket -> t.free.(k) <- Hashtbl.copy bucket) s.s_free;
+  t.allocated <- Hashtbl.copy s.s_allocated;
+  t.used <- s.s_used;
+  t.touched <- Hashtbl.copy s.s_touched;
+  t.touched_words <- s.s_touched_words

@@ -22,3 +22,27 @@ val free : t -> Vino_vm.Mem.segment -> unit
 
 val free_words : t -> int
 val used_words : t -> int
+
+val chunk_words : int
+(** Granularity of the dirty journal (the minimum block size, 8 words). *)
+
+val touched_words : t -> int
+(** Total words in chunks ever allocated — the size of the dirty set a
+    snapshot must save. Cumulative: [free] does not un-touch. *)
+
+val touched_chunks : t -> int list
+(** Base addresses (sorted) of every [chunk_words]-sized chunk ever
+    allocated. An address outside this set was never handed out, hence
+    never written, hence still zero. *)
+
+type snap
+(** Captured allocator tables (free lists, allocation map, journal). *)
+
+val snapshot : t -> snap
+(** Structural copy of the allocator's tables. Bucket structure is
+    preserved exactly, so a restored allocator replays the same
+    allocation addresses the original would have. *)
+
+val restore : t -> snap -> unit
+(** Rewind the allocator to the snapshot; re-runnable (each call installs
+    fresh copies of the captured tables). *)

@@ -18,6 +18,7 @@ type record = {
   observed : Injector.expectation;
   violations : string list;
   fingerprint : string;
+  vtime : int;
 }
 
 type report = { seed : int; count : int; records : record list }
@@ -64,10 +65,29 @@ let fingerprint (site : Site.t) ~note ~observed =
     (Lock.holder_aborts_requested site.rig_lock)
     (Audit.count site.kernel.Kernel.audit)
 
-let run_injection ~seed ~index =
-  let family, kind = combo index in
+(* Warmed sites, one per family per worker domain: [Site.create] only
+   builds subsystems and schedules their daemons — it never steps the
+   engine — so the kernel snapshot taken right after creation is valid and
+   restoring it is byte-equivalent to building a fresh site (the only
+   divergence is process-global name counters, which no fingerprint
+   reads). Creation dominates a trial, so forking amortises it away. *)
+let warmed : (Site.family, Site.t * Kernel.snap) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let forked_site family =
+  let cache = Domain.DLS.get warmed in
+  match Hashtbl.find_opt cache family with
+  | Some (site, snap) ->
+      Kernel.restore site.Site.kernel snap;
+      site
+  | None ->
+      let site = Site.create family in
+      let snap = Kernel.snapshot site.Site.kernel in
+      Hashtbl.replace cache family (site, snap);
+      site
+
+let inject (site : Site.t) ~kind ~seed ~index =
   let rng = Seed.derive ~seed index in
-  let site = Site.create family in
   let variant = Injector.apply kind ~rng ~rig:site.rig site.healthy in
   Option.iter (Site.pin_flow_witness site) variant.Injector.flow_witness;
   let install_result =
@@ -94,10 +114,6 @@ let run_injection ~seed ~index =
         if site.grafted () then Injector.Contained else Injector.Recovered
   in
   site.force_remove ();
-  (* The pinned attested graph belonged to the removed graft; enforcement
-     stays on, so the default path and any healthy re-install now run
-     against their own tables. *)
-  site.kernel.Kernel.flow_pin <- None;
   let violations =
     Invariant.check_universal site
     @ Invariant.check_segments_restored site
@@ -107,20 +123,34 @@ let run_injection ~seed ~index =
   in
   {
     index;
-    family;
+    family = site.family;
     kind;
     note = variant.note;
     expect = variant.expect;
     observed;
     violations;
     fingerprint = fingerprint site ~note:variant.note ~observed;
+    vtime = Engine.now site.kernel.Kernel.engine;
   }
 
-let run_trial ~check_determinism ~seed index =
-  let r1 = run_injection ~seed ~index in
-  if not check_determinism then r1
+let run_injection ~seed ~index =
+  let family, kind = combo index in
+  inject (Site.create family) ~kind ~seed ~index
+
+let run_trial ~check_determinism ~fork ~recheck_every ~strategy ~seed index =
+  let run_once () =
+    let family, kind = combo index in
+    let site = if fork then forked_site family else Site.create family in
+    Kernel.set_strategy site.Site.kernel strategy;
+    inject site ~kind ~seed ~index
+  in
+  let r1 = run_once () in
+  let recheck =
+    check_determinism && recheck_every > 0 && index mod recheck_every = 0
+  in
+  if not recheck then r1
   else
-    let r2 = run_injection ~seed ~index in
+    let r2 = run_once () in
     if String.equal r1.fingerprint r2.fingerprint then r1
     else
       {
@@ -133,16 +163,21 @@ let run_trial ~check_determinism ~seed index =
             ];
       }
 
-(* Each trial builds its own site and kernel from the derived seed, so
-   trials fan out across domains without sharing state; records come back
-   in index order whatever the schedule. *)
-let run ?(check_determinism = true) ?pool ~seed ~count () =
+(* Every trial is a pure function of (seed, index): a forked trial restores
+   its domain's warmed site to the post-creation snapshot, a fresh trial
+   builds its own site; records come back in index order whatever the
+   schedule. *)
+let run ?(check_determinism = true) ?(fork = true) ?(recheck_every = 1)
+    ?(strategy = Kernel.Txn_undo) ?pool ~seed ~count () =
   let records =
     Vino_par.Pool.map_scoped ?pool
-      (run_trial ~check_determinism ~seed)
+      (run_trial ~check_determinism ~fork ~recheck_every ~strategy ~seed)
       (List.init count Fun.id)
   in
   { seed; count; records }
+
+let total_vtime report =
+  List.fold_left (fun acc r -> acc + r.vtime) 0 report.records
 
 let violations report =
   List.concat_map

@@ -6,8 +6,15 @@
     injection, deriving its misbehaving graft from the campaign seed,
     running the workload, and checking every post-recovery invariant.
 
-    Each injection is run twice with the same derived seed; differing
-    fingerprints are reported as a determinism violation. *)
+    Each injection is (by default) run twice with the same derived seed;
+    differing fingerprints are reported as a determinism violation.
+
+    Trials normally {e fork} a warmed site: each worker domain builds one
+    site per family, snapshots its kernel right after creation
+    ({!Vino_core.Kernel.snapshot}), and restores that snapshot before
+    every trial instead of rebuilding the world. The restored site is
+    byte-equivalent to a fresh one — same fingerprints, same report —
+    while skipping the dominant site-construction cost. *)
 
 type record = {
   index : int;
@@ -21,6 +28,7 @@ type record = {
       (** seeded variant parameters + outcome + virtual time +
           txn/lock/audit counters; otherwise name-free so process-global
           counters don't alias as nondeterminism *)
+  vtime : int;  (** virtual cycles the injection's kernel ran for *)
 }
 
 type report = { seed : int; count : int; records : record list }
@@ -33,6 +41,9 @@ val run_injection : seed:int -> index:int -> record
 
 val run :
   ?check_determinism:bool ->
+  ?fork:bool ->
+  ?recheck_every:int ->
+  ?strategy:Vino_core.Kernel.strategy ->
   ?pool:Vino_par.Pool.t ->
   seed:int ->
   count:int ->
@@ -40,9 +51,25 @@ val run :
   report
 (** With [?pool], trials fan out across domains; every trial is a pure
     function of [seed] and its index, so the report is identical at any
-    pool size. *)
+    pool size.
+
+    [fork] (default [true]) restores a per-domain warmed site snapshot
+    instead of building a fresh site per trial; pass [~fork:false] when
+    per-trial host-side state must not persist (e.g. under tracing, where
+    the warm JIT cache would skew translation counters).
+
+    [recheck_every] (default 1: every trial) samples the same-seed
+    determinism re-run to every [n]-th index; [0] disables it, as does
+    [~check_determinism:false].
+
+    [strategy] (default {!Vino_core.Kernel.Txn_undo}) selects the
+    recovery cost model charged at graft dispatch and on faults. *)
 
 val ok : report -> bool
+
+val total_vtime : report -> int
+(** Sum of every record's virtual elapsed cycles (throughput support). *)
+
 val violations : report -> string list
 (** All violations, each prefixed with its injection's index/family/kind. *)
 

@@ -135,6 +135,11 @@ let register_rig kernel =
   let secret =
     reg "disaster.secret" ~callable:false (fun _ctx -> Kcall.ok)
   in
+  (* the undoable state cell is trial-mutable: enroll it so a forked trial
+     starts from the same value a fresh site would *)
+  Kernel.on_snapshot kernel (fun () ->
+      let v = !state_cell in
+      fun () -> state_cell := v);
   let rig =
     {
       Injector.lock_kcall = "disaster.lock";
@@ -234,7 +239,11 @@ let fs_site () =
       point_install point kernel ~cred ~shared_words:16 ~heap_words:64;
     grafted = (fun () -> Graft_point.grafted point);
     force_remove =
-      (fun () -> if Graft_point.grafted point then Graft_point.remove point kernel);
+      (fun () ->
+        if Graft_point.grafted point then Graft_point.remove point kernel;
+        (* any pinned attested graph belonged to the removed graft;
+           enforcement stays on against the defaults' own tables *)
+        kernel.Kernel.flow_pin <- None);
     drive = (fun () -> workload [ 5; 17; 18; 90; 91; 92 ]);
     drive_once = (fun () -> workload [ 33 ]);
     check_default =
@@ -285,7 +294,11 @@ let vmem_site () =
       point_install point kernel ~cred ~shared_words:64 ~heap_words:256;
     grafted = (fun () -> Graft_point.grafted point);
     force_remove =
-      (fun () -> if Graft_point.grafted point then Graft_point.remove point kernel);
+      (fun () ->
+        if Graft_point.grafted point then Graft_point.remove point kernel;
+        (* any pinned attested graph belonged to the removed graft;
+           enforcement stays on against the defaults' own tables *)
+        kernel.Kernel.flow_pin <- None);
     drive =
       (fun () ->
         ignore
@@ -343,7 +356,11 @@ let sched_site () =
     install = point_install point kernel ~cred ~shared_words:4 ~heap_words:32;
     grafted = (fun () -> Graft_point.grafted point);
     force_remove =
-      (fun () -> if Graft_point.grafted point then Graft_point.remove point kernel);
+      (fun () ->
+        if Graft_point.grafted point then Graft_point.remove point kernel;
+        (* any pinned attested graph belonged to the removed graft;
+           enforcement stays on against the defaults' own tables *)
+        kernel.Kernel.flow_pin <- None);
     drive = (fun () -> schedule_n 8);
     drive_once = (fun () -> schedule_n 2);
     check_default =
@@ -390,7 +407,8 @@ let stream_site () =
     grafted = (fun () -> Vino_stream.Channel.grafted channel);
     force_remove =
       (fun () ->
-        if Graft_point.grafted point then Graft_point.remove point kernel);
+        if Graft_point.grafted point then Graft_point.remove point kernel;
+        kernel.Kernel.flow_pin <- None);
     drive = (fun () -> transfer_n 3);
     drive_once = (fun () -> transfer_n 1);
     check_default =
@@ -409,6 +427,9 @@ let net_site () =
   Vino_net.Httpd.add_document httpd ~path:42 ~size:1234;
   let point = Vino_net.Port.event_point (Vino_net.Httpd.port httpd) in
   let handler_id = ref None in
+  Kernel.on_snapshot kernel (fun () ->
+      let v = !handler_id in
+      fun () -> handler_id := v);
   let get_n n =
     for _ = 1 to n do
       Vino_net.Httpd.get httpd ~path:42
@@ -435,10 +456,11 @@ let net_site () =
     grafted = (fun () -> Event_point.handler_count point > 0);
     force_remove =
       (fun () ->
-        match !handler_id with
+        (match !handler_id with
         | Some id when Event_point.handler_count point > 0 ->
             Event_point.remove_handler point kernel id
         | _ -> ());
+        kernel.Kernel.flow_pin <- None);
     drive = (fun () -> get_n 3);
     drive_once = (fun () -> get_n 1);
     check_default =

@@ -33,7 +33,9 @@ type t = {
   healthy : Vino_vm.Asm.item list;  (** the family's well-behaved graft *)
   install : Vino_misfit.Image.t -> (unit, string) result;
   grafted : unit -> bool;
-  force_remove : unit -> unit;  (** idempotent *)
+  force_remove : unit -> unit;
+      (** idempotent; also clears any pinned kcall-flow table, whose
+          attested graph belonged to the removed graft *)
   drive : unit -> unit;
       (** queue the family workload; caller runs the engine *)
   drive_once : unit -> unit;

@@ -134,3 +134,22 @@ let lru_order t =
 
 let hits t = t.n_hits
 let misses t = t.n_misses
+
+(* Re-inserting captured blocks LRU-first rebuilds the same recency
+   order with fresh nodes (the intrusive list cannot be shared with a
+   live capture). Restore cannot evict: the captured population was
+   within capacity by construction. *)
+let saver t () =
+  let blocks = List.map (fun b -> (b, is_dirty t b)) (lru_order t)
+  and dirty_fifo = t.dirty_fifo
+  and n_hits = t.n_hits
+  and n_misses = t.n_misses in
+  fun () ->
+    Hashtbl.reset t.index;
+    t.lru <- None;
+    t.mru <- None;
+    t.dirty_fifo <- [];
+    List.iter (fun (b, dirty) -> ignore (insert t ~dirty b)) blocks;
+    t.dirty_fifo <- dirty_fifo;
+    t.n_hits <- n_hits;
+    t.n_misses <- n_misses

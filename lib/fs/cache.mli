@@ -40,3 +40,8 @@ val lru_order : t -> int list
 
 val hits : t -> int
 val misses : t -> int
+
+val saver : t -> unit -> unit -> unit
+(** [saver t ()] captures residency (with dirty flags and recency
+    order) and statistics; the returned thunk restores them
+    (re-runnable). For kernel snapshots. *)

@@ -130,6 +130,23 @@ let blocking t kind ~block =
 
 let read t ~block = blocking t Read ~block
 let write t ~block = blocking t Write ~block
+
+let saver t () =
+  let restore_work = Waitq.saver t.work () in
+  let queue = t.queue
+  and head_block = t.head_block
+  and served = t.served
+  and writes = t.writes
+  and sequential = t.sequential
+  and busy = t.busy in
+  fun () ->
+    restore_work ();
+    t.queue <- queue;
+    t.head_block <- head_block;
+    t.served <- served;
+    t.writes <- writes;
+    t.sequential <- sequential;
+    t.busy <- busy
 let requests_served t = t.served
 let writes_served t = t.writes
 let sequential_hits t = t.sequential

@@ -47,3 +47,8 @@ val writes_served : t -> int
 val sequential_hits : t -> int
 val busy_cycles : t -> int
 val queue_depth : t -> int
+
+val saver : t -> unit -> unit -> unit
+(** [saver t ()] captures the request queue, head position, statistics
+    and the service wait queue; the returned thunk restores them
+    (re-runnable). For kernel snapshots. *)

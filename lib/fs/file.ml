@@ -116,25 +116,50 @@ let openf ~kernel ~cache ~disk ~name ~first_block ~blocks ?(ra_window = 1)
       ~read_result:(fun cpu req -> read_result kernel cpu req)
       ()
   in
-  {
-    fname = name;
-    first_block;
-    fblocks = blocks;
-    kernel;
-    cache;
-    disk;
-    prefetch = Prefetch.create kernel.Kernel.engine ~cache ~disk ();
-    ra;
-    lock;
-    lock_name;
-    last_block = -1;
-    syncer = None;
-    n_reads = 0;
-    n_writes = 0;
-    n_hits = 0;
-    n_writebacks = 0;
-    stalled = 0;
-  }
+  let t =
+    {
+      fname = name;
+      first_block;
+      fblocks = blocks;
+      kernel;
+      cache;
+      disk;
+      prefetch = Prefetch.create kernel.Kernel.engine ~cache ~disk ();
+      ra;
+      lock;
+      lock_name;
+      last_block = -1;
+      syncer = None;
+      n_reads = 0;
+      n_writes = 0;
+      n_hits = 0;
+      n_writebacks = 0;
+      stalled = 0;
+    }
+  in
+  (* Enroll the whole open-file world in the kernel snapshot registry
+     (the lock enrolled itself in [make_lock]). *)
+  Kernel.on_snapshot kernel (Cache.saver cache);
+  Kernel.on_snapshot kernel (Disk.saver disk);
+  Kernel.on_snapshot kernel (Prefetch.saver t.prefetch);
+  Kernel.on_snapshot kernel (Graft_point.saver ra);
+  Kernel.on_snapshot kernel (fun () ->
+      let last_block = t.last_block
+      and syncer = t.syncer
+      and n_reads = t.n_reads
+      and n_writes = t.n_writes
+      and n_hits = t.n_hits
+      and n_writebacks = t.n_writebacks
+      and stalled = t.stalled in
+      fun () ->
+        t.last_block <- last_block;
+        t.syncer <- syncer;
+        t.n_reads <- n_reads;
+        t.n_writes <- n_writes;
+        t.n_hits <- n_hits;
+        t.n_writebacks <- n_writebacks;
+        t.stalled <- stalled);
+  t
 
 let attach_syncer t syncer = t.syncer <- Some syncer
 let name t = t.fname

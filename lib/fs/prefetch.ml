@@ -83,3 +83,18 @@ let pending t = List.length t.queue
 let issued t = t.n_issued
 let dropped t = t.n_dropped
 let in_flight t = t.n_inflight
+
+let saver t () =
+  let restore_work = Waitq.saver t.work () in
+  let queue = t.queue
+  and n_inflight = t.n_inflight
+  and unconsumed = t.unconsumed
+  and n_issued = t.n_issued
+  and n_dropped = t.n_dropped in
+  fun () ->
+    restore_work ();
+    t.queue <- queue;
+    t.n_inflight <- n_inflight;
+    t.unconsumed <- unconsumed;
+    t.n_issued <- n_issued;
+    t.n_dropped <- n_dropped

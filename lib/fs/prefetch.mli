@@ -31,3 +31,8 @@ val pending : t -> int
 val issued : t -> int
 val dropped : t -> int
 val in_flight : t -> int
+
+val saver : t -> unit -> unit -> unit
+(** [saver t ()] captures the prefetch queue, budget accounting and
+    statistics; the returned thunk restores them (re-runnable). For
+    kernel snapshots. *)

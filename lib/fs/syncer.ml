@@ -101,6 +101,18 @@ let create kernel ~cache ~disk ?(threshold = 32) () =
   in
   ignore
     (Engine.spawn kernel.Kernel.engine ~name:"syncer" (fun () -> daemon t ()));
+  Kernel.on_snapshot kernel (Waitq.saver t.wakeup);
+  Kernel.on_snapshot kernel (Graft_point.saver point);
+  Kernel.on_snapshot kernel (fun () ->
+      let last = t.last
+      and order = t.order
+      and n_flushed = t.n_flushed
+      and running = t.running in
+      fun () ->
+        t.last <- last;
+        t.order <- order;
+        t.n_flushed <- n_flushed;
+        t.running <- running);
   t
 
 let flush_point t = t.point

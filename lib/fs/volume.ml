@@ -30,23 +30,37 @@ let create kernel ~disk ?(cache_blocks = 512) ?(blocks = 65_536)
   if blocks <= 0 then invalid_arg "Volume.create: need blocks";
   let volume = 1 + Atomic.fetch_and_add volumes 1 in
   let vcache = Cache.create ~capacity:cache_blocks () in
-  {
-    kernel;
-    disk;
-    vcache;
-    vsyncer =
-      Syncer.create kernel ~cache:vcache ~disk ?threshold:syncer_threshold ();
-    bitmap = Bytes.make blocks '\000';
-    total = blocks;
-    bitmap_lock =
-      Kernel.make_lock kernel
-        ~timeout:(Vino_txn.Tcosts.us 200.)
-        ~name:(Printf.sprintf "fs-bitmap-%d" volume)
-        ();
-    lock_name = Printf.sprintf "fs-bitmap-%d" volume;
-    directory = Hashtbl.create 32;
-    used = 0;
-  }
+  let t =
+    {
+      kernel;
+      disk;
+      vcache;
+      vsyncer =
+        Syncer.create kernel ~cache:vcache ~disk ?threshold:syncer_threshold ();
+      bitmap = Bytes.make blocks '\000';
+      total = blocks;
+      bitmap_lock =
+        Kernel.make_lock kernel
+          ~timeout:(Vino_txn.Tcosts.us 200.)
+          ~name:(Printf.sprintf "fs-bitmap-%d" volume)
+          ();
+      lock_name = Printf.sprintf "fs-bitmap-%d" volume;
+      directory = Hashtbl.create 32;
+      used = 0;
+    }
+  in
+  (* the syncer enrolled its own cache/disk-independent state; the volume
+     adds the allocation bitmap and directory *)
+  Kernel.on_snapshot kernel (fun () ->
+      let bitmap = Bytes.copy t.bitmap
+      and directory = Hashtbl.copy t.directory
+      and used = t.used in
+      fun () ->
+        Bytes.blit bitmap 0 t.bitmap 0 (Bytes.length bitmap);
+        Hashtbl.reset t.directory;
+        Hashtbl.iter (Hashtbl.replace t.directory) directory;
+        t.used <- used);
+  t
 
 let cache t = t.vcache
 let syncer t = t.vsyncer

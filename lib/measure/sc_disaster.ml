@@ -28,8 +28,9 @@ let drained_elapsed (site : Site.t) ~contender =
   Kernel.run site.kernel;
   Vino_vm.Costs.us_of_cycles (Engine.now engine - t0)
 
-let measure_healthy () =
+let measure_healthy ~strategy () =
   let site = Site.create Site.Stream_copy in
+  Kernel.set_strategy site.kernel strategy;
   match seal_install site site.healthy with
   | Error e -> failwith ("healthy graft refused: " ^ e)
   | Ok () -> drained_elapsed site ~contender:false
@@ -52,30 +53,73 @@ let runtime_variant kind =
   in
   go 7
 
-let measure_kind kind =
+let measure_kind ~strategy kind =
   let site, variant = runtime_variant kind in
+  Kernel.set_strategy site.kernel strategy;
   Option.iter (Site.pin_flow_witness site) variant.Injector.flow_witness;
   match seal_install site variant.Injector.source with
   | Error e -> failwith (Injector.name kind ^ ": unexpected load refusal: " ^ e)
   | Ok () -> drained_elapsed site ~contender:variant.Injector.wants_contender
 
+let label strategy text =
+  match strategy with
+  | Kernel.Txn_undo -> text
+  | Kernel.Snapshot_rollback -> "snapshot-rollback: " ^ text
+
 let table ?pool () =
-  (* one parallel unit for the healthy row plus one per injector; each
-     builds its own site/kernel, so rows are identical at any pool size *)
+  (* one parallel unit per (strategy, healthy-or-injector) pair; each
+     builds its own site/kernel, so rows are identical at any pool size.
+     The Txn_undo rows come first, unchanged from before the
+     snapshot-rollback strategy existed. *)
+  let items =
+    List.concat_map
+      (fun strategy ->
+        List.map
+          (fun kind -> (strategy, kind))
+          (None :: List.map Option.some Injector.all))
+      [ Kernel.Txn_undo; Kernel.Snapshot_rollback ]
+  in
   let measured =
     Vino_par.Pool.map_scoped ?pool
-      (function
-        | None -> measure_healthy ()
-        | Some kind -> measure_kind kind)
-      (None :: List.map Option.some Injector.all)
+      (fun (strategy, kind) ->
+        match kind with
+        | None -> measure_healthy ~strategy ()
+        | Some kind -> measure_kind ~strategy kind)
+      items
   in
-  match measured with
-  | healthy :: rest ->
-      Table.elapsed "healthy graft (commit path)" healthy
-      :: List.map2
-           (fun kind v ->
-             Table.elapsed
-               (Printf.sprintf "detect+recover: %s" (Injector.name kind))
-               v)
-           Injector.all rest
-  | [] -> assert false
+  let rows =
+    List.map2
+      (fun (strategy, kind) v ->
+        match kind with
+        | None ->
+            Table.elapsed (label strategy "healthy graft (commit path)") v
+        | Some kind ->
+            Table.elapsed
+              (label strategy
+                 (Printf.sprintf "detect+recover: %s" (Injector.name kind)))
+              v)
+      items measured
+  in
+  (* Campaign throughput in virtual time: deterministic (every record's
+     elapsed cycles are a pure function of seed and index), so the rows
+     gate like any other. [~fork:false]: forking warms one site per family
+     per domain, so the host-side trace counters emitted alongside the
+     bench JSON would depend on pool size; fresh sites keep the whole
+     report byte-identical at any -j. The virtual time is the same either
+     way — that is the forking contract. *)
+  let count = 40 in
+  let campaign =
+    Vino_disaster.Campaign.run ?pool ~check_determinism:false ~fork:false
+      ~seed:42 ~count ()
+  in
+  let vtime_us =
+    Vino_vm.Costs.us_of_cycles (Vino_disaster.Campaign.total_vtime campaign)
+  in
+  rows
+  @ [
+      Table.elapsed
+        (Printf.sprintf "campaign trial, mean of %d (virtual us)" count)
+        (vtime_us /. float_of_int count);
+      Table.elapsed "campaign throughput (trials per virtual second)"
+        (1e6 *. float_of_int count /. vtime_us);
+    ]

@@ -39,6 +39,12 @@ let create kernel ?(port = 80) ?budget () =
         t.resp <- (status, size) :: t.resp;
         Kcall.ok)
   in
+  Kernel.on_snapshot kernel (fun () ->
+      let docs = Hashtbl.copy t.docs and resp = t.resp in
+      fun () ->
+        Hashtbl.reset t.docs;
+        Hashtbl.iter (Hashtbl.replace t.docs) docs;
+        t.resp <- resp);
   t
 
 let port t = t.port

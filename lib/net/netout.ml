@@ -45,6 +45,18 @@ let create kernel ?(wire_us_per_packet = 12.) () =
     }
   in
   ignore (Engine.spawn kernel.Kernel.engine ~name:"nic" (fun () -> nic t ()));
+  Kernel.on_snapshot kernel (Waitq.saver t.work);
+  Kernel.on_snapshot kernel (fun () ->
+      let queue = t.queue
+      and n_transmitted = t.n_transmitted
+      and by_dest = Hashtbl.copy t.by_dest
+      and n_denied = t.n_denied in
+      fun () ->
+        t.queue <- queue;
+        t.n_transmitted <- n_transmitted;
+        Hashtbl.reset t.by_dest;
+        Hashtbl.iter (Hashtbl.replace t.by_dest) by_dest;
+        t.n_denied <- n_denied);
   let (_ : Kcall.fn) =
     Kernel.register_kcall kernel ~name:"net.send" (fun ctx ->
         let dest = Kcall.arg ctx.Kcall.cpu 0 in

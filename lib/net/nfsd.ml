@@ -80,6 +80,12 @@ let create kernel ?(port = 2049) () =
         t.resp <- decoded :: t.resp;
         Kcall.ok)
   in
+  Kernel.on_snapshot kernel (fun () ->
+      let files = Hashtbl.copy t.files and resp = t.resp in
+      fun () ->
+        Hashtbl.reset t.files;
+        Hashtbl.iter (Hashtbl.replace t.files) files;
+        t.resp <- resp);
   t
 
 let port t = t.port

@@ -11,15 +11,19 @@ type t = {
 
 let create ?budget kernel protocol ~number =
   let prefix = match protocol with Tcp -> "tcp" | Udp -> "udp" in
-  {
-    kernel;
-    protocol;
-    number;
-    point =
-      Event_point.create
-        ~name:(Printf.sprintf "%s.port-%d" prefix number)
-        ?budget ();
-  }
+  let t =
+    {
+      kernel;
+      protocol;
+      number;
+      point =
+        Event_point.create
+          ~name:(Printf.sprintf "%s.port-%d" prefix number)
+          ?budget ();
+    }
+  in
+  Vino_core.Kernel.on_snapshot kernel (Event_point.saver t.point);
+  t
 
 let number t = t.number
 let protocol t = t.protocol

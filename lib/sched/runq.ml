@@ -63,22 +63,52 @@ let create kernel ?(timeslice = Vino_txn.Tcosts.us 10_000.)
             | Ok () -> Kcall.ok
             | Error reason -> Kcall.abort reason))
   in
-  {
-    kernel;
-    tslice = timeslice;
-    switch_cost;
-    graft_support;
-    delegate_budget;
-    lock;
-    lock_name;
-    tasks = Hashtbl.create 64;
-    valid_tids = Calltable.create ();
-    queue = Queue.create ();
-    next_tid = 1;
-    n_switches = 0;
-    n_redirects = 0;
-    n_invalid = 0;
-  }
+  let t =
+    {
+      kernel;
+      tslice = timeslice;
+      switch_cost;
+      graft_support;
+      delegate_budget;
+      lock;
+      lock_name;
+      tasks = Hashtbl.create 64;
+      valid_tids = Calltable.create ();
+      queue = Queue.create ();
+      next_tid = 1;
+      n_switches = 0;
+      n_redirects = 0;
+      n_invalid = 0;
+    }
+  in
+  Kernel.on_snapshot kernel (Calltable.saver t.valid_tids);
+  Kernel.on_snapshot kernel (fun () ->
+      (* task records are shared across the capture (their [group] field
+         is restored individually); the queue is rebuilt in FIFO order *)
+      let tasks = Hashtbl.copy t.tasks
+      and groups =
+        Hashtbl.fold (fun tid task acc -> (tid, task.group) :: acc) t.tasks []
+      and queued = Queue.fold (fun acc tid -> tid :: acc) [] t.queue
+      and next_tid = t.next_tid
+      and n_switches = t.n_switches
+      and n_redirects = t.n_redirects
+      and n_invalid = t.n_invalid in
+      fun () ->
+        Hashtbl.reset t.tasks;
+        Hashtbl.iter (Hashtbl.replace t.tasks) tasks;
+        List.iter
+          (fun (tid, group) ->
+            match Hashtbl.find_opt t.tasks tid with
+            | Some task -> task.group <- group
+            | None -> ())
+          groups;
+        Queue.clear t.queue;
+        List.iter (fun tid -> Queue.push tid t.queue) (List.rev queued);
+        t.next_tid <- next_tid;
+        t.n_switches <- n_switches;
+        t.n_redirects <- n_redirects;
+        t.n_invalid <- n_invalid);
+  t
 
 let setup kernel cpu req =
   let seg = Cpu.segment cpu in
@@ -107,6 +137,7 @@ let spawn_task t ~name =
   Hashtbl.replace t.tasks tid task;
   Calltable.add t.valid_tids tid;
   Queue.push tid t.queue;
+  Kernel.on_snapshot t.kernel (Graft_point.saver delegate);
   task
 
 let task_id task = task.tid

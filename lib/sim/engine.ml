@@ -19,6 +19,7 @@ type t = {
   mutable procs : proc list;
   mutable failures : (string * exn) list;
   mutable next_id : int;
+  mutable has_run : bool;
 }
 
 type cancel = unit -> unit
@@ -36,6 +37,7 @@ let create () =
     procs = [];
     failures = [];
     next_id = 0;
+    has_run = false;
   }
 
 let now t = t.clock
@@ -167,6 +169,7 @@ let step t =
   match Pqueue.pop t.queue with
   | None -> false
   | Some (time, ev) ->
+      t.has_run <- true;
       t.clock <- max t.clock time;
       if not ev.cancelled then begin
         Trace.incr "sim.events_executed";
@@ -189,6 +192,60 @@ let run ?until t =
   loop ()
 
 let failures t = List.rev t.failures
+let has_run t = t.has_run
+
+(* ------------------------- snapshot / restore ------------------------- *)
+
+(* Only a never-run engine can be snapshotted: once [step] has executed an
+   event, live one-shot continuations may be parked in the queue and those
+   cannot be forked. Before the first step the queue holds only re-runnable
+   closures — [start t p body] spawn thunks and plain [at] thunks — so
+   capturing them by reference is a faithful fork point.
+
+   Event records are shared mutable state (a cancel closure mutates the
+   record in place), so the snapshot stores their fields by value and
+   [restore] rebuilds fresh records: a trial cancelling a pre-snapshot
+   event must not corrupt the capture. Insertion order is preserved via
+   {!Pqueue.entries}/{!Pqueue.clear}, which reproduces pop order exactly. *)
+
+type snap = {
+  s_clock : int;
+  s_next_id : int;
+  s_failures : (string * exn) list;
+  s_procs : proc list;
+  s_events : (int * bool * (unit -> unit)) list;
+}
+
+let snapshot t =
+  if t.has_run then
+    invalid_arg "Engine.snapshot: engine has already executed events";
+  {
+    s_clock = t.clock;
+    s_next_id = t.next_id;
+    s_failures = t.failures;
+    s_procs = t.procs;
+    s_events =
+      List.map
+        (fun (key, ev) -> (key, ev.cancelled, ev.thunk))
+        (Pqueue.entries t.queue);
+  }
+
+let restore t s =
+  t.clock <- s.s_clock;
+  t.next_id <- s.s_next_id;
+  t.failures <- s.s_failures;
+  t.procs <- s.s_procs;
+  List.iter
+    (fun p ->
+      p.dead <- false;
+      p.kill_requested <- false;
+      p.interrupt <- None)
+    s.s_procs;
+  Pqueue.clear t.queue;
+  List.iter
+    (fun (key, cancelled, thunk) -> Pqueue.add t.queue ~key { cancelled; thunk })
+    s.s_events;
+  t.has_run <- false
 
 let blocked t =
   t.procs

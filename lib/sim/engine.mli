@@ -75,6 +75,25 @@ val step : t -> bool
 val failures : t -> (string * exn) list
 (** Processes that died with an uncaught exception, oldest first. *)
 
+val has_run : t -> bool
+(** Whether {!step} has ever executed an event on this engine. *)
+
+type snap
+(** Captured pre-run engine state: clock, process table, and the pending
+    event queue in insertion order. *)
+
+val snapshot : t -> snap
+(** Capture a never-run engine. Raises [Invalid_argument] once {!step}
+    has executed any event — after that, parked one-shot continuations
+    may sit in the queue and cannot be forked. Before the first step the
+    queue holds only re-runnable spawn/timer thunks, so the capture is a
+    faithful fork point. *)
+
+val restore : t -> snap -> unit
+(** Rewind the engine to the snapshot: clock, processes (flags reset)
+    and event queue are restored; the engine may then {!run} again.
+    Safe to call repeatedly with the same snapshot. *)
+
 val blocked : t -> string list
 (** Names of processes that are alive but have no pending event — after
     {!run} drains the queue these are deadlocked. *)

@@ -66,3 +66,16 @@ let pop t =
   end
 
 let peek_key t = if t.size = 0 then None else Some t.data.(0).key
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0;
+  t.next_seq <- 0
+
+(* Live entries in insertion order. Pop order is fully determined by the
+   (key, seq) total order, so a queue rebuilt by [add]ing these back in
+   sequence behaves identically regardless of heap layout. *)
+let entries t =
+  let live = Array.sub t.data 0 t.size in
+  Array.sort (fun a b -> compare a.seq b.seq) live;
+  Array.to_list (Array.map (fun e -> (e.key, e.value)) live)

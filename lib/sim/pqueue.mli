@@ -16,3 +16,13 @@ val pop : 'a t -> (int * 'a) option
 (** Remove and return the minimum entry as [(key, value)]. *)
 
 val peek_key : 'a t -> int option
+
+val clear : 'a t -> unit
+(** Empty the queue and reset the insertion sequence to zero, as if
+    freshly [create]d. *)
+
+val entries : 'a t -> (int * 'a) list
+(** Live entries as [(key, value)] in insertion order. Re-[add]ing them
+    in this order into a [clear]ed queue reproduces the original pop
+    order exactly (pop order depends only on the (key, seq) total
+    order, never on heap layout). *)

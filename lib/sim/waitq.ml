@@ -49,3 +49,9 @@ let broadcast t =
   t.waiters <- [];
   List.iter (fun w -> w.wake Signalled) woken;
   List.length woken
+
+let saver t () =
+  let waiters = t.waiters and next_wid = t.next_wid in
+  fun () ->
+    t.waiters <- waiters;
+    t.next_wid <- next_wid

@@ -24,3 +24,7 @@ val signal : t -> bool
 
 val broadcast : t -> int
 (** Wake everyone; returns how many were woken. *)
+
+val saver : t -> unit -> unit -> unit
+(** [saver t ()] captures the waiter list and id counter; the returned
+    thunk restores them (re-runnable). For kernel snapshot support. *)

@@ -51,7 +51,12 @@ let create kernel ~name ?(buffer_words = buffer_words_8kb) ?budget () =
       ~read_result:(read_result kernel ~buffer_words)
       ()
   in
-  { cname = name; buffer_words; kernel; point; n_transfers = 0 }
+  let t = { cname = name; buffer_words; kernel; point; n_transfers = 0 } in
+  Kernel.on_snapshot kernel (Graft_point.saver point);
+  Kernel.on_snapshot kernel (fun () ->
+      let n_transfers = t.n_transfers in
+      fun () -> t.n_transfers <- n_transfers);
+  t
 
 let point t = t.point
 let grafted t = Graft_point.grafted t.point

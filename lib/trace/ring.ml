@@ -59,3 +59,16 @@ let clear t =
   t.len <- 0;
   t.n_total <- 0;
   t.n_dropped <- 0
+
+let saver t () =
+  let buf = Array.copy t.buf
+  and head = t.head
+  and len = t.len
+  and n_total = t.n_total
+  and n_dropped = t.n_dropped in
+  fun () ->
+    Array.blit buf 0 t.buf 0 t.cap;
+    t.head <- head;
+    t.len <- len;
+    t.n_total <- n_total;
+    t.n_dropped <- n_dropped

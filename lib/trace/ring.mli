@@ -42,3 +42,7 @@ val absorb : 'a t -> into:'a t -> unit
 
 val clear : 'a t -> unit
 (** Drop every entry and reset the {!total}/{!dropped} accounting. *)
+
+val saver : 'a t -> unit -> unit -> unit
+(** [saver t ()] captures the buffer and accounting; the returned thunk
+    restores them in place (re-runnable). For kernel snapshots. *)

@@ -264,6 +264,25 @@ let acquire t mode owner ?(poll = fun () -> None) () =
         wait_loop 0
       end
 
+let saver t () =
+  let lpolicy = t.lpolicy
+  and n_acquisitions = t.n_acquisitions
+  and n_contentions = t.n_contentions
+  and n_timeouts = t.n_timeouts
+  and n_holder_aborts = t.n_holder_aborts
+  and n_hold_cycles = t.n_hold_cycles
+  and n_fruitless_giveups = t.n_fruitless_giveups in
+  fun () ->
+    t.lpolicy <- lpolicy;
+    t.holders <- [];
+    t.waitq <- [];
+    t.n_acquisitions <- n_acquisitions;
+    t.n_contentions <- n_contentions;
+    t.n_timeouts <- n_timeouts;
+    t.n_holder_aborts <- n_holder_aborts;
+    t.n_hold_cycles <- n_hold_cycles;
+    t.n_fruitless_giveups <- n_fruitless_giveups
+
 let release ?(during_abort = false) h =
   if not h.released then begin
     let t = h.lock in

@@ -94,3 +94,9 @@ val total_hold_cycles : t -> int
 
 val fruitless_giveups : t -> int
 (** How many waiters gave up because no holder was ever abortable. *)
+
+val saver : t -> unit -> unit -> unit
+(** [saver t ()] captures policy and statistics; the returned thunk
+    restores them and empties the holder/waiter lists (re-runnable).
+    For kernel snapshots, which are only taken on never-run engines
+    where both lists are empty anyway. *)

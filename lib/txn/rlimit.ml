@@ -101,6 +101,13 @@ let derive ~parent ?(memory_words = 0) ?(wired_pages = 0) ?(io_slots = 0)
   in
   fund [] wants
 
+let saver t () =
+  let limits = Array.copy t.account.limits
+  and uses = Array.copy t.account.uses in
+  fun () ->
+    Array.blit limits 0 t.account.limits 0 n;
+    Array.blit uses 0 t.account.uses 0 n
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   List.iter

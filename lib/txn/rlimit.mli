@@ -70,3 +70,7 @@ val derive :
     @raise Invalid_argument on a negative amount. *)
 
 val pp : Format.formatter -> t -> unit
+
+val saver : t -> unit -> unit -> unit
+(** [saver t ()] captures the account's limits and uses; the returned
+    thunk restores them in place (re-runnable). For kernel snapshots. *)

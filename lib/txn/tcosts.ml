@@ -11,6 +11,8 @@ type t = {
   undo_push : int;
   policy_indirection : int;
   limit_check : int;
+  snap_word : int;
+  restore_word : int;
 }
 
 let us = Vino_vm.Costs.cycles_of_us
@@ -29,4 +31,6 @@ let default =
     undo_push = us 1.5;
     policy_indirection = 35;
     limit_check = us 0.5;
+    snap_word = 6;
+    restore_word = 6;
   }

@@ -21,19 +21,39 @@ let select_base_cost = Vino_txn.Tcosts.us 38.5
 let per_examination_cost = Vino_txn.Tcosts.us 0.05
 
 let create kernel ~frames ?pageout_disk ?(graft_support = true) () =
-  {
-    kernel;
-    frames;
-    pageout_disk;
-    graft_support;
-    vases = Hashtbl.create 8;
-    queue = [];
-    n_evictions = 0;
-    n_consultations = 0;
-    n_overrules = 0;
-    n_invalid = 0;
-  }
+  let t =
+    {
+      kernel;
+      frames;
+      pageout_disk;
+      graft_support;
+      vases = Hashtbl.create 8;
+      queue = [];
+      n_evictions = 0;
+      n_consultations = 0;
+      n_overrules = 0;
+      n_invalid = 0;
+    }
+  in
+  Kernel.on_snapshot kernel (Frame.saver frames);
+  Kernel.on_snapshot kernel (fun () ->
+      let vases = Hashtbl.copy t.vases
+      and queue = t.queue
+      and n_evictions = t.n_evictions
+      and n_consultations = t.n_consultations
+      and n_overrules = t.n_overrules
+      and n_invalid = t.n_invalid in
+      fun () ->
+        Hashtbl.reset t.vases;
+        Hashtbl.iter (Hashtbl.replace t.vases) vases;
+        t.queue <- queue;
+        t.n_evictions <- n_evictions;
+        t.n_consultations <- n_consultations;
+        t.n_overrules <- n_overrules;
+        t.n_invalid <- n_invalid);
+  t
 
+let kernel t = t.kernel
 let register_vas t vas = Hashtbl.replace t.vases (Vas.id vas) vas
 let vas_of t vid = Hashtbl.find_opt t.vases vid
 let free_frames t = Frame.free_count t.frames

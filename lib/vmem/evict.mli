@@ -25,6 +25,7 @@ val create :
 (** [graft_support:false] builds the measurement baseline: victim selection
     with all graft indirection removed (Table 2's "base path"). *)
 
+val kernel : t -> Vino_core.Kernel.t
 val register_vas : t -> Vas.t -> unit
 val vas_of : t -> int -> Vas.t option
 

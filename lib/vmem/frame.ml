@@ -40,3 +40,17 @@ let release t f =
 
 let free_count t = List.length t.free
 let used_count t = Array.length t.frames - free_count t
+
+let saver t () =
+  let flags =
+    Array.map (fun f -> (f.owner, f.referenced, f.wired)) t.frames
+  and free = t.free in
+  fun () ->
+    Array.iteri
+      (fun k (owner, referenced, wired) ->
+        let f = t.frames.(k) in
+        f.owner <- owner;
+        f.referenced <- referenced;
+        f.wired <- wired)
+      flags;
+    t.free <- free

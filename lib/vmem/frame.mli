@@ -27,3 +27,8 @@ val release : table -> t -> unit
 
 val free_count : table -> int
 val used_count : table -> int
+
+val saver : table -> unit -> unit -> unit
+(** [saver t ()] captures every frame's owner/flags and the free list;
+    the returned thunk restores them (re-runnable). For kernel
+    snapshots. *)

@@ -48,6 +48,18 @@ let map evictor vas ~vpage_start ~pages backing =
     }
   in
   cell := t :: !cell;
+  (* VAS ids are globally unique, so this registry cell belongs to this
+     kernel alone; the saver drops objects mapped after the snapshot and
+     restores each captured object's liveness and fault count *)
+  Vino_core.Kernel.on_snapshot (Evict.kernel evictor) (fun () ->
+      let captured = List.map (fun o -> (o, o.live, o.n_faults)) !cell in
+      fun () ->
+        cell := List.map (fun (o, _, _) -> o) captured;
+        List.iter
+          (fun (o, live, n_faults) ->
+            o.live <- live;
+            o.n_faults <- n_faults)
+          captured);
   t
 
 let unmap t =

@@ -44,6 +44,15 @@ let create kernel ~evictor ?(low_watermark = 8) ?(high_watermark = 16) () =
   ignore
     (Engine.spawn kernel.Vino_core.Kernel.engine ~name:"pagedaemon" (fun () ->
          daemon t ()));
+  Vino_core.Kernel.on_snapshot kernel (Waitq.saver t.wakeup);
+  Vino_core.Kernel.on_snapshot kernel (fun () ->
+      let n_passes = t.n_passes
+      and n_evicted = t.n_evicted
+      and running = t.running in
+      fun () ->
+        t.n_passes <- n_passes;
+        t.n_evicted <- n_evicted;
+        t.running <- running);
   t
 
 let kick t = ignore (Waitq.signal t.wakeup)

@@ -76,15 +76,27 @@ let create kernel ?evict_budget ~name () =
             | Ok () -> Kcall.ok
             | Error reason -> Kcall.abort reason))
   in
-  {
-    vid;
-    vname = name;
-    resident = Hashtbl.create 256;
-    evict;
-    lock;
-    lock_name;
-    n_faults = 0;
-  }
+  let t =
+    {
+      vid;
+      vname = name;
+      resident = Hashtbl.create 256;
+      evict;
+      lock;
+      lock_name;
+      n_faults = 0;
+    }
+  in
+  Kernel.on_snapshot kernel (Graft_point.saver evict);
+  Kernel.on_snapshot kernel (fun () ->
+      (* residency lookups never depend on bucket order ([resident_pages]
+         sorts), so a keys/values copy is enough *)
+      let resident = Hashtbl.copy t.resident and n_faults = t.n_faults in
+      fun () ->
+        Hashtbl.reset t.resident;
+        Hashtbl.iter (Hashtbl.replace t.resident) resident;
+        t.n_faults <- n_faults);
+  t
 
 let id t = t.vid
 let hot_lock t = t.lock

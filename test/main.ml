@@ -34,6 +34,7 @@ let () =
          Test_measure.suite;
          Test_kflow.suite;
          Test_disaster.suite;
+         Test_snapshot.suite;
          Test_soak.suite;
          Test_trace.suite;
          Test_par.suite;

@@ -1,0 +1,194 @@
+(* Tests for crash-consistent kernel snapshots: capture a warmed site,
+   mutate it through a full graft lifecycle, restore, and demand the replay
+   be indistinguishable from a freshly built kernel. *)
+
+module Engine = Vino_sim.Engine
+module Kernel = Vino_core.Kernel
+module Txn = Vino_txn.Txn
+module Asm = Vino_vm.Asm
+module Site = Vino_disaster.Site
+module Campaign = Vino_disaster.Campaign
+
+let contains msg needle =
+  let n = String.length needle and m = String.length msg in
+  let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+  go 0
+
+let seal_install (site : Site.t) source =
+  match Asm.assemble source with
+  | Error e -> Alcotest.failf "assemble: %s" e
+  | Ok obj -> (
+      match Kernel.seal site.Site.kernel obj with
+      | Error e -> Alcotest.failf "seal: %s" e
+      | Ok image -> (
+          match site.Site.install image with
+          | Error e -> Alcotest.failf "install: %s" e
+          | Ok () -> ()))
+
+(* One observable graft lifecycle: install the healthy graft, drive a
+   single operation, drain the engine, and report everything a replay
+   divergence would show up in. *)
+let probe (site : Site.t) =
+  seal_install site site.Site.healthy;
+  site.Site.drive_once ();
+  Kernel.run site.Site.kernel;
+  let kernel = site.Site.kernel in
+  ( Engine.now kernel.Kernel.engine,
+    Txn.commits kernel.Kernel.txn_mgr,
+    Txn.aborts kernel.Kernel.txn_mgr,
+    !(site.Site.state_cell) )
+
+(* ------------------------- snapshot refusals -------------------------- *)
+
+let test_snapshot_refused_mid_transaction () =
+  let site = Site.create Site.Stream_copy in
+  let kernel = site.Site.kernel in
+  ignore
+    (Engine.spawn kernel.Kernel.engine ~name:"parked-txn" (fun () ->
+         let (_ : Txn.t) =
+           Txn.begin_ kernel.Kernel.txn_mgr ~name:"parked" ()
+         in
+         (* park forever: the transaction stays live across the drain *)
+         Engine.suspend (fun (_ : unit -> unit) -> ())));
+  Kernel.run kernel;
+  Alcotest.(check int)
+    "one live transaction" 1
+    (Txn.live kernel.Kernel.txn_mgr);
+  match Kernel.snapshot kernel with
+  | (_ : Kernel.snap) -> Alcotest.fail "snapshot accepted mid-transaction"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        "refusal names the live transaction" true
+        (contains msg "mid-transaction")
+
+let test_snapshot_refused_after_run () =
+  let site = Site.create Site.Stream_copy in
+  let (_ : int * int * int * int) = probe site in
+  match Kernel.snapshot site.Site.kernel with
+  | (_ : Kernel.snap) -> Alcotest.fail "snapshot accepted a run engine"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        "refusal names the run engine" true
+        (contains msg "already run")
+
+let test_restore_refused_wrong_kernel () =
+  let a = Site.create Site.Stream_copy
+  and b = Site.create Site.Stream_copy in
+  let snap = Kernel.snapshot a.Site.kernel in
+  match Kernel.restore b.Site.kernel snap with
+  | () -> Alcotest.fail "restore accepted a foreign snapshot"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        "refusal names the owner" true
+        (contains msg "different kernel")
+
+(* --------------------------- restore replay --------------------------- *)
+
+let test_restore_after_force_remove () =
+  let fresh = Site.create Site.Stream_copy in
+  let forked = Site.create Site.Stream_copy in
+  let snap = Kernel.snapshot forked.Site.kernel in
+  let (_ : int * int * int * int) = probe forked in
+  forked.Site.force_remove ();
+  (match forked.Site.check_default () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "default path broken after removal: %s" e);
+  Kernel.restore forked.Site.kernel snap;
+  Alcotest.(check bool)
+    "no graft installed after restore" false
+    (forked.Site.grafted ());
+  Alcotest.(check bool)
+    "restored replay matches a fresh site" true
+    (probe fresh = probe forked)
+
+let test_double_restore () =
+  let expected = probe (Site.create Site.Stream_copy) in
+  let site = Site.create Site.Stream_copy in
+  let snap = Kernel.snapshot site.Site.kernel in
+  Kernel.restore site.Site.kernel snap;
+  let first = probe site in
+  Kernel.restore site.Site.kernel snap;
+  let second = probe site in
+  Alcotest.(check bool) "first restore replays fresh" true (first = expected);
+  Alcotest.(check bool) "second restore replays fresh" true (second = expected)
+
+(* --------------- force_remove clears the pinned flow table ------------ *)
+
+let test_force_remove_clears_flow_pin () =
+  List.iter
+    (fun family ->
+      let site = Site.create family in
+      Site.pin_flow_witness site site.Site.healthy;
+      Alcotest.(check bool)
+        (Site.family_name family ^ ": witness pinned")
+        true
+        (site.Site.kernel.Kernel.flow_pin <> None);
+      site.Site.force_remove ();
+      Alcotest.(check bool)
+        (Site.family_name family ^ ": pin cleared with the graft")
+        true
+        (site.Site.kernel.Kernel.flow_pin = None))
+    Site.all_families
+
+(* ------------------------- forked campaigns --------------------------- *)
+
+(* The tentpole contract, as a property: for any campaign seed and length,
+   trials forked from a warmed snapshot produce the byte-identical report
+   a fresh-site-per-trial campaign does — every fingerprint (which folds
+   in virtual time and txn/lock/audit counters) included. *)
+let prop_forked_campaign_equals_fresh =
+  QCheck2.Test.make ~name:"forked campaign = fresh campaign (any seed/count)"
+    ~count:6
+    QCheck2.Gen.(pair (int_range 0 999) (int_range 1 10))
+    (fun (seed, count) ->
+      Campaign.run ~check_determinism:false ~fork:true ~seed ~count ()
+      = Campaign.run ~check_determinism:false ~fork:false ~seed ~count ())
+
+let test_recheck_sampling_equivalent () =
+  let run recheck_every = Campaign.run ~recheck_every ~seed:11 ~count:12 () in
+  let every = run 1 in
+  Alcotest.(check bool) "campaign clean" true (Campaign.ok every);
+  Alcotest.(check bool) "sampled recheck, same report" true (run 3 = every);
+  Alcotest.(check bool) "disabled recheck, same report" true (run 0 = every)
+
+let test_snapshot_rollback_strategy () =
+  let run fork =
+    Campaign.run ~check_determinism:false ~fork
+      ~strategy:Kernel.Snapshot_rollback ~seed:4 ~count:10 ()
+  in
+  let forked = run true in
+  Alcotest.(check bool)
+    "forked = fresh under snapshot-rollback" true
+    (forked = run false);
+  Alcotest.(check bool) "campaign clean" true (Campaign.ok forked);
+  let txn =
+    Campaign.run ~check_determinism:false ~strategy:Kernel.Txn_undo ~seed:4
+      ~count:10 ()
+  in
+  Alcotest.(check bool)
+    "cost overlay shifts virtual time" true
+    (Campaign.total_vtime forked <> Campaign.total_vtime txn)
+
+let suite =
+  [
+    ( "snapshot",
+      [
+        Alcotest.test_case "refused mid-transaction" `Quick
+          test_snapshot_refused_mid_transaction;
+        Alcotest.test_case "refused once the engine has run" `Quick
+          test_snapshot_refused_after_run;
+        Alcotest.test_case "restore refuses a foreign snapshot" `Quick
+          test_restore_refused_wrong_kernel;
+        Alcotest.test_case "restore after force_remove replays fresh" `Quick
+          test_restore_after_force_remove;
+        Alcotest.test_case "double restore replays fresh twice" `Quick
+          test_double_restore;
+        Alcotest.test_case "force_remove clears the pinned flow table" `Quick
+          test_force_remove_clears_flow_pin;
+        QCheck_alcotest.to_alcotest prop_forked_campaign_equals_fresh;
+        Alcotest.test_case "recheck sampling leaves the report unchanged"
+          `Quick test_recheck_sampling_equivalent;
+        Alcotest.test_case "snapshot-rollback strategy: deterministic overlay"
+          `Quick test_snapshot_rollback_strategy;
+      ] );
+  ]
